@@ -1,0 +1,128 @@
+// Package cmd_test builds the command-line tools once and exercises them
+// end to end on the testdata programs.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var bins = map[string]string{}
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "finishrepair-cli")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, tool := range []string{"hjrepair", "hjrun", "hjbench"} {
+		bin := filepath.Join(dir, tool)
+		out, err := exec.Command("go", "build", "-o", bin, "./"+tool).CombinedOutput()
+		if err != nil {
+			panic(tool + ": " + string(out))
+		}
+		bins[tool] = bin
+	}
+	os.Exit(m.Run())
+}
+
+func runTool(t *testing.T, tool string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bins[tool], args...)
+	var ob, eb strings.Builder
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return ob.String(), eb.String(), code
+}
+
+func TestHjrunDetectFindsRaces(t *testing.T) {
+	_, stderr, code := runTool(t, "hjrun", "-mode", "detect", "../testdata/buggy_fib.hj")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (races found); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "race(s)") {
+		t.Errorf("stderr missing race report: %s", stderr)
+	}
+}
+
+func TestHjrepairThenRun(t *testing.T) {
+	dir := t.TempDir()
+	fixed := filepath.Join(dir, "fixed.hj")
+	_, stderr, code := runTool(t, "hjrepair", "-o", fixed, "../testdata/buggy_fib.hj")
+	if code != 0 {
+		t.Fatalf("hjrepair failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "finish(es) inserted") {
+		t.Errorf("missing summary: %s", stderr)
+	}
+
+	// The repaired program is race-free and runs in parallel.
+	_, stderr, code = runTool(t, "hjrun", "-mode", "detect", fixed)
+	if code != 0 {
+		t.Fatalf("repaired program still racy: %s", stderr)
+	}
+	stdout, _, code := runTool(t, "hjrun", "-mode", "par", fixed)
+	if code != 0 || stdout != "144\n" {
+		t.Fatalf("parallel run: code %d output %q, want 144", code, stdout)
+	}
+	stdout, _, _ = runTool(t, "hjrun", "-mode", "seq", fixed)
+	if stdout != "144\n" {
+		t.Fatalf("sequential run output %q, want 144", stdout)
+	}
+}
+
+func TestHjrunCoverage(t *testing.T) {
+	stdout, _, code := runTool(t, "hjrun", "-mode", "coverage", "../testdata/quicksort.hj")
+	if code != 0 {
+		t.Fatalf("coverage exit %d", code)
+	}
+	if !strings.Contains(stdout, "asyncs 2/2") {
+		t.Errorf("coverage output %q missing async coverage", stdout)
+	}
+}
+
+func TestHjrunExpertQuicksortIsRaceFree(t *testing.T) {
+	stdout, stderr, code := runTool(t, "hjrun", "-mode", "detect", "../testdata/quicksort.hj")
+	if code != 0 {
+		t.Fatalf("expert quicksort reported races: %s", stderr)
+	}
+	if stdout != "1\n" {
+		t.Errorf("output %q, want sorted (1)", stdout)
+	}
+}
+
+func TestHjbenchFig4(t *testing.T) {
+	stdout, stderr, code := runTool(t, "hjbench", "-fig", "4")
+	if code != 0 {
+		t.Fatalf("hjbench -fig 4: %s", stderr)
+	}
+	for _, want := range []string{"CPL = 1510", "CPL = 1500", "CPL = 1110", "CPL = 1100", "(A..D) (B..B)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("fig 4 output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestHjrepairBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.hj")
+	if err := os.WriteFile(bad, []byte("func main() { undefined(); }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runTool(t, "hjrepair", bad)
+	if code == 0 {
+		t.Fatal("hjrepair accepted an invalid program")
+	}
+	if !strings.Contains(stderr, "undefined") {
+		t.Errorf("stderr %q missing diagnosis", stderr)
+	}
+}

@@ -1,0 +1,137 @@
+// Command hjbench regenerates the evaluation of the paper (§7): the
+// benchmark roster (Table 1), repair-time breakdown (Table 2), SRW/MRW
+// comparison (Table 3), race counts (Table 4), the performance figure
+// (Figure 16), and the student-homework study (§7.4).
+//
+// Usage:
+//
+//	hjbench -table 1|2|3|4
+//	hjbench -fig 16 [-runs N] [-scale PCT]
+//	hjbench -fig 4
+//	hjbench -homework
+//	hjbench -all [-runs N] [-scale PCT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finishrepair/internal/bench"
+	"finishrepair/internal/homework"
+	"finishrepair/internal/repair"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print table 1, 2, 3, or 4")
+	fig := flag.Int("fig", 0, "print figure 4 (placement example) or 16 (performance)")
+	hw := flag.Bool("homework", false, "run the student-homework study (§7.4)")
+	ablation := flag.Bool("ablation", false, "run the S-DPST collapse ablation")
+	all := flag.Bool("all", false, "run everything")
+	runs := flag.Int("runs", 5, "repetitions per data point for figure 16 (paper: 30)")
+	scale := flag.Int("scale", 100, "percentage of the performance input size for figure 16")
+	flag.Parse()
+
+	w := os.Stdout
+	any := false
+	run := func(name string, f func() error) {
+		any = true
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "hjbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *all || *table == 1 {
+		run("table 1", func() error { bench.PrintTable1(w); return nil })
+	}
+	if *all || *table == 2 {
+		run("table 2", func() error { return bench.PrintTable2(w) })
+	}
+	if *all || *table == 3 {
+		run("table 3", func() error { return bench.PrintTable3(w) })
+	}
+	if *all || *table == 4 {
+		run("table 4", func() error { return bench.PrintTable4(w) })
+	}
+	if *all || *fig == 4 {
+		run("figure 4", func() error { return printFig4(w) })
+	}
+	if *all || *fig == 16 {
+		run("figure 16", func() error { return bench.PrintFig16(w, *runs, *scale) })
+	}
+	if *all || *hw {
+		run("homework", func() error { return printHomework(w) })
+	}
+	if *all || *ablation {
+		run("ablation", func() error { return bench.PrintAblation(w) })
+	}
+	if !any {
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+}
+
+// printFig4 reproduces the finish-placement example of paper Figures 3/4
+// and reports the placement Algorithm 1 finds.
+func printFig4(w *os.File) error {
+	prob := &repair.Problem{
+		N:     6,
+		T:     []int64{500, 10, 10, 400, 600, 500},
+		Async: []bool{true, true, true, true, true, true},
+		Edges: [][2]int{{1, 3}, {0, 5}, {3, 5}},
+	}
+	fmt.Fprintln(w, "Figure 3/4: asyncs A-F with times 500,10,10,400,600,500; deps B->D, A->F, D->F")
+	names := "ABCDEF"
+	rows := []struct {
+		desc string
+		fs   []repair.FinishBlock
+	}{
+		{"( A ) ( B ) C ( D ) E F", []repair.FinishBlock{{S: 0, E: 0}, {S: 1, E: 1}, {S: 3, E: 3}}},
+		{"( A B ) C ( D ) E F", []repair.FinishBlock{{S: 0, E: 1}, {S: 3, E: 3}}},
+		{"( A B C ) ( D ) E F", []repair.FinishBlock{{S: 0, E: 2}, {S: 3, E: 3}}},
+		{"( A ( B ) C D E ) F", []repair.FinishBlock{{S: 0, E: 4}, {S: 1, E: 1}}},
+	}
+	for _, r := range rows {
+		c, err := repair.Evaluate(prob, r.fs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-28s CPL = %d\n", r.desc, c)
+	}
+	sol, err := repair.Solve(prob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Algorithm 1 optimum: CPL = %d, finish set:", sol.Cost)
+	for _, f := range sol.Finishes {
+		fmt.Fprintf(w, " (%c..%c)", names[f.S], names[f.E])
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func printHomework(w *os.File) error {
+	sr, err := homework.RunStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Student homework study (§7.4): %d submissions\n", len(sr.Results))
+	fmt.Fprintf(w, "  with data races:    %2d (paper: 5)\n", sr.Racy)
+	fmt.Fprintf(w, "  over-synchronized:  %2d (paper: 29)\n", sr.OverSync)
+	fmt.Fprintf(w, "  matching the tool:  %2d (paper: 25)\n", sr.Matching)
+	fmt.Fprintf(w, "  tool repair critical path: %d work units\n", sr.ToolSpan)
+	byStrategy := map[string][]int{}
+	for _, gr := range sr.Results {
+		byStrategy[gr.Submission.Strategy.Name] = append(byStrategy[gr.Submission.Strategy.Name], gr.Submission.ID)
+	}
+	for _, st := range homework.Strategies {
+		ids := byStrategy[st.Name]
+		if len(ids) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s x%-2d  %s\n", st.Name, len(ids), st.Desc)
+	}
+	return nil
+}

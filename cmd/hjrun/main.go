@@ -1,0 +1,99 @@
+// Command hjrun executes an HJ-lite program.
+//
+// Usage:
+//
+//	hjrun [-mode seq|par|detect|coverage] [-workers N] program.hj
+//
+// Modes:
+//
+//	seq      serial elision (async/finish ignored) — the reference
+//	par      parallel execution on the taskpar work-stealing runtime
+//	detect   canonical depth-first execution with MRW race detection
+//	coverage test-adequacy analysis: which asyncs/statements the
+//	         input actually exercises
+//	dot      S-DPST with race edges in Graphviz format (paper Fig. 9)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finishrepair/tdr"
+)
+
+func main() {
+	mode := flag.String("mode", "par", "execution mode: seq, par, detect, or coverage")
+	workers := flag.Int("workers", 0, "pool workers for -mode par (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hjrun [flags] program.hj")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := tdr.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "seq":
+		out, err := prog.RunSequential()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "par":
+		out, err := prog.RunParallel(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "dot":
+		dot, err := prog.SDPSTDot()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dot)
+	case "coverage":
+		cov, err := prog.Coverage()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cov)
+		if !cov.Adequate() {
+			fmt.Fprintln(os.Stderr, "hjrun: WARNING: some async statements never executed; this input cannot drive their repair")
+			os.Exit(1)
+		}
+	case "detect":
+		rep, err := prog.Detect(tdr.MRW)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Output)
+		fmt.Fprintf(os.Stderr, "hjrun: %d race(s), %d S-DPST nodes\n", len(rep.Races), rep.SDPSTNodes)
+		for i, r := range rep.Races {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(rep.Races)-20)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s: step %d (%s) -> step %d (%s)\n",
+				r.Kind, r.SrcStep, r.SrcPos, r.DstStep, r.DstPos)
+		}
+		if len(rep.Races) > 0 {
+			os.Exit(1)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hjrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Mergesort: the paper's Figure 1 motivating example, end to end.
+//
+// A developer marked the two recursive calls as asyncs (step 2 of the
+// paper's workflow) but left out the synchronization (step 3). The tool
+// determines that a finish is needed around the two asyncs — before the
+// merge — for correctness and maximal parallelism, then we compare the
+// available parallelism of the buggy intent and the repaired program and
+// execute the repaired program on the work-stealing runtime.
+//
+// Run with: go run ./examples/mergesort
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finishrepair/tdr"
+)
+
+const mergesort = `
+func mergesort(a []int, tmp []int, m int, n int) {
+    if (m < n) {
+        var mid = m + (n - m) / 2;
+        async mergesort(a, tmp, m, mid);
+        async mergesort(a, tmp, mid + 1, n);
+        merge(a, tmp, m, mid, n);
+    }
+}
+
+func merge(a []int, tmp []int, m int, mid int, n int) {
+    var i = m;
+    var j = mid + 1;
+    var k = m;
+    while (i <= mid && j <= n) {
+        if (a[i] <= a[j]) { tmp[k] = a[i]; i = i + 1; }
+        else { tmp[k] = a[j]; j = j + 1; }
+        k = k + 1;
+    }
+    while (i <= mid) { tmp[k] = a[i]; i = i + 1; k = k + 1; }
+    while (j <= n)   { tmp[k] = a[j]; j = j + 1; k = k + 1; }
+    for (var t = m; t <= n; t = t + 1) { a[t] = tmp[t]; }
+}
+
+func main() {
+    var size = 2048;
+    var a = make([]int, size);
+    var tmp = make([]int, size);
+    var st = make([]int, 1);
+    st[0] = 42;
+    for (var i = 0; i < size; i = i + 1) {
+        st[0] = (st[0] * 1103515245 + 12345) % 2147483648;
+        a[i] = st[0] % 100000;
+    }
+    mergesort(a, tmp, 0, size - 1);
+    var sorted = true;
+    for (var i = 1; i < size; i = i + 1) {
+        if (a[i - 1] > a[i]) { sorted = false; }
+    }
+    println(sorted);
+}
+`
+
+func main() {
+	prog, err := tdr.Load(mergesort)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The unsynchronized program is buggy: the depth-first test run
+	// reveals the races.
+	races, err := prog.Detect(tdr.MRW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unsynchronized mergesort: %d data race(s)\n", len(races.Races))
+
+	rep, err := prog.Repair(tdr.RepairOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repaired with %d finish(es), %d iteration(s)\n", rep.FinishesInserted, rep.Iterations)
+
+	pl, err := prog.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("work = %d units, span = %d units, parallelism = %.1fx\n",
+		pl.Work, pl.Span, pl.Ratio())
+
+	seq, err := prog.RunSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := prog.RunParallel(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %spar:        %s", seq, par)
+	if seq == par && seq == "true\n" {
+		fmt.Println("parallel mergesort sorts correctly after repair")
+	} else {
+		log.Fatal("outputs diverged")
+	}
+	fmt.Println("\nrepaired source:")
+	fmt.Println(prog.Source())
+}

@@ -1,0 +1,96 @@
+// taskpar: the structured async/finish runtime for plain Go code.
+//
+// Go's goroutines have no finish scopes: nothing in the language waits
+// for a task *and everything it transitively spawned*. The taskpar
+// package provides that terminally-strict discipline. This example
+// builds a parallel divide-and-conquer sum and a parallel quicksort on
+// top of it.
+//
+// Run with: go run ./examples/taskpar
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"finishrepair/taskpar"
+)
+
+// parSum sums s by splitting in half until chunks are small.
+func parSum(c *taskpar.Ctx, s []int64, out *int64) {
+	if len(s) <= 1024 {
+		var t int64
+		for _, v := range s {
+			t += v
+		}
+		*out = t
+		return
+	}
+	var left, right int64
+	mid := len(s) / 2
+	c.Finish(func(c *taskpar.Ctx) {
+		c.Async(func(c *taskpar.Ctx) { parSum(c, s[:mid], &left) })
+		c.Async(func(c *taskpar.Ctx) { parSum(c, s[mid:], &right) })
+	})
+	*out = left + right
+}
+
+// parQuicksort sorts s in place; the recursive tasks join at the
+// caller's finish scope, exactly the paper's Figure 2 placement.
+func parQuicksort(c *taskpar.Ctx, s []int) {
+	if len(s) < 512 {
+		sort.Ints(s)
+		return
+	}
+	p := s[len(s)/2]
+	i, j := 0, len(s)-1
+	for i <= j {
+		for s[i] < p {
+			i++
+		}
+		for s[j] > p {
+			j--
+		}
+		if i <= j {
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+	}
+	lo, hi := s[:j+1], s[i:]
+	c.Async(func(c *taskpar.Ctx) { parQuicksort(c, lo) })
+	c.Async(func(c *taskpar.Ctx) { parQuicksort(c, hi) })
+}
+
+func main() {
+	exec := taskpar.NewPoolExecutor(0)
+	defer exec.Shutdown()
+	fmt.Println("executor:", exec)
+
+	rng := rand.New(rand.NewSource(7))
+	nums := make([]int64, 1<<20)
+	var want int64
+	for i := range nums {
+		nums[i] = int64(rng.Intn(1000))
+		want += nums[i]
+	}
+	var got int64
+	exec.Finish(func(c *taskpar.Ctx) { parSum(c, nums, &got) })
+	fmt.Printf("parallel sum: %d (reference %d)\n", got, want)
+	if got != want {
+		log.Fatal("sum mismatch")
+	}
+
+	data := make([]int, 1<<18)
+	for i := range data {
+		data[i] = rng.Intn(1 << 20)
+	}
+	// One finish around the top-level call joins the whole task tree.
+	exec.Finish(func(c *taskpar.Ctx) { parQuicksort(c, data) })
+	if !sort.IntsAreSorted(data) {
+		log.Fatal("quicksort produced unsorted output")
+	}
+	fmt.Printf("parallel quicksort sorted %d elements\n", len(data))
+}

@@ -1,0 +1,3 @@
+module finishrepair
+
+go 1.22

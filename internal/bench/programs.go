@@ -1,0 +1,853 @@
+// Package bench contains the paper's twelve benchmarks (Table 1) written
+// in HJ-lite, plus the harness that regenerates every table and figure of
+// the evaluation (§7).
+//
+// Each benchmark is the expert-written, fully synchronized program. The
+// evaluation strips all finish statements to obtain the buggy version
+// (§7.1), repairs it, and compares race counts, repair times, and the
+// performance of sequential, original-parallel, and repaired-parallel
+// versions.
+//
+// Substitutions versus the paper's exact codes are documented in
+// DESIGN.md: Crypt uses an XTEA-style Feistel cipher instead of IDEA;
+// Spanning Tree uses a level-synchronous claim/merge BFS instead of the
+// atomic-based pseudo-DFS; inputs are scaled for an interpreter.
+package bench
+
+import "fmt"
+
+// Benchmark describes one Table-1 entry.
+type Benchmark struct {
+	Name  string
+	Suite string
+	Desc  string
+	// Src renders the expert-written program for the given size knob.
+	Src func(size int) string
+	// RepairSize and PerfSize are the input sizes used for repair mode
+	// and for performance evaluation (Table 1 columns 4 and 5).
+	RepairSize int
+	PerfSize   int
+	// Exponential marks benchmarks whose cost is exponential in the size
+	// knob (Fibonacci, Nqueens, FannKuch); percentage scaling converts
+	// to subtracting from the knob instead.
+	Exponential bool
+}
+
+// ScaledPerfSize maps a percentage scale to an input size, respecting
+// exponential-cost knobs.
+func (b *Benchmark) ScaledPerfSize(scalePct int) int {
+	if scalePct >= 100 || scalePct <= 0 {
+		return b.PerfSize
+	}
+	if b.Exponential {
+		s := b.PerfSize + (scalePct-100)/25 // -1 knob per 25% reduction
+		if s < 4 {
+			s = 4
+		}
+		return s
+	}
+	s := b.PerfSize * scalePct / 100
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// All returns the twelve benchmarks in Table-1 order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		{Name: "Fibonacci", Suite: "HJ Bench", Desc: "Compute nth Fibonacci number",
+			Src: fibSrc, RepairSize: 16, PerfSize: 26, Exponential: true},
+		{Name: "Quicksort", Suite: "HJ Bench", Desc: "Quicksort",
+			Src: quicksortSrc, RepairSize: 1000, PerfSize: 120000},
+		{Name: "Mergesort", Suite: "HJ Bench", Desc: "Mergesort",
+			Src: mergesortSrc, RepairSize: 1000, PerfSize: 120000},
+		{Name: "Spanning Tree", Suite: "HJ Bench", Desc: "Spanning tree of an undirected graph",
+			Src: spanningTreeSrc, RepairSize: 200, PerfSize: 20000},
+		{Name: "Nqueens", Suite: "BOTS", Desc: "N Queens problem",
+			Src: nqueensSrc, RepairSize: 6, PerfSize: 9, Exponential: true},
+		{Name: "Series", Suite: "JGF", Desc: "Fourier coefficient analysis",
+			Src: seriesSrc, RepairSize: 25, PerfSize: 600},
+		{Name: "SOR", Suite: "JGF", Desc: "Successive over-relaxation",
+			Src: sorSrc, RepairSize: 100, PerfSize: 500},
+		{Name: "Crypt", Suite: "JGF", Desc: "Feistel block cipher encryption (IDEA stand-in)",
+			Src: cryptSrc, RepairSize: 3000, PerfSize: 400000},
+		{Name: "Sparse", Suite: "JGF", Desc: "Sparse matrix multiplication",
+			Src: sparseSrc, RepairSize: 100, PerfSize: 40000},
+		{Name: "LUFact", Suite: "JGF", Desc: "LU factorization",
+			Src: lufactSrc, RepairSize: 25, PerfSize: 140},
+		{Name: "FannKuch", Suite: "Shootout", Desc: "Indexed access to tiny integer sequence",
+			Src: fannkuchSrc, RepairSize: 6, PerfSize: 9, Exponential: true},
+		{Name: "Mandelbrot", Suite: "Shootout", Desc: "Mandelbrot set escape-time counts",
+			Src: mandelbrotSrc, RepairSize: 50, PerfSize: 500},
+	}
+}
+
+// Get returns the benchmark with the given name, or nil.
+func Get(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// nchunk is the task granularity of the loop-parallel benchmarks
+// (chunked parallelism like the JGF codes, not one task per element).
+const nchunk = 8
+
+func fibSrc(n int) string {
+	return fmt.Sprintf(`
+// Fibonacci (HJ Bench): recursive task parallelism, paper Figures 8/15.
+func fib(ret []int, n int) {
+    if (n < 2) {
+        ret[0] = n;
+        return;
+    }
+    var x = make([]int, 1);
+    var y = make([]int, 1);
+    finish {
+        async fib(x, n - 1);
+        async fib(y, n - 2);
+    }
+    ret[0] = x[0] + y[0];
+}
+
+func main() {
+    var result = make([]int, 1);
+    finish {
+        async fib(result, %d);
+    }
+    println(result[0]);
+}
+`, n)
+}
+
+func quicksortSrc(n int) string {
+	return fmt.Sprintf(`
+// Quicksort (HJ Bench): the paper's Figure 2 — the correct placement is
+// a finish around the top-level call, not around the recursive asyncs.
+func partition(a []int, lo int, hi int, out []int) {
+    var p = a[(lo + hi) / 2];
+    var i = lo;
+    var j = hi;
+    while (i <= j) {
+        while (a[i] < p) { i = i + 1; }
+        while (a[j] > p) { j = j - 1; }
+        if (i <= j) {
+            var t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    out[0] = i;
+    out[1] = j;
+}
+
+func quicksort(a []int, m int, n int) {
+    if (m < n) {
+        var ij = make([]int, 2);
+        partition(a, m, n, ij);
+        async quicksort(a, m, ij[1]);
+        async quicksort(a, ij[0], n);
+    }
+}
+
+func main() {
+    var size = %d;
+    var a = make([]int, size);
+    var st = make([]int, 1);
+    st[0] = 12345;
+    for (var i = 0; i < size; i = i + 1) {
+        st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+        a[i] = st[0] %% 100000;
+    }
+    finish {
+        quicksort(a, 0, size - 1);
+    }
+    var ok = 1;
+    var sum = 0;
+    for (var i = 0; i < size; i = i + 1) {
+        if (i > 0 && a[i - 1] > a[i]) { ok = 0; }
+        sum = (sum + a[i] * (i %% 97 + 1)) %% 1000000007;
+    }
+    println(ok, sum);
+}
+`, n)
+}
+
+func mergesortSrc(n int) string {
+	return fmt.Sprintf(`
+// Mergesort (HJ Bench): paper Figure 1 — finish around the two
+// recursive asyncs, before merge.
+func mergesort(a []int, tmp []int, m int, n int) {
+    if (m < n) {
+        var mid = m + (n - m) / 2;
+        finish {
+            async mergesort(a, tmp, m, mid);
+            async mergesort(a, tmp, mid + 1, n);
+        }
+        merge(a, tmp, m, mid, n);
+    }
+}
+
+func merge(a []int, tmp []int, m int, mid int, n int) {
+    var i = m;
+    var j = mid + 1;
+    var k = m;
+    while (i <= mid && j <= n) {
+        if (a[i] <= a[j]) {
+            tmp[k] = a[i];
+            i = i + 1;
+        } else {
+            tmp[k] = a[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i <= mid) { tmp[k] = a[i]; i = i + 1; k = k + 1; }
+    while (j <= n)   { tmp[k] = a[j]; j = j + 1; k = k + 1; }
+    for (var t = m; t <= n; t = t + 1) { a[t] = tmp[t]; }
+}
+
+func main() {
+    var size = %d;
+    var a = make([]int, size);
+    var tmp = make([]int, size);
+    var st = make([]int, 1);
+    st[0] = 98765;
+    for (var i = 0; i < size; i = i + 1) {
+        st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+        a[i] = st[0] %% 100000;
+    }
+    mergesort(a, tmp, 0, size - 1);
+    var ok = 1;
+    var sum = 0;
+    for (var i = 0; i < size; i = i + 1) {
+        if (i > 0 && a[i - 1] > a[i]) { ok = 0; }
+        sum = (sum + a[i] * (i %% 97 + 1)) %% 1000000007;
+    }
+    println(ok, sum);
+}
+`, n)
+}
+
+func spanningTreeSrc(n int) string {
+	return fmt.Sprintf(`
+// Spanning Tree (HJ Bench stand-in): level-synchronous BFS with a
+// two-phase claim/merge per level. Phase 1 (parallel over vertex
+// chunks): every unvisited vertex scans its neighbors for one visited
+// in the previous level and claims it as parent. Phase 2 (sequential
+// merge): claimed vertices join the frontier. The finish between the
+// phases is what the repair tool must restore.
+func phase(adjStart []int, adj []int, level []int, parent []int, claimed []int, lo int, hi int, k int) {
+    for (var v = lo; v < hi; v = v + 1) {
+        if (parent[v] == -1) {
+            var s = adjStart[v];
+            var e = adjStart[v + 1];
+            for (var x = s; x < e; x = x + 1) {
+                var u = adj[x];
+                if (level[u] == k - 1 && claimed[v] == 0) {
+                    parent[v] = u;
+                    claimed[v] = 1;
+                }
+            }
+        }
+    }
+}
+
+func main() {
+    var n = %d;
+    var deg = 4;
+    var st = make([]int, 1);
+    st[0] = 555;
+
+    // Random connected graph: a random tree plus deg-1 extra edges per
+    // vertex, in edge-list form, then converted to CSR.
+    var maxEdges = n * deg * 2;
+    var eu = make([]int, maxEdges);
+    var ev = make([]int, maxEdges);
+    var ne = 0;
+    for (var v = 1; v < n; v = v + 1) {
+        st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+        var u = st[0] %% v;
+        eu[ne] = u; ev[ne] = v; ne = ne + 1;
+        for (var d = 1; d < deg; d = d + 1) {
+            st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+            var w = st[0] %% n;
+            if (w != v) {
+                eu[ne] = w; ev[ne] = v; ne = ne + 1;
+            }
+        }
+    }
+    var adjStart = make([]int, n + 1);
+    var degCount = make([]int, n);
+    for (var i = 0; i < ne; i = i + 1) {
+        degCount[eu[i]] = degCount[eu[i]] + 1;
+        degCount[ev[i]] = degCount[ev[i]] + 1;
+    }
+    for (var v = 0; v < n; v = v + 1) {
+        adjStart[v + 1] = adjStart[v] + degCount[v];
+    }
+    var adj = make([]int, adjStart[n]);
+    var fill = make([]int, n);
+    for (var i = 0; i < ne; i = i + 1) {
+        var a = eu[i];
+        var b = ev[i];
+        adj[adjStart[a] + fill[a]] = b; fill[a] = fill[a] + 1;
+        adj[adjStart[b] + fill[b]] = a; fill[b] = fill[b] + 1;
+    }
+
+    var parent = make([]int, n);
+    var level = make([]int, n);
+    var claimed = make([]int, n);
+    for (var v = 0; v < n; v = v + 1) { parent[v] = -1; level[v] = -1; }
+    parent[0] = 0;
+    level[0] = 0;
+
+    var visited = 1;
+    var k = 1;
+    var progress = 1;
+    var chunk = (n + %d - 1) / %d;
+    while (progress > 0) {
+        finish {
+            for (var c = 0; c < n; c = c + chunk) {
+                var lo = c;
+                var hi = c + chunk;
+                if (hi > n) { hi = n; }
+                async phase(adjStart, adj, level, parent, claimed, lo, hi, k);
+            }
+        }
+        progress = 0;
+        for (var v = 0; v < n; v = v + 1) {
+            if (claimed[v] == 1) {
+                claimed[v] = 0;
+                level[v] = k;
+                visited = visited + 1;
+                progress = progress + 1;
+            }
+        }
+        k = k + 1;
+    }
+
+    var sum = 0;
+    for (var v = 0; v < n; v = v + 1) {
+        sum = (sum + parent[v] + level[v] * 7) %% 1000000007;
+    }
+    println(visited, sum);
+}
+`, n, nchunk, nchunk)
+}
+
+func nqueensSrc(n int) string {
+	return fmt.Sprintf(`
+// Nqueens (BOTS): count solutions; tasks fan out over the first rows
+// with copied boards, each writing a private result slot summed after
+// the finish.
+func safe(board []int, row int, c int) bool {
+    for (var r = 0; r < row; r = r + 1) {
+        if (board[r] == c) { return false; }
+        if (board[r] - r == c - row) { return false; }
+        if (board[r] + r == c + row) { return false; }
+    }
+    return true;
+}
+
+func nqSeq(n int, row int, board []int) int {
+    if (row == n) { return 1; }
+    var total = 0;
+    for (var c = 0; c < n; c = c + 1) {
+        if (safe(board, row, c)) {
+            board[row] = c;
+            total = total + nqSeq(n, row + 1, board);
+        }
+    }
+    return total;
+}
+
+func nqPar(n int, row int, cutoff int, board []int, out []int, slot int) {
+    if (row == n) { out[slot] = 1; return; }
+    if (row >= cutoff) { out[slot] = nqSeq(n, row, board); return; }
+    var results = make([]int, n);
+    finish {
+        for (var c = 0; c < n; c = c + 1) {
+            if (safe(board, row, c)) {
+                var nb = make([]int, n);
+                for (var i = 0; i < row; i = i + 1) { nb[i] = board[i]; }
+                nb[row] = c;
+                async nqPar(n, row + 1, cutoff, nb, results, c);
+            }
+        }
+    }
+    var t = 0;
+    for (var c = 0; c < n; c = c + 1) { t = t + results[c]; }
+    out[slot] = t;
+}
+
+func main() {
+    var n = %d;
+    var board = make([]int, n);
+    var out = make([]int, 1);
+    nqPar(n, 0, 2, board, out, 0);
+    println(out[0]);
+}
+`, n)
+}
+
+func seriesSrc(rows int) string {
+	return fmt.Sprintf(`
+// Series (JGF): first Fourier coefficients of (x+1)^x on [0,2] by
+// trapezoid integration; coefficient pairs are computed in parallel
+// chunks into disjoint array slots.
+func thefunction(x float, omegan float, sel int) float {
+    if (sel == 0) { return pow(x + 1.0, x); }
+    if (sel == 1) { return pow(x + 1.0, x) * cos(omegan * x); }
+    return pow(x + 1.0, x) * sin(omegan * x);
+}
+
+func trapezoid(nsteps int, omegan float, sel int) float {
+    var x = 0.0;
+    var dx = 2.0 / float(nsteps);
+    var rvalue = thefunction(0.0, omegan, sel) / 2.0;
+    for (var i = 1; i < nsteps; i = i + 1) {
+        x = x + dx;
+        rvalue = rvalue + thefunction(x, omegan, sel);
+    }
+    rvalue = (rvalue + thefunction(2.0, omegan, sel) / 2.0) * dx;
+    return rvalue;
+}
+
+func chunkWork(ac []float, as []float, lo int, hi int, nsteps int) {
+    var pi = 3.141592653589793;
+    for (var j = lo; j < hi; j = j + 1) {
+        if (j == 0) {
+            ac[0] = trapezoid(nsteps, 0.0, 0) / 2.0;
+            as[0] = 0.0;
+        } else {
+            var omegan = float(j) * pi;
+            ac[j] = trapezoid(nsteps, omegan, 1);
+            as[j] = trapezoid(nsteps, omegan, 2);
+        }
+    }
+}
+
+func main() {
+    var rows = %d;
+    var nsteps = 200;
+    var ac = make([]float, rows);
+    var as = make([]float, rows);
+    var chunk = (rows + %d - 1) / %d;
+    finish {
+        for (var c = 0; c < rows; c = c + chunk) {
+            var lo = c;
+            var hi = c + chunk;
+            if (hi > rows) { hi = rows; }
+            async chunkWork(ac, as, lo, hi, nsteps);
+        }
+    }
+    var sum = 0.0;
+    for (var j = 0; j < rows; j = j + 1) {
+        sum = sum + ac[j] + as[j];
+    }
+    println(int(sum * 1000000.0));
+}
+`, rows, nchunk, nchunk)
+}
+
+func sorSrc(size int) string {
+	iters := 2
+	if size <= 100 {
+		iters = 1
+	}
+	return fmt.Sprintf(`
+// SOR (JGF): red-black successive over-relaxation; within a color the
+// writes are disjoint and the reads touch only the other color, so each
+// half-sweep is a finish scope of row-chunk tasks.
+func sweep(g [][]float, m int, n int, omega float, color int, lo int, hi int) {
+    var of = omega / 4.0;
+    var om = 1.0 - omega;
+    for (var i = lo; i < hi; i = i + 1) {
+        if (i >= 1 && i < m - 1) {
+            var gi = g[i];
+            var gim = g[i - 1];
+            var gip = g[i + 1];
+            for (var j = 1 + (i + color) %% 2; j < n - 1; j = j + 2) {
+                gi[j] = of * (gim[j] + gip[j] + gi[j - 1] + gi[j + 1]) + om * gi[j];
+            }
+        }
+    }
+}
+
+func main() {
+    var m = %d;
+    var n = m;
+    var iters = %d;
+    var omega = 1.25;
+    var g = make([][]float, m);
+    var st = make([]int, 1);
+    st[0] = 31415;
+    for (var i = 0; i < m; i = i + 1) {
+        var row = make([]float, n);
+        for (var j = 0; j < n; j = j + 1) {
+            st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+            row[j] = float(st[0] %% 1000) / 1000.0;
+        }
+        g[i] = row;
+    }
+    var chunk = (m + %d - 1) / %d;
+    for (var it = 0; it < iters; it = it + 1) {
+        for (var color = 0; color < 2; color = color + 1) {
+            finish {
+                for (var c = 0; c < m; c = c + chunk) {
+                    var lo = c;
+                    var hi = c + chunk;
+                    if (hi > m) { hi = m; }
+                    async sweep(g, m, n, omega, color, lo, hi);
+                }
+            }
+        }
+    }
+    var sum = 0.0;
+    for (var i = 0; i < m; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            sum = sum + g[i][j];
+        }
+    }
+    println(int(sum * 1000.0));
+}
+`, size, iters, nchunk, nchunk)
+}
+
+func cryptSrc(n int) string {
+	return fmt.Sprintf(`
+// Crypt (JGF stand-in): XTEA-style 64-bit Feistel block cipher over a
+// random buffer — encrypt in parallel chunks, decrypt in parallel
+// chunks, then verify the round trip. Arithmetic is masked to 32 bits.
+func encryptRange(src []int, dst []int, k []int, lo int, hi int) {
+    var mask = 4294967295;
+    var delta = 2654435769;
+    for (var b = lo; b < hi; b = b + 1) {
+        var v0 = src[2 * b];
+        var v1 = src[2 * b + 1];
+        var sum = 0;
+        for (var r = 0; r < 8; r = r + 1) {
+            v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k[sum & 3]))) & mask;
+            sum = (sum + delta) & mask;
+            v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k[(sum >> 11) & 3]))) & mask;
+        }
+        dst[2 * b] = v0;
+        dst[2 * b + 1] = v1;
+    }
+}
+
+func decryptRange(src []int, dst []int, k []int, lo int, hi int) {
+    var mask = 4294967295;
+    var delta = 2654435769;
+    for (var b = lo; b < hi; b = b + 1) {
+        var v0 = src[2 * b];
+        var v1 = src[2 * b + 1];
+        var sum = (delta * 8) & mask;
+        for (var r = 0; r < 8; r = r + 1) {
+            v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k[(sum >> 11) & 3]))) & mask;
+            sum = (sum - delta) & mask;
+            v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k[sum & 3]))) & mask;
+        }
+        dst[2 * b] = v0;
+        dst[2 * b + 1] = v1;
+    }
+}
+
+func main() {
+    var nblocks = %d / 8;
+    var plain = make([]int, 2 * nblocks);
+    var cipher = make([]int, 2 * nblocks);
+    var back = make([]int, 2 * nblocks);
+    var k = make([]int, 4);
+    k[0] = 305419896; k[1] = 2596069104; k[2] = 19088743; k[3] = 4275878552;
+    var st = make([]int, 1);
+    st[0] = 777;
+    for (var i = 0; i < 2 * nblocks; i = i + 1) {
+        st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+        plain[i] = st[0];
+    }
+    var chunk = (nblocks + %d - 1) / %d;
+    finish {
+        for (var c = 0; c < nblocks; c = c + chunk) {
+            var lo = c;
+            var hi = c + chunk;
+            if (hi > nblocks) { hi = nblocks; }
+            async encryptRange(plain, cipher, k, lo, hi);
+        }
+    }
+    finish {
+        for (var c = 0; c < nblocks; c = c + chunk) {
+            var lo = c;
+            var hi = c + chunk;
+            if (hi > nblocks) { hi = nblocks; }
+            async decryptRange(cipher, back, k, lo, hi);
+        }
+    }
+    var ok = 1;
+    var sum = 0;
+    for (var i = 0; i < 2 * nblocks; i = i + 1) {
+        if (back[i] != plain[i]) { ok = 0; }
+        sum = (sum + cipher[i]) %% 1000000007;
+    }
+    println(ok, sum);
+}
+`, n, nchunk, nchunk)
+}
+
+func sparseSrc(n int) string {
+	return fmt.Sprintf(`
+// Sparse (JGF): CSR sparse matrix-vector product y = A*x iterated; each
+// iteration computes row chunks in parallel, then x is refreshed from y
+// sequentially.
+func spmv(rowStart []int, col []int, val []float, x []float, y []float, lo int, hi int) {
+    for (var r = lo; r < hi; r = r + 1) {
+        var acc = 0.0;
+        for (var k = rowStart[r]; k < rowStart[r + 1]; k = k + 1) {
+            acc = acc + val[k] * x[col[k]];
+        }
+        y[r] = acc;
+    }
+}
+
+func main() {
+    var n = %d;
+    var nzPerRow = 5;
+    var nnz = n * nzPerRow;
+    var rowStart = make([]int, n + 1);
+    var col = make([]int, nnz);
+    var val = make([]float, nnz);
+    var st = make([]int, 1);
+    st[0] = 424242;
+    for (var r = 0; r < n; r = r + 1) {
+        rowStart[r + 1] = rowStart[r] + nzPerRow;
+        for (var q = 0; q < nzPerRow; q = q + 1) {
+            st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+            col[rowStart[r] + q] = st[0] %% n;
+            st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+            val[rowStart[r] + q] = float(st[0] %% 1000) / 1000.0 - 0.5;
+        }
+    }
+    var x = make([]float, n);
+    var y = make([]float, n);
+    for (var i = 0; i < n; i = i + 1) { x[i] = 1.0; }
+
+    var iters = 5;
+    var chunk = (n + %d - 1) / %d;
+    for (var it = 0; it < iters; it = it + 1) {
+        finish {
+            for (var c = 0; c < n; c = c + chunk) {
+                var lo = c;
+                var hi = c + chunk;
+                if (hi > n) { hi = n; }
+                async spmv(rowStart, col, val, x, y, lo, hi);
+            }
+        }
+        for (var i = 0; i < n; i = i + 1) {
+            x[i] = y[i] * 0.5 + 0.25;
+        }
+    }
+    var sum = 0.0;
+    for (var i = 0; i < n; i = i + 1) { sum = sum + x[i]; }
+    println(int(sum * 1000.0));
+}
+`, n, nchunk, nchunk)
+}
+
+func lufactSrc(n int) string {
+	return fmt.Sprintf(`
+// LUFact (JGF): in-place LU factorization with partial pivoting; for
+// each pivot column the trailing-row updates run as parallel chunk
+// tasks (the pivot row is read-only during the update).
+func update(a [][]float, k int, n int, lo int, hi int) {
+    var pivotRow = a[k];
+    for (var i = lo; i < hi; i = i + 1) {
+        var row = a[i];
+        var factor = row[k] / pivotRow[k];
+        row[k] = factor;
+        for (var j = k + 1; j < n; j = j + 1) {
+            row[j] = row[j] - factor * pivotRow[j];
+        }
+    }
+}
+
+func main() {
+    var n = %d;
+    var a = make([][]float, n);
+    var st = make([]int, 1);
+    st[0] = 1357;
+    for (var i = 0; i < n; i = i + 1) {
+        var row = make([]float, n);
+        for (var j = 0; j < n; j = j + 1) {
+            st[0] = (st[0] * 1103515245 + 12345) %% 2147483648;
+            row[j] = float(st[0] %% 2000) / 1000.0 - 1.0;
+            if (i == j) { row[j] = row[j] + float(n); }
+        }
+        a[i] = row;
+    }
+
+    for (var k = 0; k < n - 1; k = k + 1) {
+        // Partial pivoting (sequential).
+        var best = k;
+        for (var i = k + 1; i < n; i = i + 1) {
+            if (abs(a[i][k]) > abs(a[best][k])) { best = i; }
+        }
+        if (best != k) {
+            var t = a[k];
+            a[k] = a[best];
+            a[best] = t;
+        }
+        var rows = n - (k + 1);
+        var chunk = (rows + %d - 1) / %d;
+        if (chunk < 1) { chunk = 1; }
+        finish {
+            for (var c = k + 1; c < n; c = c + chunk) {
+                var lo = c;
+                var hi = c + chunk;
+                if (hi > n) { hi = n; }
+                async update(a, k, n, lo, hi);
+            }
+        }
+    }
+
+    var det = 1.0;
+    for (var i = 0; i < n; i = i + 1) { det = det * a[i][i]; }
+    var sum = 0.0;
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) { sum = sum + a[i][j]; }
+    }
+    println(int(log(abs(det)) * 1000.0), int(sum * 100.0));
+}
+`, n, nchunk, nchunk)
+}
+
+func fannkuchSrc(n int) string {
+	return fmt.Sprintf(`
+// FannKuch (Shootout): maximum pancake-flip count over all permutations
+// of 0..n-1; one task per first element, each exploring its suffix
+// permutations recursively into a private maximum slot.
+func countFlips(p []int, n int) int {
+    var q = make([]int, n);
+    for (var i = 0; i < n; i = i + 1) { q[i] = p[i]; }
+    var flips = 0;
+    while (q[0] != 0) {
+        var f = q[0];
+        var i = 0;
+        var j = f;
+        while (i < j) {
+            var t = q[i];
+            q[i] = q[j];
+            q[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+        flips = flips + 1;
+    }
+    return flips;
+}
+
+func permRec(p []int, pos int, n int, best []int, slot int) {
+    if (pos == n) {
+        var f = countFlips(p, n);
+        if (f > best[slot]) { best[slot] = f; }
+        return;
+    }
+    for (var i = pos; i < n; i = i + 1) {
+        var t = p[pos];
+        p[pos] = p[i];
+        p[i] = t;
+        permRec(p, pos + 1, n, best, slot);
+        t = p[pos];
+        p[pos] = p[i];
+        p[i] = t;
+    }
+}
+
+func startTask(n int, c int, best []int) {
+    var p = make([]int, n);
+    p[0] = c;
+    var w = 1;
+    for (var v = 0; v < n; v = v + 1) {
+        if (v != c) {
+            p[w] = v;
+            w = w + 1;
+        }
+    }
+    permRec(p, 1, n, best, c);
+}
+
+func main() {
+    var n = %d;
+    var best = make([]int, n);
+    finish {
+        for (var c = 0; c < n; c = c + 1) {
+            async startTask(n, c, best);
+        }
+    }
+    var m = 0;
+    for (var c = 0; c < n; c = c + 1) {
+        if (best[c] > m) { m = best[c]; }
+    }
+    println(m);
+}
+`, n)
+}
+
+func mandelbrotSrc(size int) string {
+	return fmt.Sprintf(`
+// Mandelbrot (Shootout): escape-time iteration counts over a size x size
+// grid; rows are computed in parallel chunks into disjoint slots, then
+// summed into a checksum.
+func row(counts []int, size int, y int, maxIter int) {
+    var ci = 2.0 * float(y) / float(size) - 1.0;
+    for (var x = 0; x < size; x = x + 1) {
+        var cr = 2.0 * float(x) / float(size) - 1.5;
+        var zr = 0.0;
+        var zi = 0.0;
+        var it = 0;
+        var live = 1;
+        while (live == 1 && it < maxIter) {
+            var nzr = zr * zr - zi * zi + cr;
+            var nzi = 2.0 * zr * zi + ci;
+            zr = nzr;
+            zi = nzi;
+            if (zr * zr + zi * zi > 4.0) { live = 0; }
+            it = it + 1;
+        }
+        counts[y * size + x] = it;
+    }
+}
+
+func rows(counts []int, size int, lo int, hi int, maxIter int) {
+    for (var y = lo; y < hi; y = y + 1) {
+        row(counts, size, y, maxIter);
+    }
+}
+
+func main() {
+    var size = %d;
+    var maxIter = 50;
+    var counts = make([]int, size * size);
+    var chunk = (size + %d - 1) / %d;
+    finish {
+        for (var c = 0; c < size; c = c + chunk) {
+            var lo = c;
+            var hi = c + chunk;
+            if (hi > size) { hi = size; }
+            async rows(counts, size, lo, hi, maxIter);
+        }
+    }
+    var sum = 0;
+    for (var i = 0; i < size * size; i = i + 1) {
+        sum = (sum + counts[i]) %% 1000000007;
+    }
+    println(sum);
+}
+`, size, nchunk, nchunk)
+}

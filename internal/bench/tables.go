@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/race"
+	"finishrepair/internal/repair"
+)
+
+// RepairedSource repairs the benchmark on its repair-size input and
+// replays the resulting finish insertions onto the program rendered at
+// renderSize (the sources are structurally identical; only integer
+// literals differ, so block coordinates transfer).
+func RepairedSource(b *Benchmark, renderSize int) (string, error) {
+	small, err := parser.Parse(b.Src(b.RepairSize))
+	if err != nil {
+		return "", err
+	}
+	ast.StripFinishes(small)
+	rep, err := repair.Repair(small, repair.Options{})
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", b.Name, err)
+	}
+	big, err := parser.Parse(b.Src(renderSize))
+	if err != nil {
+		return "", err
+	}
+	ast.StripFinishes(big)
+	if err := repair.Replay(big, rep.Iterations); err != nil {
+		return "", fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return printer.Print(big), nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// PrintTable1 writes the benchmark roster (paper Table 1).
+func PrintTable1(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: List of Benchmarks Evaluated\n")
+	fmt.Fprintf(w, "%-10s %-14s %-55s %12s %12s\n", "Source", "Benchmark", "Description", "Repair", "Performance")
+	for _, b := range All() {
+		fmt.Fprintf(w, "%-10s %-14s %-55s %12d %12d\n", b.Suite, b.Name, b.Desc, b.RepairSize, b.PerfSize)
+	}
+}
+
+// PrintTable2 runs repair mode (MRW) on every benchmark and writes the
+// paper's Table 2: HJ-Seq time, detection time, S-DPST nodes, races,
+// repair time.
+func PrintTable2(w io.Writer) error {
+	fmt.Fprintf(w, "Table 2: Time for Program Repair (input size: Repair)\n")
+	fmt.Fprintf(w, "%-14s %12s %16s %14s %12s %12s %8s\n",
+		"Benchmark", "HJ-Seq (ms)", "Detection (ms)", "S-DPST Nodes", "Races", "Repair (s)", "OK")
+	for _, b := range All() {
+		st, err := RunRepair(b, race.VariantMRW, b.RepairSize)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %12s %16s %14d %12d %12s %8v\n",
+			st.Name, ms(st.SeqTime), ms(st.DetectTime), st.SDPSTNodes, st.Races, secs(st.RepairTime), st.OutputOK)
+	}
+	return nil
+}
+
+// PrintTable3 compares SRW and MRW repair end to end (paper Table 3):
+// detection time, repair time, the second (confirming) detection for
+// SRW, and totals.
+func PrintTable3(w io.Writer) error {
+	fmt.Fprintf(w, "Table 3: Comparison of SRW ESP-Bags and MRW ESP-Bags (input size: Repair)\n")
+	fmt.Fprintf(w, "%-14s | %-25s | %-21s | %-12s | %-19s\n",
+		"", "Detection (ms)", "Repair (s)", "2nd Det (ms)", "Total (s)")
+	fmt.Fprintf(w, "%-14s | %12s %12s | %10s %10s | %12s | %9s %9s\n",
+		"Benchmark", "SRW", "MRW", "SRW", "MRW", "SRW only", "SRW", "MRW")
+	for _, b := range All() {
+		srw, err := RunRepair(b, race.VariantSRW, b.RepairSize)
+		if err != nil {
+			return err
+		}
+		mrw, err := RunRepair(b, race.VariantMRW, b.RepairSize)
+		if err != nil {
+			return err
+		}
+		srwTotal := srw.DetectTime + srw.RepairTime + srw.SecondDetect
+		mrwTotal := mrw.DetectTime + mrw.RepairTime
+		fmt.Fprintf(w, "%-14s | %12s %12s | %10s %10s | %12s | %9s %9s\n",
+			b.Name, ms(srw.DetectTime), ms(mrw.DetectTime),
+			secs(srw.RepairTime), secs(mrw.RepairTime),
+			ms(srw.SecondDetect), secs(srwTotal), secs(mrwTotal))
+	}
+	return nil
+}
+
+// PrintTable4 writes race counts per detector (paper Table 4).
+func PrintTable4(w io.Writer) error {
+	fmt.Fprintf(w, "Table 4: Number of data races detected (input size: Repair)\n")
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "Benchmark", "SRW ESP-Bags", "MRW ESP-Bags")
+	for _, b := range All() {
+		srw, mrw, err := RaceCounts(b, b.RepairSize)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s %14d %14d\n", b.Name, srw, mrw)
+	}
+	return nil
+}
+
+// PrintFig16 measures sequential, original parallel, and repaired
+// parallel execution times (paper Figure 16) at the given scale of the
+// performance input (scale 100 = the full PerfSize).
+func PrintFig16(w io.Writer, runs, scalePct int) error {
+	if scalePct <= 0 {
+		scalePct = 100
+	}
+	fmt.Fprintf(w, "Figure 16: Execution times (ms, mean of %d runs ± 95%%CI), performance input at %d%% scale\n", runs, scalePct)
+	fmt.Fprintf(w, "Model columns: speedup bound min(P, T1/Tinf) on the paper's 12-core testbed,\n")
+	fmt.Fprintf(w, "from the deterministic work/span metrics (host-core independent).\n")
+	fmt.Fprintf(w, "%-14s %16s %18s %18s %10s %12s %12s %6s\n",
+		"Benchmark", "Sequential", "Original Par", "Repaired Par", "Speedup", "Orig@12p", "Repair@12p", "OK")
+	for _, b := range All() {
+		ps, err := RunPerf(b, b.ScaledPerfSize(scalePct), runs)
+		if err != nil {
+			return err
+		}
+		speedup := float64(ps.Seq) / float64(ps.Repaired)
+		fmt.Fprintf(w, "%-14s %10s±%-6s %12s±%-6s %12s±%-6s %9.2fx %11.2fx %11.2fx %6v\n",
+			b.Name, ms(ps.Seq), ms(ps.SeqCI), ms(ps.Orig), ms(ps.OrigCI),
+			ms(ps.Repaired), ms(ps.RepCI), speedup, ps.OrigModel, ps.RepairModel, ps.OutputOK)
+	}
+	return nil
+}

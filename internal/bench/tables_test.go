@@ -1,0 +1,82 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/bench"
+)
+
+func TestPrintTable1ListsAllBenchmarks(t *testing.T) {
+	var sb strings.Builder
+	bench.PrintTable1(&sb)
+	out := sb.String()
+	for _, b := range bench.All() {
+		if !strings.Contains(out, b.Name) {
+			t.Errorf("table 1 missing %s", b.Name)
+		}
+	}
+	if len(bench.All()) != 12 {
+		t.Fatalf("expected 12 benchmarks, got %d", len(bench.All()))
+	}
+}
+
+func TestScaledPerfSize(t *testing.T) {
+	fib := bench.Get("Fibonacci")
+	if got := fib.ScaledPerfSize(100); got != fib.PerfSize {
+		t.Errorf("full scale = %d, want %d", got, fib.PerfSize)
+	}
+	if got := fib.ScaledPerfSize(50); got != fib.PerfSize-2 {
+		t.Errorf("50%% exponential scale = %d, want knob-2", got)
+	}
+	qs := bench.Get("Quicksort")
+	if got := qs.ScaledPerfSize(25); got != qs.PerfSize/4 {
+		t.Errorf("25%% linear scale = %d, want %d", got, qs.PerfSize/4)
+	}
+	if got := qs.ScaledPerfSize(0); got != qs.PerfSize {
+		t.Errorf("scale 0 should mean full size, got %d", got)
+	}
+}
+
+func TestRunPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is slow")
+	}
+	b := bench.Get("Fibonacci")
+	ps, err := bench.RunPerf(b, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.OutputOK {
+		t.Error("outputs diverged across execution modes")
+	}
+	if ps.Seq <= 0 || ps.Orig <= 0 || ps.Repaired <= 0 {
+		t.Errorf("non-positive timings: %+v", ps)
+	}
+	if ps.OrigModel <= 0 || ps.RepairModel <= 0 {
+		t.Errorf("missing model speedups: %+v", ps)
+	}
+}
+
+// The ablation must show that collapsing never loses races entirely and
+// always shrinks the tree.
+func TestAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	for _, name := range []string{"Quicksort", "SOR"} {
+		st, err := bench.RunAblation(bench.Get(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.NodesGC >= st.NodesFull {
+			t.Errorf("%s: collapsing did not shrink the tree (%d -> %d)", name, st.NodesFull, st.NodesGC)
+		}
+		if st.RacesGC == 0 || st.RacesFull == 0 {
+			t.Errorf("%s: lost all races (%d/%d)", name, st.RacesFull, st.RacesGC)
+		}
+		if st.MaxGraphGC > st.MaxGraphFull {
+			t.Errorf("%s: collapsing grew the dependence graph (%d -> %d)", name, st.MaxGraphFull, st.MaxGraphGC)
+		}
+	}
+}

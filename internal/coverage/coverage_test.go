@@ -1,0 +1,72 @@
+package coverage_test
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/coverage"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+)
+
+func measure(t *testing.T, src string) coverage.Coverage {
+	t.Helper()
+	info := sem.MustCheck(parser.MustParse(src))
+	c, err := coverage.Measure(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFullCoverage(t *testing.T) {
+	c := measure(t, `
+func main() {
+    finish { async { println(1); } }
+}
+`)
+	if !c.Adequate() || c.AsyncCoverage() != 1 || c.Asyncs != 1 || c.Finishes != 1 {
+		t.Errorf("got %v", c)
+	}
+}
+
+func TestDeadBranchReducesCoverage(t *testing.T) {
+	c := measure(t, `
+func unused(k int) { async { println(k); } }
+func main() {
+    var n = 1;
+    if (n > 5) {
+        async { println(n); }
+    }
+    println(n);
+}
+`)
+	if c.Adequate() {
+		t.Errorf("expected inadequate coverage, got %v", c)
+	}
+	if c.Asyncs != 2 || c.AsyncsRun != 0 {
+		t.Errorf("async coverage %d/%d, want 0/2", c.AsyncsRun, c.Asyncs)
+	}
+	if c.FuncsRun >= c.Funcs {
+		t.Errorf("unused function counted as run: %v", c)
+	}
+	if c.StmtCoverage() >= 1 {
+		t.Error("statement coverage should be < 1 with a dead branch")
+	}
+	if !strings.Contains(c.String(), "asyncs 0/2") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestLoopBodiesCovered(t *testing.T) {
+	c := measure(t, `
+func main() {
+    var s = 0;
+    for (var i = 0; i < 3; i = i + 1) { s = s + i; }
+    println(s);
+}
+`)
+	if c.StmtsRun != c.Stmts {
+		t.Errorf("loop statements not fully covered: %v", c)
+	}
+}

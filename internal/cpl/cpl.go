@@ -1,0 +1,84 @@
+// Package cpl computes work and critical-path length ("span") of an
+// async/finish execution from its S-DPST (paper Definition 1: a program
+// has maximal parallelism when its critical path length is minimal; CPL
+// is the execution time on unboundedly many processors).
+//
+// The model matches the finish-placement DP: within a task, steps
+// advance a sequential cursor; an async's subtree runs concurrently from
+// the spawn point; a finish completes when its sequential cursor and all
+// transitively pending asyncs have completed.
+package cpl
+
+import (
+	"finishrepair/internal/dpst"
+)
+
+// Metrics summarizes an execution's parallelism.
+type Metrics struct {
+	// Work is T1: total work units across all steps.
+	Work int64
+	// Span is T∞: the critical path length.
+	Span int64
+}
+
+// Parallelism returns Work/Span, the average available parallelism.
+func (m Metrics) Parallelism() float64 {
+	if m.Span == 0 {
+		return 1
+	}
+	return float64(m.Work) / float64(m.Span)
+}
+
+// Analyze computes work and span of the execution recorded in the tree.
+func Analyze(t *dpst.Tree) Metrics {
+	var work int64
+	t.Walk(func(n *dpst.Node) { work += n.Work })
+	end, pending := eval(t.Root, 0)
+	span := end
+	if pending > span {
+		span = pending
+	}
+	return Metrics{Work: work, Span: span}
+}
+
+// eval returns (end, pending): the time at which n's sequential
+// continuation may proceed, and the latest completion among asyncs
+// spawned inside n that have not yet been joined by a finish inside n.
+func eval(n *dpst.Node, start int64) (end, pending int64) {
+	switch n.Kind {
+	case dpst.Step:
+		return start + n.Work, 0
+	case dpst.Async:
+		e, p := evalSeq(n, start)
+		comp := e
+		if p > comp {
+			comp = p
+		}
+		// The parent's cursor is not advanced; the completion is pending
+		// until an enclosing finish joins it.
+		return start, comp
+	case dpst.Finish:
+		e, p := evalSeq(n, start)
+		if p > e {
+			e = p
+		}
+		return e, 0
+	default: // Scope
+		return evalSeq(n, start)
+	}
+}
+
+// evalSeq threads the cursor through n's children, accumulating the
+// maximum pending async completion.
+func evalSeq(n *dpst.Node, start int64) (end, pending int64) {
+	cur := start
+	var pend int64
+	for _, c := range n.Children {
+		e, p := eval(c, cur)
+		cur = e
+		if p > pend {
+			pend = p
+		}
+	}
+	return cur, pend
+}

@@ -1,0 +1,576 @@
+package interp
+
+import (
+	"bytes"
+
+	"finishrepair/internal/dpst"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/lang/token"
+)
+
+// Mode selects how parallel constructs are executed.
+type Mode int
+
+// Execution modes.
+const (
+	// DepthFirst executes asyncs inline in depth-first order (the
+	// canonical sequential execution used for race detection).
+	DepthFirst Mode = iota
+	// Elide ignores async and finish entirely: the serial elision. Used
+	// as the semantic reference and for HJ-Seq timings.
+	Elide
+)
+
+// AccessListener receives instrumented memory accesses. The step is the
+// current S-DPST step performing the access; loc identifies the memory
+// location (a global cell or an array element).
+type AccessListener interface {
+	Read(loc uint64, step *dpst.Node)
+	Write(loc uint64, step *dpst.Node)
+}
+
+// StructureListener receives task-structure events during the canonical
+// execution, in depth-first order. ESP-Bags detectors maintain their bag
+// structures from these.
+type StructureListener interface {
+	TaskStart(n *dpst.Node)
+	TaskEnd(n *dpst.Node)
+	FinishStart(n *dpst.Node)
+	FinishEnd(n *dpst.Node)
+}
+
+// Options configures a run.
+type Options struct {
+	Mode Mode
+	// Instrument enables S-DPST construction and access instrumentation.
+	Instrument bool
+	// Access and Structure receive events when Instrument is set.
+	Access    AccessListener
+	Structure StructureListener
+	// OpLimit bounds total work units; 0 means the default (2^31).
+	OpLimit int64
+	// NoCollapse disables maximal-step collapsing of task-free scope
+	// subtrees (the paper's §9 "garbage collection of parts of the
+	// S-DPST that do not exhibit race conditions", realized eagerly).
+	// Used only for the ablation study; production runs collapse.
+	NoCollapse bool
+}
+
+// Result summarizes a run.
+type Result struct {
+	Tree   *dpst.Tree // nil unless instrumented
+	Output string
+	Work   int64 // total work units executed
+	Steps  int   // number of step nodes (instrumented runs)
+}
+
+// Run executes the checked program and returns the result. Runtime
+// faults are returned as *RuntimeError.
+func Run(info *sem.Info, opts Options) (*Result, error) {
+	in := &interp{
+		info:    info,
+		opts:    opts,
+		opLimit: opts.OpLimit,
+	}
+	if in.opLimit == 0 {
+		in.opLimit = 1 << 31
+	}
+	if opts.Instrument {
+		in.tree = dpst.NewTree()
+		in.curNode = in.tree.Root
+		in.nextLoc = 1 + uint64(info.GlobalCount)
+		if opts.Structure != nil {
+			opts.Structure.TaskStart(in.tree.Root)
+		}
+	}
+	in.globals = make([]Value, info.GlobalCount)
+
+	res := &Result{}
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if re, ok := r.(*RuntimeError); ok {
+					err = re
+					return
+				}
+				panic(r)
+			}
+		}()
+		for _, g := range info.Prog.Globals {
+			in.execGlobal(g)
+		}
+		main := info.Prog.Func("main")
+		in.callFunc(main, nil, nil, 0)
+		return nil
+	}()
+
+	if opts.Instrument {
+		if opts.Structure != nil {
+			opts.Structure.TaskEnd(in.tree.Root)
+		}
+		in.endStep()
+		in.tree.AggregateWork()
+		res.Tree = in.tree
+		res.Steps = in.steps
+	}
+	res.Output = in.out.String()
+	res.Work = in.work
+	return res, err
+}
+
+type frame struct {
+	slots []Value
+}
+
+type interp struct {
+	info    *sem.Info
+	opts    Options
+	globals []Value
+	out     bytes.Buffer
+
+	work    int64
+	opLimit int64
+
+	// Instrumentation state.
+	tree    *dpst.Tree
+	curNode *dpst.Node // innermost interior node
+	curStep *dpst.Node
+	nextLoc uint64
+	steps   int
+
+	// Innermost statement coordinates, for call scopes opened
+	// mid-expression.
+	siteBlock *ast.Block
+	siteIdx   int
+}
+
+// tick charges one work unit to the current step.
+func (in *interp) tick() {
+	in.work++
+	if in.work > in.opLimit {
+		throwf("op budget exhausted after %d work units (infinite loop?)", in.opLimit)
+	}
+	if in.curStep != nil {
+		in.curStep.Work++
+	}
+}
+
+// ensureStep makes sure a current step exists covering statement idx of
+// block b, extending the trailing step when possible. It also records
+// the statement site so that steps can be re-established after an
+// interior node (e.g. a call scope) ends mid-statement.
+func (in *interp) ensureStep(b *ast.Block, idx int) {
+	if !in.opts.Instrument {
+		return
+	}
+	in.siteBlock, in.siteIdx = b, idx
+	if in.curStep == nil {
+		// Maximal steps: when the previous construct collapsed into a
+		// trailing step of the same block, extend it instead of starting
+		// a new one.
+		if k := len(in.curNode.Children); k > 0 {
+			last := in.curNode.Children[k-1]
+			if last.Kind == dpst.Step && last.OwnerBlock == b {
+				in.curStep = last
+			}
+		}
+	}
+	if in.curStep != nil {
+		if idx >= 0 {
+			if idx > in.curStep.StmtHi {
+				in.curStep.StmtHi = idx
+			}
+			if in.curStep.StmtLo == -2 {
+				in.curStep.StmtLo = idx
+			}
+		}
+		return
+	}
+	s := in.tree.NewChild(in.curNode, dpst.Step, dpst.NotScope, "")
+	s.OwnerBlock = b
+	s.StmtLo, s.StmtHi = idx, idx
+	in.curStep = s
+	in.steps++
+}
+
+func (in *interp) endStep() { in.curStep = nil }
+
+// pushNode opens an interior S-DPST node for the construct at statement
+// idx of block owner, whose children instantiate body.
+func (in *interp) pushNode(kind dpst.Kind, class dpst.ScopeClass, label string, stmt ast.Stmt, owner *ast.Block, idx int, body *ast.Block) *dpst.Node {
+	if !in.opts.Instrument {
+		return nil
+	}
+	in.endStep()
+	n := in.tree.NewChild(in.curNode, kind, class, label)
+	n.OwnerBlock = owner
+	n.StmtLo, n.StmtHi = idx, idx
+	n.Body = body
+	n.Stmt = stmt
+	in.curNode = n
+	return n
+}
+
+func (in *interp) popNode() {
+	if !in.opts.Instrument {
+		return
+	}
+	in.endStep()
+	closing := in.curNode
+	in.curNode = in.curNode.Parent
+	// Maximal steps: a scope whose subtree spawned no tasks is just
+	// sequential work — fold it into a step (and into the preceding
+	// step, when adjacent).
+	if !in.opts.NoCollapse {
+		in.tree.CollapseScope(closing)
+	}
+}
+
+func (in *interp) readLoc(loc uint64) {
+	if in.opts.Access != nil && loc != 0 {
+		if in.curStep == nil {
+			// A call scope ended mid-statement; resume a step at the
+			// recorded statement site.
+			in.ensureStep(in.siteBlock, in.siteIdx)
+		}
+		in.opts.Access.Read(loc, in.curStep)
+	}
+}
+
+func (in *interp) writeLoc(loc uint64) {
+	if in.opts.Access != nil && loc != 0 {
+		if in.curStep == nil {
+			in.ensureStep(in.siteBlock, in.siteIdx)
+		}
+		in.opts.Access.Write(loc, in.curStep)
+	}
+}
+
+func (in *interp) execGlobal(g *ast.VarDeclStmt) {
+	in.ensureStep(nil, 0)
+	in.tick()
+	sym := g.Sym.(*sem.Symbol)
+	var v Value
+	if g.Init != nil {
+		v = in.eval(nil, g.Init)
+	} else {
+		v = zeroValue(g.Type)
+	}
+	in.globals[sym.Slot] = v
+	// Global initialization happens before main and is ordered before
+	// everything; it is not reported to the access listener.
+}
+
+// control-flow signal for return statements.
+type ctrl struct {
+	returned bool
+	val      Value
+}
+
+func (in *interp) execBlock(f *frame, b *ast.Block) ctrl {
+	for i, s := range b.Stmts {
+		if c := in.execStmt(f, b, i, s); c.returned {
+			return c
+		}
+	}
+	return ctrl{}
+}
+
+func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		sym := st.Sym.(*sem.Symbol)
+		var v Value
+		if st.Init != nil {
+			v = in.eval(f, st.Init)
+		} else {
+			v = zeroValue(st.Type)
+		}
+		f.slots[sym.Slot] = v
+		return ctrl{}
+
+	case *ast.AssignStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.execAssign(f, st)
+		return ctrl{}
+
+	case *ast.ExprStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.setCallSite(b, idx)
+		in.eval(f, st.X)
+		return ctrl{}
+
+	case *ast.ReturnStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		var v Value
+		if st.Value != nil {
+			in.setCallSite(b, idx)
+			v = in.eval(f, st.Value)
+		}
+		return ctrl{returned: true, val: v}
+
+	case *ast.IfStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.setCallSite(b, idx)
+		cond := in.eval(f, st.Cond)
+		if cond.Bool() {
+			in.pushNode(dpst.Scope, dpst.IfScope, "if", st, b, idx, st.Then)
+			c := in.execBlock(f, st.Then)
+			in.popNode()
+			return c
+		}
+		if st.Else != nil {
+			in.pushNode(dpst.Scope, dpst.ElseScope, "else", st, b, idx, st.Else)
+			c := in.execBlock(f, st.Else)
+			in.popNode()
+			return c
+		}
+		return ctrl{}
+
+	case *ast.WhileStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.pushNode(dpst.Scope, dpst.LoopScope, "while", st, b, idx, st.Body)
+		for {
+			in.pushNode(dpst.Scope, dpst.LoopIter, "iter", st, st.Body, -1, st.Body)
+			in.ensureStep(st.Body, -1)
+			in.setCallSite(st.Body, -1)
+			cond := in.eval(f, st.Cond)
+			if !cond.Bool() {
+				in.popNode()
+				break
+			}
+			in.endStep()
+			c := in.execBlock(f, st.Body)
+			in.popNode()
+			if c.returned {
+				in.popNode()
+				return c
+			}
+		}
+		in.popNode()
+		return ctrl{}
+
+	case *ast.ForStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.pushNode(dpst.Scope, dpst.LoopScope, "for", st, b, idx, st.Body)
+		if st.Init != nil {
+			// The init statement is charged to a header pseudo-step of
+			// the loop scope.
+			if c := in.execStmt(f, st.Body, -1, st.Init); c.returned {
+				in.popNode()
+				return c
+			}
+			in.endStep()
+		}
+		for {
+			in.pushNode(dpst.Scope, dpst.LoopIter, "iter", st, st.Body, -1, st.Body)
+			if st.Cond != nil {
+				in.ensureStep(st.Body, -1)
+				in.setCallSite(st.Body, -1)
+				cond := in.eval(f, st.Cond)
+				if !cond.Bool() {
+					in.popNode()
+					break
+				}
+				in.endStep()
+			}
+			c := in.execBlock(f, st.Body)
+			if c.returned {
+				in.popNode()
+				in.popNode()
+				return c
+			}
+			if st.Post != nil {
+				if c := in.execStmt(f, st.Body, -1, st.Post); c.returned {
+					in.popNode()
+					in.popNode()
+					return c
+				}
+			}
+			in.popNode()
+		}
+		in.popNode()
+		return ctrl{}
+
+	case *ast.AsyncStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		n := in.pushNode(dpst.Async, dpst.NotScope, "async", st, b, idx, st.Body)
+		if in.opts.Mode == Elide {
+			c := in.execBlock(f, st.Body)
+			in.popNode()
+			// In the elision, return inside what was an async body
+			// returns from the enclosing function.
+			return c
+		}
+		if in.opts.Structure != nil && n != nil {
+			in.opts.Structure.TaskStart(n)
+		}
+		// Depth-first inline execution with a by-value snapshot of the
+		// parent frame (HJ final-variable capture semantics).
+		child := &frame{slots: make([]Value, len(f.slots))}
+		copy(child.slots, f.slots)
+		in.execBlock(child, st.Body)
+		if in.opts.Structure != nil && n != nil {
+			in.opts.Structure.TaskEnd(n)
+		}
+		in.popNode()
+		return ctrl{}
+
+	case *ast.FinishStmt:
+		// Finish statements are free in the cost model so that repaired
+		// programs have exactly the work of the original.
+		n := in.pushNode(dpst.Finish, dpst.NotScope, "finish", st, b, idx, st.Body)
+		if in.opts.Mode != Elide && in.opts.Structure != nil && n != nil {
+			in.opts.Structure.FinishStart(n)
+		}
+		c := in.execBlock(f, st.Body)
+		if in.opts.Mode != Elide && in.opts.Structure != nil && n != nil {
+			in.opts.Structure.FinishEnd(n)
+		}
+		in.popNode()
+		return c
+
+	case *ast.BlockStmt:
+		in.ensureStep(b, idx)
+		in.tick()
+		in.pushNode(dpst.Scope, dpst.BlockScope, "block", st, b, idx, st.Body)
+		c := in.execBlock(f, st.Body)
+		in.popNode()
+		return c
+	}
+	throwf("unknown statement %T", s)
+	return ctrl{}
+}
+
+func (in *interp) execAssign(f *frame, st *ast.AssignStmt) {
+	rhs := in.eval(f, st.RHS)
+	switch lhs := st.LHS.(type) {
+	case *ast.Ident:
+		sym := lhs.Sym.(*sem.Symbol)
+		if st.Op != token.ASSIGN {
+			old := in.loadVar(sym, f)
+			rhs = applyCompound(st, old, rhs)
+		}
+		in.storeVar(sym, f, rhs)
+	case *ast.IndexExpr:
+		arr, i := in.evalIndexTarget(f, lhs)
+		if st.Op != token.ASSIGN {
+			in.readLoc(arr.Base + uint64(i))
+			old := arr.Elems[i]
+			rhs = applyCompound(st, old, rhs)
+		}
+		arr.Elems[i] = rhs
+		in.writeLoc(arr.Base + uint64(i))
+	default:
+		throwf("invalid assignment target %T", st.LHS)
+	}
+}
+
+func applyCompound(st *ast.AssignStmt, old, rhs Value) Value {
+	switch old.K {
+	case KInt:
+		switch st.Op {
+		case token.ADDASSIGN:
+			return IntV(old.I + rhs.I)
+		case token.SUBASSIGN:
+			return IntV(old.I - rhs.I)
+		case token.MULASSIGN:
+			return IntV(old.I * rhs.I)
+		case token.QUOASSIGN:
+			if rhs.I == 0 {
+				throwf("integer division by zero")
+			}
+			return IntV(old.I / rhs.I)
+		}
+	case KFloat:
+		switch st.Op {
+		case token.ADDASSIGN:
+			return FloatV(old.F + rhs.F)
+		case token.SUBASSIGN:
+			return FloatV(old.F - rhs.F)
+		case token.MULASSIGN:
+			return FloatV(old.F * rhs.F)
+		case token.QUOASSIGN:
+			return FloatV(old.F / rhs.F)
+		}
+	}
+	throwf("invalid compound assignment %s on value kind %d", st.Op, old.K)
+	return Value{}
+}
+
+func (in *interp) loadVar(sym *sem.Symbol, f *frame) Value {
+	if sym.Kind == sem.GlobalVar {
+		in.readLoc(1 + uint64(sym.Slot))
+		return in.globals[sym.Slot]
+	}
+	return f.slots[sym.Slot]
+}
+
+func (in *interp) storeVar(sym *sem.Symbol, f *frame, v Value) {
+	if sym.Kind == sem.GlobalVar {
+		in.globals[sym.Slot] = v
+		in.writeLoc(1 + uint64(sym.Slot))
+		return
+	}
+	f.slots[sym.Slot] = v
+}
+
+func (in *interp) evalIndexTarget(f *frame, lhs *ast.IndexExpr) (*Array, int64) {
+	av := in.eval(f, lhs.X)
+	iv := in.eval(f, lhs.Index)
+	if av.A == nil {
+		throwf("index of nil array at %s", lhs.Pos())
+	}
+	if iv.I < 0 || iv.I >= int64(len(av.A.Elems)) {
+		throwf("index %d out of range [0,%d) at %s", iv.I, len(av.A.Elems), lhs.Pos())
+	}
+	return av.A, iv.I
+}
+
+func zeroValue(t ast.Type) Value {
+	switch tt := t.(type) {
+	case *ast.PrimType:
+		switch tt.Kind {
+		case ast.Int:
+			return IntV(0)
+		case ast.Float:
+			return FloatV(0)
+		case ast.Bool:
+			return BoolV(false)
+		default:
+			return StringV("")
+		}
+	case *ast.ArrayType:
+		return Value{K: KArray}
+	}
+	return VoidV()
+}
+
+// callSite tracks the statement coordinates of the innermost statement
+// being executed, so that call scopes opened mid-expression know their
+// static position.
+func (in *interp) setCallSite(b *ast.Block, idx int) {
+	in.siteBlock, in.siteIdx = b, idx
+}
+
+func (in *interp) callFunc(fn *ast.FuncDecl, args []Value, siteBlock *ast.Block, siteIdx int) Value {
+	in.pushNode(dpst.Scope, dpst.CallScope, fn.Name, nil, siteBlock, siteIdx, fn.Body)
+	nf := &frame{slots: make([]Value, in.info.FrameSize[fn])}
+	copy(nf.slots, args)
+	c := in.execBlock(nf, fn.Body)
+	in.popNode()
+	if c.returned {
+		return c.val
+	}
+	return VoidV()
+}

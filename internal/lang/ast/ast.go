@@ -1,0 +1,359 @@
+// Package ast declares the abstract syntax tree of HJ-lite.
+//
+// The two parallel constructs are AsyncStmt (task creation) and FinishStmt
+// (task termination): "async S" creates a child task that may run in
+// parallel with the remainder of its parent, and "finish S" executes S and
+// waits for all tasks transitively created inside S.
+//
+// Blocks carry stable integer identities; the static finish-placement
+// algorithm addresses insertion points as (block ID, statement range).
+package ast
+
+import (
+	"finishrepair/internal/lang/token"
+)
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ----------------------------------------------------------------------
+// Types
+
+// Type is the interface implemented by HJ-lite type expressions.
+type Type interface {
+	typeNode()
+	String() string
+}
+
+// PrimKind enumerates the primitive types.
+type PrimKind int
+
+// Primitive type kinds.
+const (
+	Int PrimKind = iota
+	Float
+	Bool
+	String
+)
+
+// PrimType is a primitive type: int, float, bool, or string.
+type PrimType struct{ Kind PrimKind }
+
+func (*PrimType) typeNode() {}
+
+// String renders the type.
+func (t *PrimType) String() string {
+	switch t.Kind {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	default:
+		return "string"
+	}
+}
+
+// ArrayType is a dynamically sized array type []Elem.
+type ArrayType struct{ Elem Type }
+
+func (*ArrayType) typeNode() {}
+
+// String renders the type.
+func (t *ArrayType) String() string { return "[]" + t.Elem.String() }
+
+// Canonical primitive type values, shared by parser and checker.
+var (
+	IntType    = &PrimType{Kind: Int}
+	FloatType  = &PrimType{Kind: Float}
+	BoolType   = &PrimType{Kind: Bool}
+	StringType = &PrimType{Kind: String}
+)
+
+// TypesEqual reports structural type equality.
+func TypesEqual(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch at := a.(type) {
+	case *PrimType:
+		bt, ok := b.(*PrimType)
+		return ok && at.Kind == bt.Kind
+	case *ArrayType:
+		bt, ok := b.(*ArrayType)
+		return ok && TypesEqual(at.Elem, bt.Elem)
+	}
+	return false
+}
+
+// ----------------------------------------------------------------------
+// Expressions
+
+// Ident is a use of a name. Sym is filled in by the semantic checker with
+// the resolved *sem.Symbol.
+type Ident struct {
+	Name    string
+	NamePos token.Pos
+	Sym     any
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	LitPos token.Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value  float64
+	LitPos token.Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value  bool
+	LitPos token.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value  string
+	LitPos token.Pos
+}
+
+// BinaryExpr is X Op Y.
+type BinaryExpr struct {
+	X, Y  Expr
+	Op    token.Kind
+	OpPos token.Pos
+}
+
+// UnaryExpr is Op X, where Op is - or !.
+type UnaryExpr struct {
+	X     Expr
+	Op    token.Kind
+	OpPos token.Pos
+}
+
+// CallExpr is Fun(Args...). Fun names either a user function or a builtin.
+// Target is filled in by the semantic checker: a *FuncDecl for user
+// functions or a sem builtin descriptor.
+type CallExpr struct {
+	Fun    string
+	FunPos token.Pos
+	Args   []Expr
+	Target any
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	LbPos token.Pos
+}
+
+// MakeExpr allocates a zeroed array: make([]T, len).
+type MakeExpr struct {
+	Elem    Type
+	Len     Expr
+	MakePos token.Pos
+}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos      { return e.NamePos }
+func (e *IntLit) Pos() token.Pos     { return e.LitPos }
+func (e *FloatLit) Pos() token.Pos   { return e.LitPos }
+func (e *BoolLit) Pos() token.Pos    { return e.LitPos }
+func (e *StringLit) Pos() token.Pos  { return e.LitPos }
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *UnaryExpr) Pos() token.Pos  { return e.OpPos }
+func (e *CallExpr) Pos() token.Pos   { return e.FunPos }
+func (e *IndexExpr) Pos() token.Pos  { return e.X.Pos() }
+func (e *MakeExpr) Pos() token.Pos   { return e.MakePos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*MakeExpr) exprNode()   {}
+
+// ----------------------------------------------------------------------
+// Statements
+
+// Block is a sequence of statements with a stable identity. A Block is a
+// lexical scope except when it is the body of a FinishStmt (finish bodies
+// are scope-transparent so that inserted finishes cannot capture variable
+// declarations used afterwards).
+type Block struct {
+	ID    int
+	Stmts []Stmt
+	LbPos token.Pos
+}
+
+// VarDeclStmt declares a variable: var name T = init; The type may be
+// omitted in source and inferred, in which case Type is filled in by the
+// checker.
+type VarDeclStmt struct {
+	Name   string
+	Type   Type // nil until inferred
+	Init   Expr // nil means zero value (requires explicit Type)
+	VarPos token.Pos
+	Sym    any // *sem.Symbol, filled in by the checker
+}
+
+// AssignStmt assigns to an identifier or array element. Op is ASSIGN for
+// plain assignment or one of the compound kinds (ADDASSIGN etc).
+type AssignStmt struct {
+	LHS   Expr // *Ident or *IndexExpr
+	RHS   Expr
+	Op    token.Kind
+	OpPos token.Pos
+}
+
+// IfStmt is if (Cond) Then [else Else]. Then and Else are Blocks (the
+// parser normalizes single statements into blocks).
+type IfStmt struct {
+	Cond  Expr
+	Then  *Block
+	Else  *Block // nil when absent
+	IfPos token.Pos
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond     Expr
+	Body     *Block
+	WhilePos token.Pos
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Init and Post may be nil.
+type ForStmt struct {
+	Init   Stmt // *VarDeclStmt or *AssignStmt or nil
+	Cond   Expr
+	Post   Stmt // *AssignStmt or nil
+	Body   *Block
+	ForPos token.Pos
+}
+
+// ReturnStmt is return [Value];.
+type ReturnStmt struct {
+	Value  Expr // nil for bare return
+	RetPos token.Pos
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X Expr
+}
+
+// AsyncStmt creates a child task executing Body.
+type AsyncStmt struct {
+	Body     *Block
+	AsyncPos token.Pos
+}
+
+// FinishStmt executes Body and waits for all tasks transitively created
+// inside it. Synthesized marks finishes inserted by the repair tool.
+type FinishStmt struct {
+	Body        *Block
+	FinishPos   token.Pos
+	Synthesized bool
+}
+
+// BlockStmt wraps a nested plain block used as a statement.
+type BlockStmt struct {
+	Body *Block
+}
+
+// Pos implementations.
+func (s *Block) Pos() token.Pos       { return s.LbPos }
+func (s *VarDeclStmt) Pos() token.Pos { return s.VarPos }
+func (s *AssignStmt) Pos() token.Pos  { return s.LHS.Pos() }
+func (s *IfStmt) Pos() token.Pos      { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos   { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos     { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Pos  { return s.RetPos }
+func (s *ExprStmt) Pos() token.Pos    { return s.X.Pos() }
+func (s *AsyncStmt) Pos() token.Pos   { return s.AsyncPos }
+func (s *FinishStmt) Pos() token.Pos  { return s.FinishPos }
+func (s *BlockStmt) Pos() token.Pos   { return s.Body.Pos() }
+
+func (*VarDeclStmt) stmtNode() {}
+func (*AssignStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()  {}
+func (*ExprStmt) stmtNode()    {}
+func (*AsyncStmt) stmtNode()   {}
+func (*FinishStmt) stmtNode()  {}
+func (*BlockStmt) stmtNode()   {}
+
+// ----------------------------------------------------------------------
+// Declarations and programs
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  token.Pos
+}
+
+// FuncDecl is a top-level function declaration.
+type FuncDecl struct {
+	Name    string
+	Params  []Param
+	Ret     Type // nil for void
+	Body    *Block
+	FuncPos token.Pos
+}
+
+// Program is a parsed HJ-lite compilation unit.
+type Program struct {
+	Globals []*VarDeclStmt
+	Funcs   []*FuncDecl
+
+	// nextBlockID hands out identities for blocks created after parsing
+	// (by the repair rewriter).
+	nextBlockID int
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// SetNextBlockID records the first unused block ID; called by the parser.
+func (p *Program) SetNextBlockID(id int) { p.nextBlockID = id }
+
+// NewBlock creates a block with a fresh identity, for AST rewriting.
+func (p *Program) NewBlock(at token.Pos, stmts []Stmt) *Block {
+	b := &Block{ID: p.nextBlockID, Stmts: stmts, LbPos: at}
+	p.nextBlockID++
+	return b
+}

@@ -1,0 +1,284 @@
+// Package lexer implements the scanner for HJ-lite source text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"finishrepair/internal/lang/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans HJ-lite source text into tokens.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || c == '_'
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns an EOF
+// token, repeatedly if called again.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+
+	switch c {
+	case '+':
+		return two('=', token.ADDASSIGN, token.ADD)
+	case '-':
+		return two('=', token.SUBASSIGN, token.SUB)
+	case '*':
+		return two('=', token.MULASSIGN, token.MUL)
+	case '/':
+		return two('=', token.QUOASSIGN, token.QUO)
+	case '%':
+		return token.Token{Kind: token.REM, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '&':
+		return two('&', token.LAND, token.AND)
+	case '|':
+		return two('|', token.LOR, token.OR)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '=':
+		return two('=', token.EQL, token.ASSIGN)
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		return two('=', token.LEQ, token.LSS)
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		return two('=', token.GEQ, token.GTR)
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	}
+	l.errorf(pos, "illegal character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off - 1
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			// Not an exponent after all; back off to before 'e'.
+			l.off = save
+		}
+	}
+	lit := l.src[start:l.off]
+	if isFloat {
+		return token.Token{Kind: token.FLOAT, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated string literal")
+			break
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			l.errorf(pos, "newline in string literal")
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				l.errorf(pos, "unterminated escape in string literal")
+				break
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				l.errorf(pos, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+}
+
+// ScanAll scans the entire source and returns the tokens (ending with EOF)
+// and any lexical errors. It is a convenience for tests and tools.
+func ScanAll(src string) ([]token.Token, []*Error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

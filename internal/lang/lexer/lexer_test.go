@@ -1,0 +1,132 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"finishrepair/internal/lang/lexer"
+	"finishrepair/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := lexer.ScanAll(src)
+	if len(errs) > 0 {
+		t.Fatalf("lex %q: %v", src, errs[0])
+	}
+	var ks []token.Kind
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func TestOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.ADD, "-": token.SUB, "*": token.MUL, "/": token.QUO, "%": token.REM,
+		"&": token.AND, "|": token.OR, "^": token.XOR, "<<": token.SHL, ">>": token.SHR,
+		"&&": token.LAND, "||": token.LOR, "!": token.NOT,
+		"==": token.EQL, "!=": token.NEQ, "<": token.LSS, "<=": token.LEQ,
+		">": token.GTR, ">=": token.GEQ,
+		"=": token.ASSIGN, "+=": token.ADDASSIGN, "-=": token.SUBASSIGN,
+		"*=": token.MULASSIGN, "/=": token.QUOASSIGN,
+		"(": token.LPAREN, ")": token.RPAREN, "{": token.LBRACE, "}": token.RBRACE,
+		"[": token.LBRACK, "]": token.RBRACK, ",": token.COMMA, ";": token.SEMI,
+	}
+	for src, want := range cases {
+		ks := kinds(t, src)
+		if len(ks) != 2 || ks[0] != want || ks[1] != token.EOF {
+			t.Errorf("lex %q = %v, want [%v EOF]", src, ks, want)
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	ks := kinds(t, "async finish func var if else while for return true false int float bool string foo _bar x9")
+	want := []token.Kind{
+		token.KwAsync, token.KwFinish, token.KwFunc, token.KwVar, token.KwIf,
+		token.KwElse, token.KwWhile, token.KwFor, token.KwReturn, token.KwTrue,
+		token.KwFalse, token.KwInt, token.KwFloat, token.KwBool, token.KwStringTy,
+		token.IDENT, token.IDENT, token.IDENT, token.EOF,
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(ks), len(want), ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, ks[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := lexer.ScanAll("0 42 3.5 1e3 2.5e-2 7e+1")
+	if len(errs) > 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	wantKinds := []token.Kind{token.INT, token.INT, token.FLOAT, token.FLOAT, token.FLOAT, token.FLOAT}
+	wantLits := []string{"0", "42", "3.5", "1e3", "2.5e-2", "7e+1"}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k || toks[i].Lit != wantLits[i] {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Lit, k, wantLits[i])
+		}
+	}
+	// "12." must lex as INT 12 followed by an illegal '.' (floats need a
+	// digit after the point).
+	toks, errs = lexer.ScanAll("12.")
+	if toks[0].Kind != token.INT || toks[0].Lit != "12" {
+		t.Errorf("got %v, want INT 12", toks[0])
+	}
+	if toks[1].Kind != token.ILLEGAL || len(errs) == 0 {
+		t.Errorf("expected ILLEGAL '.' with an error, got %v (%d errs)", toks[1], len(errs))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := lexer.ScanAll(`"hello" "a\nb" "q\"q" "t\tt" "back\\slash"`)
+	if len(errs) > 0 {
+		t.Fatalf("%v", errs[0])
+	}
+	want := []string{"hello", "a\nb", `q"q`, "t\tt", `back\slash`}
+	for i, w := range want {
+		if toks[i].Kind != token.STRING || toks[i].Lit != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	ks := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT, token.EOF}
+	if len(ks) != len(want) {
+		t.Fatalf("got %v", ks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := lexer.ScanAll("a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", `"unterminated`, `"bad \q escape"`, "/* open", "\"nl\nin string\""} {
+		_, errs := lexer.ScanAll(src)
+		if len(errs) == 0 {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := lexer.New("x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("call %d after end = %v, want EOF", i, tk)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package parser implements a recursive-descent parser for HJ-lite.
+//
+// Bodies of if/else, while, for, async, and finish are normalized to
+// blocks so that every interior S-DPST node maps to a block with a stable
+// identity — the coordinate system used by static finish placement.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/lexer"
+	"finishrepair/internal/lang/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates parse errors.
+type ErrorList []*Error
+
+// Error implements the error interface, reporting up to five errors.
+func (l ErrorList) Error() string {
+	var sb strings.Builder
+	for i, e := range l {
+		if i == 5 {
+			fmt.Fprintf(&sb, "... and %d more errors", len(l)-5)
+			break
+		}
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(e.Error())
+	}
+	return sb.String()
+}
+
+type parser struct {
+	lex       *lexer.Lexer
+	tok       token.Token
+	errs      ErrorList
+	blockSeq  int
+	panicking bool
+}
+
+// Parse parses src and returns the program. On syntax errors it returns a
+// non-nil error (an ErrorList) and a possibly partial program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src)}
+	p.next()
+	prog := p.parseProgram()
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	prog.SetNextBlockID(p.blockSeq)
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded
+// benchmark programs.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) > 100 {
+		panic(p.errs) // hard stop on runaway error cascades
+	}
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) expect(k token.Kind) token.Pos {
+	pos := p.tok.Pos
+	if p.tok.Kind != k {
+		p.errorf(pos, "expected %q, found %s", k.String(), p.tok)
+		// Do not consume; let the caller's loop advance via sync points.
+		if p.tok.Kind == token.EOF {
+			return pos
+		}
+	}
+	p.next()
+	return pos
+}
+
+func (p *parser) got(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) newBlock(at token.Pos, stmts []ast.Stmt) *ast.Block {
+	b := &ast.Block{ID: p.blockSeq, Stmts: stmts, LbPos: at}
+	p.blockSeq++
+	return b
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.KwFunc:
+			prog.Funcs = append(prog.Funcs, p.parseFunc())
+		case token.KwVar:
+			vd := p.parseVarDecl()
+			prog.Globals = append(prog.Globals, vd)
+		default:
+			p.errorf(p.tok.Pos, "expected top-level func or var, found %s", p.tok)
+			p.next()
+		}
+	}
+	return prog
+}
+
+func (p *parser) parseFunc() *ast.FuncDecl {
+	fn := &ast.FuncDecl{FuncPos: p.tok.Pos}
+	p.expect(token.KwFunc)
+	fn.Name = p.parseIdentName()
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		if len(fn.Params) > 0 {
+			p.expect(token.COMMA)
+		}
+		prm := ast.Param{Pos: p.tok.Pos}
+		prm.Name = p.parseIdentName()
+		prm.Type = p.parseType()
+		fn.Params = append(fn.Params, prm)
+	}
+	p.expect(token.RPAREN)
+	if p.tok.Kind != token.LBRACE {
+		fn.Ret = p.parseType()
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *parser) parseIdentName() string {
+	if p.tok.Kind != token.IDENT {
+		p.errorf(p.tok.Pos, "expected identifier, found %s", p.tok)
+		return "_"
+	}
+	name := p.tok.Lit
+	p.next()
+	return name
+}
+
+func (p *parser) parseType() ast.Type {
+	switch p.tok.Kind {
+	case token.KwInt:
+		p.next()
+		return ast.IntType
+	case token.KwFloat:
+		p.next()
+		return ast.FloatType
+	case token.KwBool:
+		p.next()
+		return ast.BoolType
+	case token.KwStringTy:
+		p.next()
+		return ast.StringType
+	case token.LBRACK:
+		p.next()
+		p.expect(token.RBRACK)
+		return &ast.ArrayType{Elem: p.parseType()}
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	p.next()
+	return ast.IntType
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.tok.Pos
+	p.expect(token.LBRACE)
+	var stmts []ast.Stmt
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		stmts = append(stmts, p.parseStmt())
+	}
+	p.expect(token.RBRACE)
+	return p.newBlock(lb, stmts)
+}
+
+// parseStmtAsBlock parses either a braced block or a single statement
+// wrapped in a fresh block.
+func (p *parser) parseStmtAsBlock() *ast.Block {
+	if p.tok.Kind == token.LBRACE {
+		return p.parseBlock()
+	}
+	pos := p.tok.Pos
+	s := p.parseStmt()
+	return p.newBlock(pos, []ast.Stmt{s})
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.KwVar:
+		return p.parseVarDecl()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.WhileStmt{Cond: cond, Body: p.parseStmtAsBlock(), WhilePos: pos}
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		var val ast.Expr
+		if p.tok.Kind != token.SEMI {
+			val = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{Value: val, RetPos: pos}
+	case token.KwAsync:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.AsyncStmt{Body: p.parseStmtAsBlock(), AsyncPos: pos}
+	case token.KwFinish:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.FinishStmt{Body: p.parseStmtAsBlock(), FinishPos: pos}
+	case token.LBRACE:
+		return &ast.BlockStmt{Body: p.parseBlock()}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMI)
+		return s
+	}
+}
+
+func (p *parser) parseVarDecl() *ast.VarDeclStmt {
+	vd := &ast.VarDeclStmt{VarPos: p.tok.Pos}
+	p.expect(token.KwVar)
+	vd.Name = p.parseIdentName()
+	if p.tok.Kind != token.ASSIGN && p.tok.Kind != token.SEMI {
+		vd.Type = p.parseType()
+	}
+	if p.got(token.ASSIGN) {
+		vd.Init = p.parseExpr()
+	}
+	if vd.Type == nil && vd.Init == nil {
+		p.errorf(vd.VarPos, "var %s needs a type or an initializer", vd.Name)
+	}
+	p.expect(token.SEMI)
+	return vd
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.KwIf)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseStmtAsBlock()
+	var els *ast.Block
+	if p.got(token.KwElse) {
+		if p.tok.Kind == token.KwIf {
+			elsePos := p.tok.Pos
+			nested := p.parseIf()
+			els = p.newBlock(elsePos, []ast.Stmt{nested})
+		} else {
+			els = p.parseStmtAsBlock()
+		}
+	}
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, IfPos: pos}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.KwFor)
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if p.tok.Kind != token.SEMI {
+		if p.tok.Kind == token.KwVar {
+			// parseVarDecl consumes the semicolon itself.
+			init = p.parseVarDecl()
+		} else {
+			init = p.parseSimpleStmt()
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.expect(token.SEMI)
+	}
+	var cond ast.Expr
+	if p.tok.Kind != token.SEMI {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	var post ast.Stmt
+	if p.tok.Kind != token.RPAREN {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	body := p.parseStmtAsBlock()
+	return &ast.ForStmt{Init: init, Cond: cond, Post: post, Body: body, ForPos: pos}
+}
+
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	lhs := p.parseExpr()
+	switch p.tok.Kind {
+	case token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN, token.QUOASSIGN:
+		op := p.tok.Kind
+		opPos := p.tok.Pos
+		p.next()
+		rhs := p.parseExpr()
+		switch lhs.(type) {
+		case *ast.Ident, *ast.IndexExpr:
+		default:
+			p.errorf(lhs.Pos(), "cannot assign to this expression")
+		}
+		return &ast.AssignStmt{LHS: lhs, RHS: rhs, Op: op, OpPos: opPos}
+	}
+	if _, ok := lhs.(*ast.CallExpr); !ok {
+		p.errorf(lhs.Pos(), "expression statement must be a call")
+	}
+	return &ast.ExprStmt{X: lhs}
+}
+
+// ----------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	x := p.parseUnary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return x
+		}
+		op := p.tok.Kind
+		opPos := p.tok.Pos
+		p.next()
+		y := p.parseBinary(prec + 1)
+		x = &ast.BinaryExpr{X: x, Y: y, Op: op, OpPos: opPos}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.SUB, token.NOT:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnaryExpr{X: p.parseUnary(), Op: op, OpPos: pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for p.tok.Kind == token.LBRACK {
+		lb := p.tok.Pos
+		p.next()
+		idx := p.parseExpr()
+		p.expect(token.RBRACK)
+		x = &ast.IndexExpr{X: x, Index: idx, LbPos: lb}
+	}
+	return x
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.INT:
+		v, err := strconv.ParseInt(p.tok.Lit, 10, 64)
+		if err != nil {
+			p.errorf(pos, "invalid integer literal %q", p.tok.Lit)
+		}
+		p.next()
+		return &ast.IntLit{Value: v, LitPos: pos}
+	case token.FLOAT:
+		v, err := strconv.ParseFloat(p.tok.Lit, 64)
+		if err != nil {
+			p.errorf(pos, "invalid float literal %q", p.tok.Lit)
+		}
+		p.next()
+		return &ast.FloatLit{Value: v, LitPos: pos}
+	case token.STRING:
+		v := p.tok.Lit
+		p.next()
+		return &ast.StringLit{Value: v, LitPos: pos}
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Value: true, LitPos: pos}
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Value: false, LitPos: pos}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	case token.KwInt, token.KwFloat: // conversions int(x), float(x)
+		name := p.tok.Kind.String()
+		p.next()
+		p.expect(token.LPAREN)
+		arg := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.CallExpr{Fun: name, FunPos: pos, Args: []ast.Expr{arg}}
+	case token.IDENT:
+		name := p.tok.Lit
+		p.next()
+		if p.tok.Kind != token.LPAREN {
+			return &ast.Ident{Name: name, NamePos: pos}
+		}
+		if name == "make" {
+			p.expect(token.LPAREN)
+			p.expect(token.LBRACK)
+			p.expect(token.RBRACK)
+			elem := p.parseType()
+			p.expect(token.COMMA)
+			n := p.parseExpr()
+			p.expect(token.RPAREN)
+			return &ast.MakeExpr{Elem: elem, Len: n, MakePos: pos}
+		}
+		p.expect(token.LPAREN)
+		var args []ast.Expr
+		for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+			if len(args) > 0 {
+				p.expect(token.COMMA)
+			}
+			args = append(args, p.parseExpr())
+		}
+		p.expect(token.RPAREN)
+		return &ast.CallExpr{Fun: name, FunPos: pos, Args: args}
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok)
+	p.next()
+	return &ast.IntLit{Value: 0, LitPos: pos}
+}

@@ -1,0 +1,232 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/progen"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParseSimpleProgram(t *testing.T) {
+	prog := parseOK(t, `
+var g = 0;
+func add(a int, b int) int { return a + b; }
+func main() {
+    var x = add(1, 2);
+    g = x;
+    println(g);
+}
+`)
+	if len(prog.Funcs) != 2 || len(prog.Globals) != 1 {
+		t.Fatalf("got %d funcs, %d globals", len(prog.Funcs), len(prog.Globals))
+	}
+	add := prog.Func("add")
+	if add == nil || len(add.Params) != 2 || add.Ret == nil {
+		t.Fatal("add signature wrong")
+	}
+}
+
+func TestBodiesAreBlocks(t *testing.T) {
+	prog := parseOK(t, `
+func main() {
+    if (true) println(1); else println(2);
+    while (false) println(3);
+    for (var i = 0; i < 1; i = i + 1) println(4);
+    async println(5);
+    finish println(6);
+}
+`)
+	// All single-statement bodies must have been normalized to blocks.
+	main := prog.Func("main")
+	for i, s := range main.Body.Stmts {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			if st.Then == nil || st.Else == nil {
+				t.Errorf("stmt %d: if branches not blocks", i)
+			}
+		case *ast.WhileStmt:
+			if st.Body == nil {
+				t.Errorf("stmt %d: while body not block", i)
+			}
+		case *ast.ForStmt:
+			if st.Body == nil {
+				t.Errorf("stmt %d: for body not block", i)
+			}
+		case *ast.AsyncStmt:
+			if st.Body == nil || len(st.Body.Stmts) != 1 {
+				t.Errorf("stmt %d: async body wrong", i)
+			}
+		case *ast.FinishStmt:
+			if st.Body == nil || len(st.Body.Stmts) != 1 {
+				t.Errorf("stmt %d: finish body wrong", i)
+			}
+		}
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	prog := parseOK(t, `
+func main() {
+    var x = 3;
+    if (x == 1) { println(1); }
+    else if (x == 2) { println(2); }
+    else { println(3); }
+}
+`)
+	ifs := 0
+	ast.Inspect(prog, func(s ast.Stmt) {
+		if _, ok := s.(*ast.IfStmt); ok {
+			ifs++
+		}
+	})
+	if ifs != 2 {
+		t.Errorf("got %d if statements, want 2 (chained)", ifs)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":      "1 + 2 * 3",
+		"(1 + 2) * 3":    "(1 + 2) * 3",
+		"1 - 2 - 3":      "1 - 2 - 3",
+		"1 - (2 - 3)":    "1 - (2 - 3)",
+		"a || b && c":    "a || b && c",
+		"(a || b) && c":  "(a || b) && c",
+		"1 < 2 == true":  "1 < 2 == true",
+		"1 + 2 << 3":     "1 + 2 << 3", // parses as 1 + (2 << 3); no parens needed
+		"(1 + 2) << 3":   "(1 + 2) << 3",
+		"-x * y":         "-x * y",
+		"-(x * y)":       "-(x * y)",
+		"a & 3 | b ^ 1":  "a & 3 | b ^ 1",
+		"x % 10 + y / 2": "x % 10 + y / 2",
+		"!(a && b) || c": "!(a && b) || c",
+	}
+	for src, want := range cases {
+		full := "func main() { var a = true; var b = true; var c = true; var x = 1; var y = 2; var q = " + src + "; }"
+		prog, err := parser.Parse(full)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		main := prog.Func("main")
+		last := main.Body.Stmts[len(main.Body.Stmts)-1].(*ast.VarDeclStmt)
+		if got := printer.PrintExpr(last.Init); got != want {
+			t.Errorf("reprint %q = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestUnknownSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"func main() { var ; }",
+		"func main() { x = ; }",
+		"func main() { if x { } }", // missing parens
+		"func main() { 1 + 2; }",   // expression statement must be a call
+		"func main() { var x; }",   // no type, no init
+		"func",
+		"var x",
+		"blah",
+		"func main() { a[1 = 2; }",
+	}
+	for _, src := range cases {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestBlockIDsAreUnique(t *testing.T) {
+	prog := parseOK(t, progen.Gen(3, progen.Default()))
+	seen := map[int]bool{}
+	for _, b := range ast.Blocks(prog) {
+		if seen[b.ID] {
+			t.Fatalf("duplicate block ID %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	// NewBlock must not collide with parsed blocks.
+	nb := prog.NewBlock(prog.Funcs[0].Body.LbPos, nil)
+	if seen[nb.ID] {
+		t.Fatalf("NewBlock reused ID %d", nb.ID)
+	}
+}
+
+// Property: print∘parse is a projection — parsing printed output and
+// printing again is the identity on the printed form, for arbitrary
+// generated programs.
+func TestPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		src := progen.Gen(seed, progen.Default())
+		p1, err := parser.Parse(src)
+		if err != nil {
+			t.Logf("seed %d: parse: %v", seed, err)
+			return false
+		}
+		s1 := printer.Print(p1)
+		p2, err := parser.Parse(s1)
+		if err != nil {
+			t.Logf("seed %d: reparse: %v\n%s", seed, err, s1)
+			return false
+		}
+		s2 := printer.Print(p2)
+		if s1 != s2 {
+			t.Logf("seed %d: not a fixpoint", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripFinishesRemovesAll(t *testing.T) {
+	src := progen.Gen(11, progen.Default())
+	prog := parseOK(t, src)
+	before := ast.CountFinishes(prog)
+	removed := ast.StripFinishes(prog)
+	if removed != before {
+		t.Errorf("removed %d, had %d", removed, before)
+	}
+	if n := ast.CountFinishes(prog); n != 0 {
+		t.Errorf("%d finishes remain", n)
+	}
+	// Async count must be preserved.
+	orig := parseOK(t, src)
+	if ast.CountAsyncs(prog) != ast.CountAsyncs(orig) {
+		t.Error("strip changed async count")
+	}
+	// The result still parses after printing.
+	if _, err := parser.Parse(printer.Print(prog)); err != nil {
+		t.Errorf("stripped program invalid: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	parser.MustParse("not a program")
+}
+
+func TestDeeplyNestedDoesNotOverflow(t *testing.T) {
+	depth := 300
+	src := "func main() {" + strings.Repeat("if (true) {", depth) +
+		"println(1);" + strings.Repeat("}", depth) + "}"
+	parseOK(t, src)
+}

@@ -1,0 +1,227 @@
+// Package printer regenerates HJ-lite source text from an AST.
+//
+// The repair tool uses it to emit the repaired program with the newly
+// inserted finish statements; output re-parses to a structurally
+// equivalent program.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"finishrepair/internal/lang/ast"
+)
+
+// Print renders the program as HJ-lite source text.
+func Print(p *ast.Program) string {
+	pr := &printer{}
+	for i, g := range p.Globals {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.stmt(g)
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			pr.nl()
+		}
+		pr.fn(fn)
+	}
+	return pr.sb.String()
+}
+
+// PrintStmt renders a single statement (for diagnostics).
+func PrintStmt(s ast.Stmt) string {
+	pr := &printer{}
+	pr.stmt(s)
+	return strings.TrimRight(pr.sb.String(), "\n")
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	pr := &printer{}
+	pr.expr(e, 0)
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.sb.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) fn(fn *ast.FuncDecl) {
+	var params []string
+	for _, prm := range fn.Params {
+		params = append(params, prm.Name+" "+prm.Type.String())
+	}
+	ret := ""
+	if fn.Ret != nil {
+		ret = " " + fn.Ret.String()
+	}
+	p.line("func %s(%s)%s {", fn.Name, strings.Join(params, ", "), ret)
+	p.indent++
+	p.blockBody(fn.Body)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) blockBody(b *ast.Block) {
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		ty := ""
+		if st.Type != nil {
+			ty = " " + st.Type.String()
+		}
+		if st.Init != nil {
+			p.line("var %s%s = %s;", st.Name, ty, p.exprStr(st.Init))
+		} else {
+			p.line("var %s%s;", st.Name, ty)
+		}
+	case *ast.AssignStmt:
+		p.line("%s %s %s;", p.exprStr(st.LHS), st.Op.String(), p.exprStr(st.RHS))
+	case *ast.ExprStmt:
+		p.line("%s;", p.exprStr(st.X))
+	case *ast.ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", p.exprStr(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *ast.IfStmt:
+		p.line("if (%s) {", p.exprStr(st.Cond))
+		p.indent++
+		p.blockBody(st.Then)
+		p.indent--
+		if st.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.blockBody(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *ast.WhileStmt:
+		p.line("while (%s) {", p.exprStr(st.Cond))
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ast.ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(PrintStmt(st.Init)), ";")
+		}
+		if st.Cond != nil {
+			cond = p.exprStr(st.Cond)
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(PrintStmt(st.Post)), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ast.AsyncStmt:
+		p.line("async {")
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ast.FinishStmt:
+		mark := ""
+		if st.Synthesized {
+			mark = " // inserted by repair tool"
+		}
+		p.line("finish {%s", mark)
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ast.BlockStmt:
+		p.line("{")
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+func (p *printer) exprStr(e ast.Expr) string {
+	sub := &printer{}
+	sub.expr(e, 0)
+	return sub.sb.String()
+}
+
+// expr renders e, parenthesizing when its precedence is below outerPrec.
+func (p *printer) expr(e ast.Expr, outerPrec int) {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		p.sb.WriteString(ex.Name)
+	case *ast.IntLit:
+		p.sb.WriteString(strconv.FormatInt(ex.Value, 10))
+	case *ast.FloatLit:
+		s := strconv.FormatFloat(ex.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.sb.WriteString(s)
+	case *ast.BoolLit:
+		p.sb.WriteString(strconv.FormatBool(ex.Value))
+	case *ast.StringLit:
+		p.sb.WriteString(strconv.Quote(ex.Value))
+	case *ast.BinaryExpr:
+		prec := ex.Op.Precedence()
+		if prec < outerPrec {
+			p.sb.WriteByte('(')
+		}
+		p.expr(ex.X, prec)
+		p.sb.WriteByte(' ')
+		p.sb.WriteString(ex.Op.String())
+		p.sb.WriteByte(' ')
+		p.expr(ex.Y, prec+1)
+		if prec < outerPrec {
+			p.sb.WriteByte(')')
+		}
+	case *ast.UnaryExpr:
+		p.sb.WriteString(ex.Op.String())
+		p.expr(ex.X, 6) // higher than any binary precedence
+	case *ast.CallExpr:
+		p.sb.WriteString(ex.Fun)
+		p.sb.WriteByte('(')
+		for i, a := range ex.Args {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.sb.WriteByte(')')
+	case *ast.IndexExpr:
+		p.expr(ex.X, 6)
+		p.sb.WriteByte('[')
+		p.expr(ex.Index, 0)
+		p.sb.WriteByte(']')
+	case *ast.MakeExpr:
+		fmt.Fprintf(&p.sb, "make(%s, ", (&ast.ArrayType{Elem: ex.Elem}).String())
+		p.expr(ex.Len, 0)
+		p.sb.WriteByte(')')
+	default:
+		fmt.Fprintf(&p.sb, "/* unknown expr %T */", e)
+	}
+}

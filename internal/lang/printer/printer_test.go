@@ -1,0 +1,120 @@
+package printer_test
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/lang/token"
+)
+
+func TestGoldenProgram(t *testing.T) {
+	src := `
+var g = 1;
+func f(a []int, x float) float {
+    if (x < 0.5) { return x * 2.0; } else { return x; }
+}
+func main() {
+    var a = make([]int, 3);
+    a[0] = g;
+    a[0] += 2;
+    finish {
+        async { a[1] = 5; }
+    }
+    for (var i = 0; i < 3; i = i + 1) {
+        while (a[i] > 10) { a[i] = a[i] - 1; }
+    }
+    { println("done", f(a, 0.25)); }
+}
+`
+	prog := parser.MustParse(src)
+	out := printer.Print(prog)
+	for _, want := range []string{
+		"var g = 1;",
+		"func f(a []int, x float) float {",
+		"return x * 2.0;",
+		"var a = make([]int, 3);",
+		"a[0] += 2;",
+		"finish {",
+		"async {",
+		"for (var i = 0; i < 3; i = i + 1) {",
+		"while (a[i] > 10) {",
+		`println("done", f(a, 0.25));`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+	// Round trip.
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatalf("printed program unparsable: %v\n%s", err, out)
+	}
+}
+
+func TestSynthesizedMarker(t *testing.T) {
+	prog := parser.MustParse("func main() { println(1); }")
+	main := prog.Func("main")
+	fin := &ast.FinishStmt{
+		Body:        prog.NewBlock(main.Body.LbPos, main.Body.Stmts),
+		Synthesized: true,
+	}
+	main.Body.Stmts = []ast.Stmt{fin}
+	out := printer.Print(prog)
+	if !strings.Contains(out, "// inserted by repair tool") {
+		t.Errorf("missing synthesized marker:\n%s", out)
+	}
+	// Marker is a comment: reparse drops it and still works.
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatLiteralsKeepPoint(t *testing.T) {
+	e := &ast.FloatLit{Value: 3}
+	if got := printer.PrintExpr(e); got != "3.0" {
+		t.Errorf("float 3 printed as %q, want 3.0 (must reparse as float)", got)
+	}
+	e2 := &ast.FloatLit{Value: 1e30}
+	got := printer.PrintExpr(e2)
+	prog := parser.MustParse("func main() { var x = " + got + "; println(x); }")
+	info := prog.Func("main").Body.Stmts[0].(*ast.VarDeclStmt)
+	if _, ok := info.Init.(*ast.FloatLit); !ok {
+		t.Errorf("printed %q reparsed as %T, want FloatLit", got, info.Init)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	e := &ast.StringLit{Value: "a\"b\nc\\d"}
+	out := printer.PrintExpr(e)
+	prog := parser.MustParse(`func main() { println(` + out + `); }`)
+	call := prog.Func("main").Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if got := call.Args[0].(*ast.StringLit).Value; got != e.Value {
+		t.Errorf("escape round trip: %q != %q", got, e.Value)
+	}
+}
+
+func TestPrintStmt(t *testing.T) {
+	s := &ast.AssignStmt{
+		LHS: &ast.Ident{Name: "x"},
+		RHS: &ast.IntLit{Value: 4},
+		Op:  token.ASSIGN,
+	}
+	if got := printer.PrintStmt(s); got != "x = 4;" {
+		t.Errorf("PrintStmt = %q", got)
+	}
+}
+
+func TestElseChainsPrint(t *testing.T) {
+	src := `func main() { var x = 1; if (x == 0) { println(0); } else if (x == 1) { println(1); } else { println(2); } }`
+	prog := parser.MustParse(src)
+	out := printer.Print(prog)
+	reparsed, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if printer.Print(reparsed) != out {
+		t.Error("else-if chain not stable under print/parse")
+	}
+}

@@ -1,0 +1,115 @@
+package sem
+
+import (
+	"finishrepair/internal/lang/ast"
+)
+
+// BuiltinID identifies a builtin function for the interpreter.
+type BuiltinID int
+
+// Builtin identifiers.
+const (
+	BLen BuiltinID = iota
+	BPrint
+	BPrintln
+	BIntConv
+	BFloatConv
+	BSqrt
+	BSin
+	BCos
+	BPow
+	BExp
+	BLog
+	BAbs
+	BFloor
+)
+
+// ID returns the interpreter dispatch ID of the builtin.
+func (b *Builtin) ID() BuiltinID { return builtinIDs[b.Name] }
+
+var builtinIDs = map[string]BuiltinID{
+	"len": BLen, "print": BPrint, "println": BPrintln,
+	"int": BIntConv, "float": BFloatConv,
+	"sqrt": BSqrt, "sin": BSin, "cos": BCos, "pow": BPow,
+	"exp": BExp, "log": BLog, "abs": BAbs, "floor": BFloor,
+}
+
+func wantArgs(c *checker, call *ast.CallExpr, n int) bool {
+	if len(call.Args) != n {
+		c.errorf(call.FunPos, "%s expects %d argument(s), got %d", call.Fun, n, len(call.Args))
+		return false
+	}
+	return true
+}
+
+func float1(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+	if !wantArgs(c, call, 1) {
+		return ast.FloatType
+	}
+	if args[0] != nil && !ast.TypesEqual(args[0], ast.FloatType) {
+		c.errorf(call.Args[0].Pos(), "%s requires a float argument, got %s", call.Fun, args[0])
+	}
+	return ast.FloatType
+}
+
+var builtins = map[string]*Builtin{
+	"len": {Name: "len", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		if !wantArgs(c, call, 1) {
+			return ast.IntType
+		}
+		if args[0] != nil {
+			if _, ok := args[0].(*ast.ArrayType); !ok {
+				c.errorf(call.Args[0].Pos(), "len requires an array, got %s", args[0])
+			}
+		}
+		return ast.IntType
+	}},
+	"print": {Name: "print", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		return nil
+	}},
+	"println": {Name: "println", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		return nil
+	}},
+	"int": {Name: "int", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		if wantArgs(c, call, 1) && args[0] != nil && !isNumeric(args[0]) {
+			c.errorf(call.Args[0].Pos(), "int() requires a numeric argument, got %s", args[0])
+		}
+		return ast.IntType
+	}},
+	"float": {Name: "float", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		if wantArgs(c, call, 1) && args[0] != nil && !isNumeric(args[0]) {
+			c.errorf(call.Args[0].Pos(), "float() requires a numeric argument, got %s", args[0])
+		}
+		return ast.FloatType
+	}},
+	"sqrt":  {Name: "sqrt", check: float1},
+	"sin":   {Name: "sin", check: float1},
+	"cos":   {Name: "cos", check: float1},
+	"exp":   {Name: "exp", check: float1},
+	"log":   {Name: "log", check: float1},
+	"floor": {Name: "floor", check: float1},
+	"pow": {Name: "pow", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		if !wantArgs(c, call, 2) {
+			return ast.FloatType
+		}
+		for i, a := range args {
+			if a != nil && !ast.TypesEqual(a, ast.FloatType) {
+				c.errorf(call.Args[i].Pos(), "pow requires float arguments, got %s", a)
+			}
+		}
+		return ast.FloatType
+	}},
+	"abs": {Name: "abs", check: func(c *checker, call *ast.CallExpr, args []ast.Type) ast.Type {
+		if !wantArgs(c, call, 1) {
+			return ast.IntType
+		}
+		if args[0] == nil {
+			return ast.IntType
+		}
+		if !isNumeric(args[0]) {
+			c.errorf(call.Args[0].Pos(), "abs requires a numeric argument, got %s", args[0])
+			return ast.IntType
+		}
+		return args[0]
+	}},
+}

@@ -1,0 +1,161 @@
+// Package token defines the lexical tokens of HJ-lite, the structured
+// parallel language used by the test-driven repair tool, together with
+// source positions.
+//
+// HJ-lite is the async/finish fragment of Habanero-Java used in the paper
+// "Test-Driven Repair of Data Races in Structured Parallel Programs"
+// (PLDI 2014), with a small C-like sequential core sufficient to express
+// the paper's twelve benchmarks.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // mergesort
+	INT    // 12345
+	FLOAT  // 3.25
+	STRING // "checksum"
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+
+	LAND // &&
+	LOR  // ||
+	NOT  // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	LEQ // <=
+	GTR // >
+	GEQ // >=
+
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	QUOASSIGN // /=
+
+	LPAREN // (
+	RPAREN // )
+	LBRACE // {
+	RBRACE // }
+	LBRACK // [
+	RBRACK // ]
+	COMMA  // ,
+	SEMI   // ;
+
+	// Keywords.
+	KwAsync
+	KwFinish
+	KwFunc
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwTrue
+	KwFalse
+	KwInt
+	KwFloat
+	KwBool
+	KwStringTy
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>",
+	LAND: "&&", LOR: "||", NOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", LEQ: "<=", GTR: ">", GEQ: ">=",
+	ASSIGN: "=", ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=", QUOASSIGN: "/=",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";",
+	KwAsync: "async", KwFinish: "finish", KwFunc: "func", KwVar: "var",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwReturn: "return", KwTrue: "true", KwFalse: "false",
+	KwInt: "int", KwFloat: "float", KwBool: "bool", KwStringTy: "string",
+}
+
+// String returns the textual form of the token kind ("+" for ADD, etc).
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"async": KwAsync, "finish": KwFinish, "func": KwFunc, "var": KwVar,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"return": KwReturn, "true": KwTrue, "false": KwFalse,
+	"int": KwInt, "float": KwFloat, "bool": KwBool, "string": KwStringTy,
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its kind, literal text, and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, FLOAT, STRING
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case LOR:
+		return 1
+	case LAND:
+		return 2
+	case EQL, NEQ, LSS, LEQ, GTR, GEQ:
+		return 3
+	case ADD, SUB, OR, XOR:
+		return 4
+	case MUL, QUO, REM, SHL, SHR, AND:
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package token_test
+
+import (
+	"testing"
+
+	"finishrepair/internal/lang/token"
+)
+
+func TestPrecedenceTable(t *testing.T) {
+	cases := map[token.Kind]int{
+		token.LOR: 1, token.LAND: 2,
+		token.EQL: 3, token.NEQ: 3, token.LSS: 3, token.LEQ: 3, token.GTR: 3, token.GEQ: 3,
+		token.ADD: 4, token.SUB: 4, token.OR: 4, token.XOR: 4,
+		token.MUL: 5, token.QUO: 5, token.REM: 5, token.SHL: 5, token.SHR: 5, token.AND: 5,
+		token.ASSIGN: 0, token.IDENT: 0, token.NOT: 0,
+	}
+	for k, want := range cases {
+		if got := k.Precedence(); got != want {
+			t.Errorf("Precedence(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if token.ADD.String() != "+" || token.KwAsync.String() != "async" || token.EOF.String() != "EOF" {
+		t.Error("Kind.String mismatches")
+	}
+	if s := token.Kind(9999).String(); s == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := token.Token{Kind: token.IDENT, Lit: "foo", Pos: token.Pos{Line: 3, Col: 7}}
+	if tok.String() != `IDENT("foo")` {
+		t.Errorf("Token.String = %q", tok.String())
+	}
+	if tok.Pos.String() != "3:7" {
+		t.Errorf("Pos.String = %q", tok.Pos.String())
+	}
+	if !tok.Pos.IsValid() || (token.Pos{}).IsValid() {
+		t.Error("IsValid wrong")
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	for _, kw := range []string{"async", "finish", "func", "var", "if", "else",
+		"while", "for", "return", "true", "false", "int", "float", "bool", "string"} {
+		if _, ok := token.Keywords[kw]; !ok {
+			t.Errorf("keyword %q missing", kw)
+		}
+	}
+}

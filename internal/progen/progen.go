@@ -1,0 +1,181 @@
+// Package progen generates random — but always terminating and
+// deterministic — HJ-lite programs for property-based testing: the
+// fuzzed programs exercise the detectors (oracle cross-validation), the
+// repair loop (end-to-end convergence and semantics preservation), and
+// the interpreters (sequential/parallel agreement).
+//
+// Generated programs share mutable state only through a fixed set of
+// global int arrays, access them from asyncs at random nesting depths,
+// and bound every loop by constants, so every program halts and the
+// canonical depth-first execution is deterministic.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes generation.
+type Config struct {
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MaxStmts bounds statements per block.
+	MaxStmts int
+	// Arrays is the number of shared global arrays.
+	Arrays int
+	// ArrayLen is their length.
+	ArrayLen int
+	// Funcs is the number of auxiliary functions.
+	Funcs int
+}
+
+// Default returns the standard fuzzing configuration.
+func Default() Config {
+	return Config{MaxDepth: 3, MaxStmts: 3, Arrays: 3, ArrayLen: 16, Funcs: 2}
+}
+
+// Gen produces a random program from the seed. The same seed always
+// yields the same program.
+func Gen(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return g.program()
+}
+
+type gen struct {
+	rng  *rand.Rand
+	cfg  Config
+	sb   strings.Builder
+	ind  int
+	hasK bool // whether the parameter k is in scope
+	// minCallee restricts calls to helpers with index >= minCallee,
+	// making the call graph acyclic (helpers may only call later
+	// helpers); main calls anything.
+	minCallee int
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.sb.WriteString(strings.Repeat("    ", g.ind))
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	for a := 0; a < g.cfg.Arrays; a++ {
+		g.w("var g%d = make([]int, %d);", a, g.cfg.ArrayLen)
+	}
+	for f := 0; f < g.cfg.Funcs; f++ {
+		g.w("func helper%d(k int) {", f)
+		g.ind++
+		g.hasK = true
+		g.minCallee = f + 1
+		g.block(g.cfg.MaxDepth-1, true)
+		g.hasK = false
+		g.ind--
+		g.w("}")
+	}
+	g.minCallee = 0
+	g.w("func main() {")
+	g.ind++
+	g.block(g.cfg.MaxDepth, true)
+	// Print a checksum of all shared state so semantic comparisons see
+	// every write.
+	g.w("var check = 0;")
+	for a := 0; a < g.cfg.Arrays; a++ {
+		g.w("for (var i%d = 0; i%d < %d; i%d = i%d + 1) { check = (check * 31 + g%d[i%d]) %% 1000003; }",
+			a, a, g.cfg.ArrayLen, a, a, a, a)
+	}
+	g.w("println(check);")
+	g.ind--
+	g.w("}")
+	return g.sb.String()
+}
+
+func (g *gen) arr() string { return fmt.Sprintf("g%d", g.rng.Intn(g.cfg.Arrays)) }
+
+func (g *gen) idxExpr() string {
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(g.cfg.ArrayLen))
+	case 1:
+		if g.hasK {
+			return fmt.Sprintf("(k + %d) %% %d", g.rng.Intn(7), g.cfg.ArrayLen)
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(g.cfg.ArrayLen))
+	default:
+		return fmt.Sprintf("%s[%d] %% %d", g.arr(), g.rng.Intn(g.cfg.ArrayLen), g.cfg.ArrayLen)
+	}
+}
+
+// block emits 1..MaxStmts statements. canSpawn allows async/finish.
+func (g *gen) block(depth int, canSpawn bool) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		g.stmt(depth, canSpawn)
+	}
+}
+
+func (g *gen) stmt(depth int, canSpawn bool) {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 4 {
+		choice = g.rng.Intn(4)
+	}
+	switch choice {
+	case 0, 1: // array write
+		g.w("%s[%s] = (%s[%s] + %d) %% 97;", g.arr(), g.idxExpr(), g.arr(), g.idxExpr(), g.rng.Intn(50)+1)
+	case 2: // array combine
+		g.w("%s[%s] = (%s[%s] * 3 + %s[%s]) %% 89;", g.arr(), g.idxExpr(), g.arr(), g.idxExpr(), g.arr(), g.idxExpr())
+	case 3: // helper call (acyclic: only helpers at or after minCallee)
+		if g.minCallee < g.cfg.Funcs {
+			callee := g.minCallee + g.rng.Intn(g.cfg.Funcs-g.minCallee)
+			g.w("helper%d(%d);", callee, g.rng.Intn(g.cfg.ArrayLen))
+		} else {
+			g.w("%s[%d] = %d;", g.arr(), g.rng.Intn(g.cfg.ArrayLen), g.rng.Intn(97))
+		}
+	case 4: // bounded for loop
+		v := fmt.Sprintf("t%d", g.rng.Intn(1000))
+		g.w("for (var %s = 0; %s < %d; %s = %s + 1) {", v, v, 2+g.rng.Intn(2), v, v)
+		g.ind++
+		g.block(depth-1, canSpawn)
+		g.ind--
+		g.w("}")
+	case 5: // if
+		g.w("if (%s[%s] %% 2 == 0) {", g.arr(), g.idxExpr())
+		g.ind++
+		g.block(depth-1, canSpawn)
+		g.ind--
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.ind++
+			g.block(depth-1, canSpawn)
+			g.ind--
+		}
+		g.w("}")
+	case 6, 7: // async
+		if !canSpawn {
+			g.w("%s[%d] = %d;", g.arr(), g.rng.Intn(g.cfg.ArrayLen), g.rng.Intn(97))
+			return
+		}
+		g.w("async {")
+		g.ind++
+		g.block(depth-1, true)
+		g.ind--
+		g.w("}")
+	case 8: // finish
+		if !canSpawn {
+			g.w("%s[%d] = %d;", g.arr(), g.rng.Intn(g.cfg.ArrayLen), g.rng.Intn(97))
+			return
+		}
+		g.w("finish {")
+		g.ind++
+		g.block(depth-1, true)
+		g.ind--
+		g.w("}")
+	default: // nested plain block
+		g.w("{")
+		g.ind++
+		g.block(depth-1, canSpawn)
+		g.ind--
+		g.w("}")
+	}
+}

@@ -1,0 +1,45 @@
+package race
+
+import (
+	"finishrepair/internal/interp"
+	"finishrepair/internal/lang/sem"
+)
+
+// Variant selects the detector flavor.
+type Variant int
+
+// Detector variants (paper §4.1).
+const (
+	VariantSRW Variant = iota
+	VariantMRW
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == VariantSRW {
+		return "SRW"
+	}
+	return "MRW"
+}
+
+// New returns a fresh detector of the given variant over oracle o.
+func New(v Variant, o Oracle) Detector {
+	if v == VariantSRW {
+		return NewSRW(o)
+	}
+	return NewMRW(o)
+}
+
+// Detect runs the canonical sequential depth-first execution of the
+// checked program with instrumentation and returns the run result
+// (including the S-DPST) and the detector holding the races found.
+func Detect(info *sem.Info, v Variant, o Oracle) (*interp.Result, Detector, error) {
+	det := New(v, o)
+	res, err := interp.Run(info, interp.Options{
+		Mode:       interp.DepthFirst,
+		Instrument: true,
+		Access:     det,
+		Structure:  det,
+	})
+	return res, det, err
+}

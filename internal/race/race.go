@@ -1,0 +1,284 @@
+// Package race implements dynamic data-race detection for the canonical
+// sequential depth-first execution of async/finish programs.
+//
+// Two detector variants mirror the paper (§4.1):
+//
+//   - SRW ("Single Reader-Writer ESP-Bags"): the classic ESP-Bags shadow
+//     memory with one reader and one writer slot per location. It reports
+//     only a subset of the races per run, so repair may need a second
+//     detection run to confirm no races remain.
+//   - MRW ("Multiple Reader-Writer ESP-Bags"): tracks all readers and
+//     writers per location and reports every race in a single run.
+//
+// Both are parameterized by an Oracle answering "is this earlier access
+// ordered before the current one?". Two oracles are provided: BagsOracle
+// (the ESP-Bags union-find structure of Raman et al., driven by task
+// structure events) and DPSTOracle (Theorem 1 queries on the S-DPST).
+// They are interchangeable and must agree; tests cross-validate them.
+package race
+
+import (
+	"fmt"
+
+	"finishrepair/internal/dpst"
+)
+
+// Kind classifies a race by the access kinds of source and sink.
+type Kind uint8
+
+// Race kinds: source access → sink access.
+const (
+	WriteWrite Kind = iota
+	ReadWrite       // earlier read, later write
+	WriteRead       // earlier write, later read
+)
+
+// String names the race kind.
+func (k Kind) String() string {
+	switch k {
+	case WriteWrite:
+		return "W->W"
+	case ReadWrite:
+		return "R->W"
+	default:
+		return "W->R"
+	}
+}
+
+// Race is a data race between two step instances on one location. Src is
+// the DFS-earlier step (the source, paper §4.2), Dst the sink.
+type Race struct {
+	Src, Dst *dpst.Node
+	Loc      uint64
+	Kind     Kind
+}
+
+// String renders the race for diagnostics.
+func (r *Race) String() string {
+	return fmt.Sprintf("%s: step %d -> step %d @loc %d", r.Kind, r.Src.ID, r.Dst.ID, r.Loc)
+}
+
+// Oracle answers ordering queries between a recorded earlier access and
+// the current execution point. Structure events arrive in depth-first
+// execution order.
+type Oracle interface {
+	TaskStart(n *dpst.Node)
+	TaskEnd(n *dpst.Node)
+	FinishStart(n *dpst.Node)
+	FinishEnd(n *dpst.Node)
+	// Tag returns the bookkeeping value to record alongside an access by
+	// the current step (the current task for ESP-Bags).
+	Tag() any
+	// Ordered reports whether the earlier access (prevTag, prevStep) is
+	// ordered before the current step, i.e. cannot race with it.
+	Ordered(prevTag any, prevStep, curStep *dpst.Node) bool
+}
+
+// Detector is the common interface of SRW and MRW.
+type Detector interface {
+	Read(loc uint64, step *dpst.Node)
+	Write(loc uint64, step *dpst.Node)
+	TaskStart(n *dpst.Node)
+	TaskEnd(n *dpst.Node)
+	FinishStart(n *dpst.Node)
+	FinishEnd(n *dpst.Node)
+	// Races returns the distinct races found, in detection order.
+	Races() []*Race
+}
+
+type access struct {
+	step *dpst.Node
+	tag  any
+}
+
+type raceKey struct {
+	src, dst int
+	loc      uint64
+	kind     Kind
+}
+
+// recorder deduplicates and stores races.
+type recorder struct {
+	seen  map[raceKey]bool
+	races []*Race
+}
+
+func newRecorder() recorder { return recorder{seen: make(map[raceKey]bool)} }
+
+func (rc *recorder) report(src, dst *dpst.Node, loc uint64, kind Kind) {
+	k := raceKey{src: src.ID, dst: dst.ID, loc: loc, kind: kind}
+	if rc.seen[k] {
+		return
+	}
+	rc.seen[k] = true
+	rc.races = append(rc.races, &Race{Src: src, Dst: dst, Loc: loc, Kind: kind})
+}
+
+// resolved returns the races with their endpoints resolved to live
+// S-DPST steps (fine-grained steps may have been collapsed into maximal
+// steps during construction), deduplicated after resolution.
+func (rc *recorder) resolved() []*Race {
+	seen := make(map[raceKey]bool, len(rc.races))
+	out := make([]*Race, 0, len(rc.races))
+	for _, r := range rc.races {
+		src, dst := r.Src.Resolve(), r.Dst.Resolve()
+		k := raceKey{src: src.ID, dst: dst.ID, loc: r.Loc, kind: r.Kind}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, &Race{Src: src, Dst: dst, Loc: r.Loc, Kind: r.Kind})
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------
+// SRW ESP-Bags
+
+type srwCell struct {
+	reader access
+	writer access
+}
+
+// SRW is the single reader-writer detector.
+type SRW struct {
+	oracle Oracle
+	cells  map[uint64]*srwCell
+	rec    recorder
+}
+
+// NewSRW returns an SRW detector using the given oracle.
+func NewSRW(o Oracle) *SRW {
+	return &SRW{oracle: o, cells: make(map[uint64]*srwCell), rec: newRecorder()}
+}
+
+func (d *SRW) cell(loc uint64) *srwCell {
+	c := d.cells[loc]
+	if c == nil {
+		c = &srwCell{}
+		d.cells[loc] = c
+	}
+	return c
+}
+
+// Read handles a read of loc by step.
+func (d *SRW) Read(loc uint64, step *dpst.Node) {
+	c := d.cell(loc)
+	if c.writer.step != nil && c.writer.step != step &&
+		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) {
+		d.rec.report(c.writer.step, step, loc, WriteRead)
+	}
+	// Keep the reader slot pointing at a still-parallel reader: replace
+	// it only when the recorded reader has become ordered (the SP-bags
+	// update rule).
+	if c.reader.step == nil || d.oracle.Ordered(c.reader.tag, c.reader.step, step) {
+		c.reader = access{step: step, tag: d.oracle.Tag()}
+	}
+}
+
+// Write handles a write of loc by step.
+func (d *SRW) Write(loc uint64, step *dpst.Node) {
+	c := d.cell(loc)
+	if c.writer.step != nil && c.writer.step != step &&
+		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) {
+		d.rec.report(c.writer.step, step, loc, WriteWrite)
+	}
+	if c.reader.step != nil && c.reader.step != step &&
+		!d.oracle.Ordered(c.reader.tag, c.reader.step, step) {
+		d.rec.report(c.reader.step, step, loc, ReadWrite)
+	}
+	c.writer = access{step: step, tag: d.oracle.Tag()}
+}
+
+// TaskStart forwards to the oracle.
+func (d *SRW) TaskStart(n *dpst.Node) { d.oracle.TaskStart(n) }
+
+// TaskEnd forwards to the oracle.
+func (d *SRW) TaskEnd(n *dpst.Node) { d.oracle.TaskEnd(n) }
+
+// FinishStart forwards to the oracle.
+func (d *SRW) FinishStart(n *dpst.Node) { d.oracle.FinishStart(n) }
+
+// FinishEnd forwards to the oracle.
+func (d *SRW) FinishEnd(n *dpst.Node) { d.oracle.FinishEnd(n) }
+
+// Races returns the distinct races detected.
+func (d *SRW) Races() []*Race { return d.rec.resolved() }
+
+// ----------------------------------------------------------------------
+// MRW ESP-Bags
+
+type mrwCell struct {
+	readers []access
+	writers []access
+}
+
+// MRW is the multiple reader-writer detector: it keeps every reader and
+// writer of each location so that all races are reported in one run.
+type MRW struct {
+	oracle Oracle
+	cells  map[uint64]*mrwCell
+	rec    recorder
+}
+
+// NewMRW returns an MRW detector using the given oracle.
+func NewMRW(o Oracle) *MRW {
+	return &MRW{oracle: o, cells: make(map[uint64]*mrwCell), rec: newRecorder()}
+}
+
+func (d *MRW) cell(loc uint64) *mrwCell {
+	c := d.cells[loc]
+	if c == nil {
+		c = &mrwCell{}
+		d.cells[loc] = c
+	}
+	return c
+}
+
+// Read handles a read of loc by step.
+func (d *MRW) Read(loc uint64, step *dpst.Node) {
+	c := d.cell(loc)
+	for _, w := range c.writers {
+		if w.step != step && !d.oracle.Ordered(w.tag, w.step, step) {
+			d.rec.report(w.step, step, loc, WriteRead)
+		}
+	}
+	if n := len(c.readers); n > 0 && c.readers[n-1].step == step {
+		return // same step re-reading
+	}
+	c.readers = append(c.readers, access{step: step, tag: d.oracle.Tag()})
+}
+
+// Write handles a write of loc by step.
+func (d *MRW) Write(loc uint64, step *dpst.Node) {
+	c := d.cell(loc)
+	for _, w := range c.writers {
+		if w.step != step && !d.oracle.Ordered(w.tag, w.step, step) {
+			d.rec.report(w.step, step, loc, WriteWrite)
+		}
+	}
+	for _, r := range c.readers {
+		if r.step != step && !d.oracle.Ordered(r.tag, r.step, step) {
+			d.rec.report(r.step, step, loc, ReadWrite)
+		}
+	}
+	if n := len(c.writers); n > 0 && c.writers[n-1].step == step {
+		return
+	}
+	c.writers = append(c.writers, access{step: step, tag: d.oracle.Tag()})
+}
+
+// TaskStart forwards to the oracle.
+func (d *MRW) TaskStart(n *dpst.Node) { d.oracle.TaskStart(n) }
+
+// TaskEnd forwards to the oracle.
+func (d *MRW) TaskEnd(n *dpst.Node) { d.oracle.TaskEnd(n) }
+
+// FinishStart forwards to the oracle.
+func (d *MRW) FinishStart(n *dpst.Node) { d.oracle.FinishStart(n) }
+
+// FinishEnd forwards to the oracle.
+func (d *MRW) FinishEnd(n *dpst.Node) { d.oracle.FinishEnd(n) }
+
+// Races returns the distinct races detected.
+func (d *MRW) Races() []*Race { return d.rec.resolved() }

@@ -1,0 +1,78 @@
+package race
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"finishrepair/internal/dpst"
+)
+
+// The paper's tool writes the detected races to trace files which the
+// repair passes then read back ("the time to repair is dominated by the
+// time taken to read the trace files", §7.2). We mirror that boundary:
+// WriteTrace serializes races, ReadTrace deserializes them against the
+// S-DPST of the same execution.
+
+const traceMagic = uint32(0x53445054) // "SDPT"
+
+// WriteTrace serializes races to w in the binary trace format.
+func WriteTrace(w io.Writer, races []*Race) error {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(races)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [21]byte
+	for _, r := range races {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.Src.ID))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.Dst.ID))
+		binary.LittleEndian.PutUint64(rec[8:16], r.Loc)
+		rec[16] = byte(r.Kind)
+		binary.LittleEndian.PutUint32(rec[17:21], 0) // reserved
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace, resolving step
+// IDs against tree.
+func ReadTrace(r io.Reader, tree *dpst.Tree) ([]*Race, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("race trace: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != traceMagic {
+		return nil, fmt.Errorf("race trace: bad magic")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+
+	byID := make(map[int]*dpst.Node)
+	tree.Walk(func(nd *dpst.Node) { byID[nd.ID] = nd })
+
+	races := make([]*Race, 0, n)
+	var rec [21]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("race trace: truncated at record %d: %w", i, err)
+		}
+		src := byID[int(binary.LittleEndian.Uint32(rec[0:4]))]
+		dst := byID[int(binary.LittleEndian.Uint32(rec[4:8]))]
+		if src == nil || dst == nil {
+			return nil, fmt.Errorf("race trace: record %d references unknown step", i)
+		}
+		races = append(races, &Race{
+			Src:  src,
+			Dst:  dst,
+			Loc:  binary.LittleEndian.Uint64(rec[8:16]),
+			Kind: Kind(rec[16]),
+		})
+	}
+	return races, nil
+}

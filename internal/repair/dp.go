@@ -1,0 +1,193 @@
+// Package repair implements the paper's contribution: test-driven
+// insertion of finish statements that eliminate the data races observed
+// on a test input while maximizing parallelism and respecting the lexical
+// scope of the input program.
+//
+// The pipeline (paper §3, Fig. 6):
+//
+//  1. detect races on the canonical depth-first execution (package race);
+//  2. group races by the NS-LCA of their source and sink steps;
+//  3. per NS-LCA, reduce the subtree to a dependence DAG over the
+//     non-scope children (§5.1) and run the dynamic-programming optimal
+//     finish placement (Algorithm 1, with the VALID static-scope check of
+//     Algorithm 2 and the FIND extraction of Algorithm 3);
+//  4. map each dynamic placement to the highest legal S-DPST insertion
+//     point and from there to an AST (block, statement-range) rewrite
+//     (§6);
+//  5. re-run detection and iterate until race-free.
+package repair
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is the abstract optimal-finish-placement instance of §5.2: a
+// DAG over vertices 0..N-1 (ordered left to right) where every edge
+// (x, y) has x < y, vertex execution times T, and a static-validity
+// predicate for candidate finish blocks.
+type Problem struct {
+	N     int
+	T     []int64  // execution time of each vertex
+	Async []bool   // whether vertex i is an async node
+	Edges [][2]int // dependence edges (races), x < y
+	// Valid reports whether a finish enclosing exactly vertices s..e is
+	// statically expressible (Algorithm 2 / scope rules). Nil means
+	// always valid.
+	Valid func(s, e int) bool
+}
+
+// FinishBlock is one (s, e) element of the FinishSet: a finish enclosing
+// vertices s..e.
+type FinishBlock struct {
+	S, E int
+}
+
+// Solution is the DP result.
+type Solution struct {
+	// Cost is the optimal completion time COST(G) of the block 0..N-1.
+	Cost int64
+	// Finishes is the FinishSet extracted by Algorithm 3, outermost
+	// first.
+	Finishes []FinishBlock
+}
+
+const inf = int64(math.MaxInt64 / 4)
+
+// Solve runs the dynamic program of Algorithm 1 and extracts the finish
+// set with Algorithm 3. It returns an error when some dependence cannot
+// be satisfied by any statically valid finish placement.
+func Solve(p *Problem) (*Solution, error) {
+	n := p.N
+	if n == 0 {
+		return &Solution{}, nil
+	}
+	if len(p.T) != n || len(p.Async) != n {
+		return nil, fmt.Errorf("repair: inconsistent problem arrays")
+	}
+	valid := p.Valid
+	if valid == nil {
+		valid = func(int, int) bool { return true }
+	}
+
+	// cross(i, k, j): does any edge leave i..k into k+1..j? Answered in
+	// O(1) from 2-D prefix sums over the edge matrix.
+	pre := newEdgePrefix(n, p.Edges)
+
+	idx := func(i, j int) int { return i*n + j }
+	opt := make([]int64, n*n)
+	est := make([]int64, n*n) // est[i][j]: earliest start of j+1 given block i..j
+	part := make([]int, n*n)
+	fin := make([]bool, n*n)
+
+	for i := 0; i < n; i++ {
+		opt[idx(i, i)] = p.T[i]
+		part[idx(i, i)] = i
+		if p.Async[i] {
+			est[idx(i, i)] = 0
+		} else {
+			est[idx(i, i)] = p.T[i]
+		}
+	}
+
+	for s := 2; s <= n; s++ {
+		for i := 0; i+s-1 < n; i++ {
+			j := i + s - 1
+			cmin := inf
+			bestP, bestF := -1, false
+			bestE := int64(0)
+			for k := i; k < j; k++ {
+				var c, e int64
+				var f bool
+				if pre.cross(i, k, j) {
+					// A dependence crosses the partition: a finish around
+					// i..k is required; it must be statically valid.
+					if !valid(i, k) {
+						continue
+					}
+					c = opt[idx(i, k)] + opt[idx(k+1, j)]
+					f = true
+					e = opt[idx(i, k)] + est[idx(k+1, j)]
+				} else {
+					c = max64(opt[idx(i, k)], est[idx(i, k)]+opt[idx(k+1, j)])
+					f = false
+					e = est[idx(i, k)] + est[idx(k+1, j)]
+				}
+				if c < cmin {
+					cmin, bestP, bestF, bestE = c, k, f, e
+				}
+			}
+			if bestP < 0 {
+				return nil, &UnsatisfiableError{I: i, J: j}
+			}
+			opt[idx(i, j)] = cmin
+			part[idx(i, j)] = bestP
+			fin[idx(i, j)] = bestF
+			est[idx(i, j)] = bestE
+		}
+	}
+
+	sol := &Solution{Cost: opt[idx(0, n-1)]}
+	// Algorithm 3 (with the split corrected to begin..p / p+1..end; the
+	// paper's FIND(p, end) double-counts vertex p).
+	var find func(begin, end int)
+	find = func(begin, end int) {
+		if begin >= end {
+			return
+		}
+		pnt := part[idx(begin, end)]
+		if fin[idx(begin, end)] {
+			sol.Finishes = append(sol.Finishes, FinishBlock{S: begin, E: pnt})
+		}
+		find(begin, pnt)
+		find(pnt+1, end)
+	}
+	find(0, n-1)
+	return sol, nil
+}
+
+// UnsatisfiableError reports a subproblem whose crossing dependences have
+// no statically valid finish placement.
+type UnsatisfiableError struct {
+	I, J int
+}
+
+// Error implements the error interface.
+func (e *UnsatisfiableError) Error() string {
+	return fmt.Sprintf("repair: no statically valid finish placement for vertices %d..%d", e.I, e.J)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// edgePrefix answers rectangle-emptiness queries over the edge set.
+type edgePrefix struct {
+	n   int
+	sum []int32 // (n+1)x(n+1) prefix sums of the 0/1 edge matrix
+}
+
+func newEdgePrefix(n int, edges [][2]int) *edgePrefix {
+	w := n + 1
+	sum := make([]int32, w*w)
+	for _, e := range edges {
+		x, y := e[0], e[1]
+		sum[(x+1)*w+(y+1)]++
+	}
+	for r := 1; r < w; r++ {
+		for c := 1; c < w; c++ {
+			sum[r*w+c] += sum[(r-1)*w+c] + sum[r*w+c-1] - sum[(r-1)*w+c-1]
+		}
+	}
+	return &edgePrefix{n: n, sum: sum}
+}
+
+// cross reports whether any edge goes from [i..k] into [k+1..j].
+func (p *edgePrefix) cross(i, k, j int) bool {
+	w := p.n + 1
+	rect := p.sum[(k+1)*w+(j+1)] - p.sum[i*w+(j+1)] - p.sum[(k+1)*w+(k+1)] + p.sum[i*w+(k+1)]
+	return rect > 0
+}

@@ -1,0 +1,101 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Evaluate computes the completion time (critical path length) of the
+// vertex sequence under a given finish set, in the execution model of
+// §5.2: vertices execute left to right; a step advances the program
+// cursor by its time; an async completes cursor+T[v] without advancing
+// the cursor; a finish block completes when every vertex inside it has
+// completed, and the cursor resumes at that completion time.
+//
+// Finish blocks must be properly nested (no partial overlap). Evaluate
+// does not check that the finish set satisfies the dependence edges; use
+// Satisfies for that.
+func Evaluate(p *Problem, finishes []FinishBlock) (int64, error) {
+	seen := make(map[FinishBlock]bool)
+	var fs []FinishBlock
+	for _, f := range finishes {
+		if !seen[f] {
+			seen[f] = true
+			fs = append(fs, f)
+		}
+	}
+	// Outer blocks first: by start ascending, then end descending.
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].S != fs[j].S {
+			return fs[i].S < fs[j].S
+		}
+		return fs[i].E > fs[j].E
+	})
+	for i := 0; i < len(fs); i++ {
+		for j := i + 1; j < len(fs); j++ {
+			a, b := fs[i], fs[j]
+			if b.S <= a.E && b.S >= a.S && b.E > a.E {
+				return 0, fmt.Errorf("repair: finish blocks %v and %v partially overlap", a, b)
+			}
+		}
+	}
+	for _, f := range fs {
+		if f.S < 0 || f.E >= p.N || f.S > f.E {
+			return 0, fmt.Errorf("repair: finish block %v out of range", f)
+		}
+	}
+
+	next := 0 // index into fs
+	var evalRange func(lo, hi int, start int64) (cursor, completion int64)
+	evalRange = func(lo, hi int, start int64) (int64, int64) {
+		cursor := start
+		completion := start
+		for v := lo; v <= hi; {
+			if next < len(fs) && fs[next].S == v {
+				fb := fs[next]
+				next++
+				_, inner := evalRange(fb.S, fb.E, cursor)
+				cursor = inner
+				if inner > completion {
+					completion = inner
+				}
+				v = fb.E + 1
+				continue
+			}
+			if p.Async[v] {
+				done := cursor + p.T[v]
+				if done > completion {
+					completion = done
+				}
+			} else {
+				cursor += p.T[v]
+				if cursor > completion {
+					completion = cursor
+				}
+			}
+			v++
+		}
+		return cursor, completion
+	}
+	_, total := evalRange(0, p.N-1, 0)
+	return total, nil
+}
+
+// Satisfies reports whether the finish set covers every dependence edge:
+// for each edge (x, y) there must be a block (s, e) with s <= x <= e < y
+// (§5.2).
+func Satisfies(p *Problem, finishes []FinishBlock) bool {
+	for _, e := range p.Edges {
+		ok := false
+		for _, f := range finishes {
+			if f.S <= e[0] && e[0] <= f.E && f.E < e[1] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+package repair
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/race"
+)
+
+// Options configures the repair loop.
+type Options struct {
+	// Variant selects the detector (default MRW, which finds all races in
+	// one run; SRW may need extra iterations).
+	Variant race.Variant
+	// Oracle constructs the ordering oracle per detection run (default
+	// ESP-Bags).
+	Oracle func() race.Oracle
+	// MaxIterations bounds repair/re-detect rounds (default 10).
+	MaxIterations int
+	// MaxGraph bounds the dependence-graph size handled by the O(n^3)
+	// DP; larger graphs use the sound fallback placement (default 1200).
+	MaxGraph int
+	// UseTraceFiles round-trips detected races through the binary trace
+	// encoding, mirroring the paper's detector/analyzer file boundary
+	// (default true).
+	UseTraceFiles bool
+}
+
+func (o *Options) fill() {
+	if o.Oracle == nil {
+		o.Oracle = func() race.Oracle { return race.NewBagsOracle() }
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 10
+	}
+	if o.MaxGraph == 0 {
+		o.MaxGraph = 1200
+	}
+}
+
+// AppliedRange is a finish insertion that was actually applied, in
+// replayable form: block identity plus the (post-merge) statement range.
+type AppliedRange struct {
+	BlockID int
+	Lo, Hi  int
+}
+
+// Iteration records one detect/place/rewrite round.
+type Iteration struct {
+	Races      int
+	NSLCAs     int
+	Placements int
+	SDPSTNodes int
+	// Applied lists the finish insertions of this iteration in
+	// application order, for Replay.
+	Applied []AppliedRange
+	// DetectTime covers the instrumented execution (data race detection
+	// and S-DPST construction); RepairTime covers trace I/O, dynamic and
+	// static finish placement, and the AST rewrite.
+	DetectTime time.Duration
+	RepairTime time.Duration
+}
+
+// Report summarizes a repair.
+type Report struct {
+	Iterations []Iteration
+	// Inserted is the total number of finish statements inserted.
+	Inserted int
+	// Output is the program output of the final (race-free) detection
+	// run.
+	Output string
+	// TraceBytes is the total size of the race trace files produced.
+	TraceBytes int
+}
+
+// TotalRaces sums the races found across iterations.
+func (r *Report) TotalRaces() int {
+	n := 0
+	for _, it := range r.Iterations {
+		n += it.Races
+	}
+	return n
+}
+
+// Repair runs the test-driven repair loop on prog, mutating it in place:
+// detect races on the canonical execution, compute finish placements,
+// rewrite the AST, and repeat until a detection run is race-free.
+func Repair(prog *ast.Program, opts Options) (*Report, error) {
+	opts.fill()
+	rep := &Report{}
+	for iter := 0; ; iter++ {
+		if iter >= opts.MaxIterations {
+			return rep, fmt.Errorf("repair: races remain after %d iterations", iter)
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			return rep, fmt.Errorf("repair: program invalid after rewrite: %w", err)
+		}
+
+		t0 := time.Now()
+		res, det, err := race.Detect(info, opts.Variant, opts.Oracle())
+		if err != nil {
+			return rep, fmt.Errorf("repair: execution failed: %w", err)
+		}
+		detectTime := time.Since(t0)
+
+		t1 := time.Now()
+		races := det.Races()
+		if opts.UseTraceFiles {
+			var buf bytes.Buffer
+			if err := race.WriteTrace(&buf, races); err != nil {
+				return rep, err
+			}
+			rep.TraceBytes += buf.Len()
+			races, err = race.ReadTrace(&buf, res.Tree)
+			if err != nil {
+				return rep, err
+			}
+		}
+
+		it := Iteration{
+			Races:      len(races),
+			SDPSTNodes: res.Tree.NumNodes(),
+			DetectTime: detectTime,
+		}
+		if len(races) == 0 {
+			it.RepairTime = time.Since(t1)
+			rep.Iterations = append(rep.Iterations, it)
+			rep.Output = res.Output
+			return rep, nil
+		}
+
+		groups := groupByNSLCA(races)
+		it.NSLCAs = len(groups)
+		// Paper §6 steps 3(d)-(f): placements inserted for an earlier
+		// NS-LCA can fix later groups' races (recursive programs visit
+		// the same static code at many dynamic nodes, and skewed
+		// instances may prefer a different — overlapping — placement).
+		// We therefore accept a group's placements only when they are
+		// identical to or disjoint from those already chosen; skipped
+		// groups are re-examined by the next detection run, which sees
+		// the updated program.
+		var placements []Placement
+		chosen := make(map[Placement]bool)
+		overlaps := func(p Placement) bool {
+			for c := range chosen {
+				if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
+					return true
+				}
+			}
+			return false
+		}
+		for _, g := range groups {
+			ps, err := placeGroup(g, opts.MaxGraph)
+			if err != nil {
+				return rep, err
+			}
+			conflict := false
+			for _, p := range ps {
+				if !chosen[p] && overlaps(p) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			for _, p := range ps {
+				if !chosen[p] {
+					chosen[p] = true
+					placements = append(placements, p)
+				}
+			}
+		}
+		if len(placements) == 0 {
+			return rep, fmt.Errorf("repair: %d races but no placements computed", len(races))
+		}
+		applied, err := applyPlacements(prog, placements)
+		if err != nil {
+			return rep, err
+		}
+		inserted := len(applied)
+		it.Placements = inserted
+		it.Applied = applied
+		it.RepairTime = time.Since(t1)
+		rep.Inserted += inserted
+		rep.Iterations = append(rep.Iterations, it)
+	}
+}
+
+// applyPlacements rewrites the program, wrapping each placement's
+// statement range in a synthesized finish. Identical placements are
+// deduplicated, partially overlapping ranges in one block are merged,
+// and nested ranges are applied innermost-first. It returns the applied
+// insertions in replayable form.
+func applyPlacements(prog *ast.Program, placements []Placement) ([]AppliedRange, error) {
+	byBlock := make(map[*ast.Block][][2]int)
+	var blocks []*ast.Block
+	for _, p := range placements {
+		if p.Lo < 0 || p.Hi >= len(p.Block.Stmts) || p.Lo > p.Hi {
+			return nil, fmt.Errorf("repair: placement %v out of range (block has %d stmts)", p, len(p.Block.Stmts))
+		}
+		if _, seen := byBlock[p.Block]; !seen {
+			blocks = append(blocks, p.Block)
+		}
+		byBlock[p.Block] = append(byBlock[p.Block], [2]int{p.Lo, p.Hi})
+	}
+	// Deterministic block order for Replay: by block ID.
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+
+	var applied []AppliedRange
+	for _, b := range blocks {
+		rs, err := applyToBlock(prog, b, byBlock[b])
+		if err != nil {
+			return applied, err
+		}
+		applied = append(applied, rs...)
+	}
+	return applied, nil
+}
+
+// Replay re-applies recorded insertions to another parse of a
+// structurally identical program (e.g. the same benchmark rendered at a
+// different input size): block IDs are assigned deterministically by the
+// parser, so the recorded coordinates transfer.
+func Replay(prog *ast.Program, iterations []Iteration) error {
+	for _, it := range iterations {
+		for _, a := range it.Applied {
+			b := ast.FindBlock(prog, a.BlockID)
+			if b == nil {
+				return fmt.Errorf("repair: replay: no block with ID %d", a.BlockID)
+			}
+			if a.Lo < 0 || a.Hi >= len(b.Stmts) || a.Lo > a.Hi {
+				return fmt.Errorf("repair: replay range %d..%d out of bounds in block %d", a.Lo, a.Hi, a.BlockID)
+			}
+			wrapRange(prog, b, a.Lo, a.Hi)
+		}
+	}
+	return nil
+}
+
+// wrapRange wraps statements lo..hi of b in a synthesized finish.
+func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int) {
+	wrapped := make([]ast.Stmt, hi-lo+1)
+	copy(wrapped, b.Stmts[lo:hi+1])
+	fin := &ast.FinishStmt{
+		Body:        prog.NewBlock(wrapped[0].Pos(), wrapped),
+		FinishPos:   wrapped[0].Pos(),
+		Synthesized: true,
+	}
+	rest := append([]ast.Stmt{}, b.Stmts[:lo]...)
+	rest = append(rest, fin)
+	rest = append(rest, b.Stmts[hi+1:]...)
+	b.Stmts = rest
+}
+
+func applyToBlock(prog *ast.Program, b *ast.Block, ranges [][2]int) ([]AppliedRange, error) {
+	// Deduplicate.
+	uniq := make(map[[2]int]bool)
+	var rs [][2]int
+	for _, r := range ranges {
+		if !uniq[r] {
+			uniq[r] = true
+			rs = append(rs, r)
+		}
+	}
+	// Merge partial overlaps until only disjoint or strictly nested
+	// ranges remain.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(rs) && !changed; i++ {
+			for j := i + 1; j < len(rs) && !changed; j++ {
+				a, c := rs[i], rs[j]
+				if a[0] > c[0] {
+					a, c = c, a
+				}
+				overlap := c[0] <= a[1]
+				nested := overlap && c[1] <= a[1]
+				if overlap && !nested && a != c {
+					merged := [2]int{a[0], max(a[1], c[1])}
+					rs[i] = merged
+					rs = append(rs[:j], rs[j+1:]...)
+					changed = true
+				}
+			}
+		}
+	}
+	// Innermost (smallest) first so outer indices can be adjusted as
+	// inner ranges collapse into single finish statements.
+	sort.Slice(rs, func(i, j int) bool {
+		li, lj := rs[i][1]-rs[i][0], rs[j][1]-rs[j][0]
+		if li != lj {
+			return li < lj
+		}
+		return rs[i][0] < rs[j][0]
+	})
+
+	var applied []AppliedRange
+	for i := 0; i < len(rs); i++ {
+		lo, hi := rs[i][0], rs[i][1]
+		if lo < 0 || hi >= len(b.Stmts) || lo > hi {
+			return applied, fmt.Errorf("repair: merged range %d..%d out of bounds in block %d", lo, hi, b.ID)
+		}
+		wrapRange(prog, b, lo, hi)
+		applied = append(applied, AppliedRange{BlockID: b.ID, Lo: lo, Hi: hi})
+
+		shrink := hi - lo
+		for j := i + 1; j < len(rs); j++ {
+			switch {
+			case rs[j][1] < lo:
+				// Entirely to the left: unaffected.
+			case rs[j][0] > hi:
+				rs[j][0] -= shrink
+				rs[j][1] -= shrink
+			case rs[j][0] <= lo && rs[j][1] >= hi:
+				rs[j][1] -= shrink
+			default:
+				return applied, fmt.Errorf("repair: conflicting ranges in block %d", b.ID)
+			}
+		}
+	}
+	return applied, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+package repair_test
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/interp"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/race"
+	"finishrepair/internal/repair"
+)
+
+// Figure 3/4: six asyncs with execution times 500, 10, 10, 400, 600, 500
+// and dependences B->D, A->F, D->F. The optimal finish placement is
+// ( A ( B ) C D E ) F with critical path length 1110; the naive
+// placements cost 1500-1510 (paper Figure 4).
+func TestFig4OptimalPlacement(t *testing.T) {
+	prob := &repair.Problem{
+		N:     6,
+		T:     []int64{500, 10, 10, 400, 600, 500},
+		Async: []bool{true, true, true, true, true, true},
+		Edges: [][2]int{{1, 3}, {0, 5}, {3, 5}},
+	}
+	sol, err := repair.Solve(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 1 finds ( A ( B ) C D ) E F with CPL 1100 — strictly
+	// better than the best of the four placements listed in Figure 4
+	// (1110); the figure's caption says "few possible finish placements",
+	// not the optimum. F cannot start before A completes (t=500), so
+	// COST >= 500+500 = 1000, and E then finishes at 500+600 = 1100,
+	// which this placement attains.
+	if sol.Cost != 1100 {
+		t.Errorf("optimal cost = %d, want 1100", sol.Cost)
+	}
+	want := map[repair.FinishBlock]bool{{S: 0, E: 3}: true, {S: 1, E: 1}: true}
+	if len(sol.Finishes) != 2 || !want[sol.Finishes[0]] || !want[sol.Finishes[1]] {
+		t.Errorf("finish set = %v, want {(0,3),(1,1)}", sol.Finishes)
+	}
+	if !repair.Satisfies(prob, sol.Finishes) {
+		t.Error("solver's finish set does not satisfy the dependences")
+	}
+	if got, err := repair.Evaluate(prob, sol.Finishes); err != nil || got != sol.Cost {
+		t.Errorf("Evaluate(solution) = %d, %v; want %d", got, err, sol.Cost)
+	}
+}
+
+// The four placements listed in paper Figure 4 must cost exactly what
+// the paper reports: 1510, 1500, 1500, and 1110.
+func TestFig4ListedCosts(t *testing.T) {
+	prob := &repair.Problem{
+		N:     6,
+		T:     []int64{500, 10, 10, 400, 600, 500},
+		Async: []bool{true, true, true, true, true, true},
+		Edges: [][2]int{{1, 3}, {0, 5}, {3, 5}},
+	}
+	cases := []struct {
+		name string
+		fs   []repair.FinishBlock
+		want int64
+	}{
+		{"( A ) ( B ) C ( D ) E F", []repair.FinishBlock{{0, 0}, {1, 1}, {3, 3}}, 1510},
+		{"( A B ) C ( D ) E F", []repair.FinishBlock{{0, 1}, {3, 3}}, 1500},
+		{"( A B C ) ( D ) E F", []repair.FinishBlock{{0, 2}, {3, 3}}, 1500},
+		{"( A ( B ) C D E ) F", []repair.FinishBlock{{0, 4}, {1, 1}}, 1110},
+	}
+	for _, c := range cases {
+		if !repair.Satisfies(prob, c.fs) {
+			t.Errorf("%s: does not satisfy dependences", c.name)
+		}
+		got, err := repair.Evaluate(prob, c.fs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: CPL = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+const fibSrc = `
+func fib(ret []int, n int) {
+    if (n < 2) {
+        ret[0] = n;
+        return;
+    }
+    var x = make([]int, 1);
+    var y = make([]int, 1);
+    async fib(x, n - 1);
+    async fib(y, n - 2);
+    ret[0] = x[0] + y[0];
+}
+
+func main() {
+    var result = make([]int, 1);
+    async fib(result, 10);
+    println(result[0]);
+}
+`
+
+// repairAndVerify repairs src and checks the result is race-free and
+// matches the serial elision output.
+func repairAndVerify(t *testing.T, src string, opts repair.Options) (*ast.Program, *repair.Report) {
+	t.Helper()
+	prog := parser.MustParse(src)
+	rep, err := repair.Repair(prog, opts)
+	if err != nil {
+		t.Fatalf("repair: %v\nprogram:\n%s", err, printer.Print(prog))
+	}
+
+	// Race-free after repair.
+	info := sem.MustCheck(prog)
+	_, det, err := race.Detect(info, race.VariantMRW, race.NewBagsOracle())
+	if err != nil {
+		t.Fatalf("post-repair run: %v", err)
+	}
+	if n := len(det.Races()); n != 0 {
+		t.Fatalf("%d races remain after repair:\n%s", n, printer.Print(prog))
+	}
+
+	// Semantics equal the serial elision.
+	elided := parser.MustParse(src)
+	ast.StripFinishes(elided)
+	einfo := sem.MustCheck(elided)
+	eres, err := interp.Run(einfo, interp.Options{Mode: interp.Elide})
+	if err != nil {
+		t.Fatalf("elision run: %v", err)
+	}
+	if rep.Output != eres.Output {
+		t.Fatalf("repaired output %q != elision output %q", rep.Output, eres.Output)
+	}
+	return prog, rep
+}
+
+func TestRepairFib(t *testing.T) {
+	prog, rep := repairAndVerify(t, fibSrc, repair.Options{})
+	if rep.Inserted == 0 {
+		t.Fatal("no finishes inserted")
+	}
+	// The paper's repair (Fig. 15) places one finish around the two
+	// recursive asyncs inside fib and one around the top-level async in
+	// main; since fib is one static function, exactly two static
+	// placements are expected.
+	if n := ast.CountFinishes(prog); n != 2 {
+		t.Errorf("finishes in repaired program = %d, want 2\n%s", n, printer.Print(prog))
+	}
+	src := printer.Print(prog)
+	if !strings.Contains(src, "finish") {
+		t.Error("printed program lacks finish")
+	}
+	t.Logf("repaired in %d iterations, %d races, output %q",
+		len(rep.Iterations), rep.TotalRaces(), rep.Output)
+	t.Logf("\n%s", src)
+}
+
+func TestRepairFibSRW(t *testing.T) {
+	_, rep := repairAndVerify(t, fibSrc, repair.Options{Variant: race.VariantSRW})
+	if len(rep.Iterations) < 2 {
+		t.Errorf("SRW repair took %d iterations, want >= 2 (repair + confirm)", len(rep.Iterations))
+	}
+}
+
+// The mergesort example from paper Figure 1: the repair should put a
+// finish around the two recursive calls (before merge).
+const mergesortSrc = `
+func mergesort(a []int, tmp []int, m int, n int) {
+    if (m < n) {
+        var mid = m + (n - m) / 2;
+        async mergesort(a, tmp, m, mid);
+        async mergesort(a, tmp, mid + 1, n);
+        merge(a, tmp, m, mid, n);
+    }
+}
+
+func merge(a []int, tmp []int, m int, mid int, n int) {
+    var i = m;
+    var j = mid + 1;
+    var k = m;
+    while (i <= mid && j <= n) {
+        if (a[i] <= a[j]) {
+            tmp[k] = a[i];
+            i = i + 1;
+        } else {
+            tmp[k] = a[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i <= mid) { tmp[k] = a[i]; i = i + 1; k = k + 1; }
+    while (j <= n)   { tmp[k] = a[j]; j = j + 1; k = k + 1; }
+    for (var t = m; t <= n; t = t + 1) { a[t] = tmp[t]; }
+}
+
+func main() {
+    var size = 64;
+    var a = make([]int, size);
+    var tmp = make([]int, size);
+    for (var i = 0; i < size; i = i + 1) {
+        a[i] = (i * 1103515245 + 12345) % 1000;
+    }
+    mergesort(a, tmp, 0, size - 1);
+    var ok = true;
+    for (var i = 1; i < size; i = i + 1) {
+        if (a[i - 1] > a[i]) { ok = false; }
+    }
+    println(ok);
+}
+`
+
+func TestRepairMergesort(t *testing.T) {
+	prog, rep := repairAndVerify(t, mergesortSrc, repair.Options{})
+	if rep.Output != "true\n" {
+		t.Errorf("repaired mergesort output %q, want sorted (true)", rep.Output)
+	}
+	t.Logf("inserted %d finishes, %d races\n%s",
+		rep.Inserted, rep.TotalRaces(), printer.Print(prog))
+}
+
+// Figure 5: scoping constraints. The races A2->A4 and A3->A4 cannot be
+// fixed by a finish enclosing A2 and A3 but not A1; the tool must either
+// enclose A1,A2 in the if and A3 separately, or all three.
+const fig5Src = `
+var x = 0;
+var y = 0;
+var z = 0;
+
+func main() {
+    var c = 1;
+    if (c > 0) {
+        async { z = 1; }       // A1
+        async { x = 2; }       // A2
+    }
+    async { y = 3; }           // A3
+    async { println(x + y); } // A4
+}
+`
+
+func TestRepairFig5Scoping(t *testing.T) {
+	prog, rep := repairAndVerify(t, fig5Src, repair.Options{})
+	t.Logf("inserted %d finishes\n%s", rep.Inserted, printer.Print(prog))
+	// The output after repair must be the serial elision's.
+	if rep.Output != "5\n" {
+		t.Errorf("output %q, want \"5\\n\"", rep.Output)
+	}
+}

@@ -1,0 +1,179 @@
+// Package sched implements a bounded work-stealing task pool used by the
+// taskpar runtime: per-worker LIFO deques with random FIFO stealing, the
+// scheduling discipline of the Habanero/Cilk family of runtimes.
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work. The worker executing it is passed in so the
+// task can spawn children into the local deque.
+type Task func(w *Worker)
+
+// Pool is a fixed-size work-stealing thread pool.
+type Pool struct {
+	workers []*Worker
+	global  chan Task
+	wake    chan struct{}
+	done    chan struct{}
+	idle    atomic.Int32
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// Worker is one pool worker; tasks receive their worker to spawn locally.
+type Worker struct {
+	pool *Pool
+	id   int
+	mu   sync.Mutex
+	deq  []Task
+	rng  *rand.Rand
+}
+
+// NewPool starts a pool with n workers (n <= 0 means GOMAXPROCS).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		global: make(chan Task, 1024),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		w := &Worker{pool: p, id: i, rng: rand.New(rand.NewSource(int64(i + 1)))}
+		p.workers = append(p.workers, w)
+	}
+	p.wg.Add(n)
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Submit enqueues a task from outside the pool.
+func (p *Pool) Submit(t Task) {
+	p.global <- t
+	p.notify()
+}
+
+func (p *Pool) notify() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Shutdown stops the workers after the queues drain to idle. It must not
+// be called while tasks are still being submitted.
+func (p *Pool) Shutdown() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.done)
+	for range p.workers {
+		p.notify()
+	}
+	p.wg.Wait()
+}
+
+// Spawn pushes a child task onto this worker's deque (LIFO end).
+func (w *Worker) Spawn(t Task) {
+	w.mu.Lock()
+	w.deq = append(w.deq, t)
+	w.mu.Unlock()
+	w.pool.notify()
+}
+
+// popLocal takes the most recently spawned local task (LIFO).
+func (w *Worker) popLocal() Task {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.deq)
+	if n == 0 {
+		return nil
+	}
+	t := w.deq[n-1]
+	w.deq[n-1] = nil
+	w.deq = w.deq[:n-1]
+	return t
+}
+
+// stealFrom takes the oldest task of victim's deque (FIFO).
+func (w *Worker) stealFrom(victim *Worker) Task {
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if len(victim.deq) == 0 {
+		return nil
+	}
+	t := victim.deq[0]
+	victim.deq = victim.deq[1:]
+	return t
+}
+
+// findTask looks for runnable work: local deque, then the global queue,
+// then stealing from a random victim.
+func (w *Worker) findTask() Task {
+	if t := w.popLocal(); t != nil {
+		return t
+	}
+	select {
+	case t := <-w.pool.global:
+		return t
+	default:
+	}
+	n := len(w.pool.workers)
+	off := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.pool.workers[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if t := w.stealFrom(v); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// RunOne executes one available task if any; it reports whether it did.
+// Used by blocked finish scopes to help instead of idling.
+func (w *Worker) RunOne() bool {
+	t := w.findTask()
+	if t == nil {
+		return false
+	}
+	t(w)
+	return true
+}
+
+func (w *Worker) run() {
+	defer w.pool.wg.Done()
+	for {
+		if t := w.findTask(); t != nil {
+			t(w)
+			continue
+		}
+		select {
+		case t := <-w.pool.global:
+			t(w)
+		case <-w.pool.wake:
+		case <-w.pool.done:
+			// Drain whatever remains, then exit.
+			for {
+				t := w.findTask()
+				if t == nil {
+					return
+				}
+				t(w)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sched_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"finishrepair/internal/sched"
+)
+
+func TestSubmitRunsAllTasks(t *testing.T) {
+	p := sched.NewPool(4)
+	defer p.Shutdown()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		wg.Add(1)
+		p.Submit(func(*sched.Worker) {
+			n.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if n.Load() != 500 {
+		t.Fatalf("ran %d tasks, want 500", n.Load())
+	}
+}
+
+func TestSpawnFansOut(t *testing.T) {
+	p := sched.NewPool(4)
+	defer p.Shutdown()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const width, depth = 3, 5 // 3^0 + ... + 3^5 spawned tasks
+	var task func(w *sched.Worker, d int)
+	task = func(w *sched.Worker, d int) {
+		defer wg.Done()
+		n.Add(1)
+		if d == 0 {
+			return
+		}
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			w.Spawn(func(w *sched.Worker) { task(w, d-1) })
+		}
+	}
+	wg.Add(1)
+	p.Submit(func(w *sched.Worker) { task(w, depth) })
+	wg.Wait()
+	want := int64(0)
+	pow := int64(1)
+	for d := 0; d <= depth; d++ {
+		want += pow
+		pow *= width
+	}
+	if n.Load() != want {
+		t.Fatalf("ran %d tasks, want %d", n.Load(), want)
+	}
+}
+
+func TestRunOneHelpsWhileBlocked(t *testing.T) {
+	p := sched.NewPool(1) // single worker: helping is mandatory
+	defer p.Shutdown()
+	done := make(chan struct{})
+	p.Submit(func(w *sched.Worker) {
+		var pending atomic.Int64
+		pending.Store(1)
+		w.Spawn(func(*sched.Worker) { pending.Add(-1) })
+		// The only worker is us; the child can only run if we help.
+		for pending.Load() > 0 {
+			if !w.RunOne() {
+				t.Error("RunOne found nothing although a task is pending")
+				break
+			}
+		}
+		close(done)
+	})
+	<-done
+}
+
+func TestPoolSize(t *testing.T) {
+	p := sched.NewPool(3)
+	defer p.Shutdown()
+	if p.Size() != 3 {
+		t.Errorf("Size = %d, want 3", p.Size())
+	}
+	q := sched.NewPool(0)
+	defer q.Shutdown()
+	if q.Size() < 1 {
+		t.Errorf("default pool size %d < 1", q.Size())
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	p := sched.NewPool(2)
+	p.Shutdown()
+	p.Shutdown() // must not panic or hang
+}

@@ -1,0 +1,177 @@
+// Package taskpar provides structured async/finish task parallelism for
+// Go — the "finish scopes" that goroutines lack, modeled on Habanero
+// Java and X10 and matching the semantics assumed by the repair tool:
+//
+//	taskpar.Finish(func(c *taskpar.Ctx) {
+//	    c.Async(func(c *taskpar.Ctx) { left()  })
+//	    c.Async(func(c *taskpar.Ctx) { right() })
+//	}) // waits for left, right, and everything they spawned
+//
+// Async creates a child task that may run in parallel with the remainder
+// of its parent; Finish waits for all tasks transitively created inside
+// it (terminally-strict parallelism). Two executors are available:
+// goroutine-per-task (default; simple and robust) and a bounded
+// work-stealing pool in which blocked finish scopes help execute pending
+// tasks instead of idling.
+//
+// Panics inside tasks propagate: the first panic observed in a finish
+// scope is re-raised by Finish after all its tasks complete.
+package taskpar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"finishrepair/internal/sched"
+)
+
+// Executor runs async/finish programs.
+type Executor struct {
+	pool *sched.Pool // nil for goroutine-per-task mode
+}
+
+// NewGoroutineExecutor returns an executor that runs every async on its
+// own goroutine.
+func NewGoroutineExecutor() *Executor { return &Executor{} }
+
+// NewPoolExecutor returns an executor backed by a work-stealing pool of
+// n workers (n <= 0 means GOMAXPROCS). Close it with Shutdown.
+func NewPoolExecutor(n int) *Executor {
+	return &Executor{pool: sched.NewPool(n)}
+}
+
+// Shutdown releases pool workers; a no-op for the goroutine executor.
+func (e *Executor) Shutdown() {
+	if e.pool != nil {
+		e.pool.Shutdown()
+	}
+}
+
+// scope is one finish scope: a count of live transitive tasks and the
+// first panic observed. The goroutine executor waits on the WaitGroup;
+// the pool executor polls pending so a blocked scope can help run
+// queued tasks.
+type scope struct {
+	pending  atomic.Int64
+	wg       sync.WaitGroup
+	panicMu  sync.Mutex
+	panicked any
+	hasPanic bool
+}
+
+func (s *scope) recordPanic(v any) {
+	s.panicMu.Lock()
+	if !s.hasPanic {
+		s.hasPanic = true
+		s.panicked = v
+	}
+	s.panicMu.Unlock()
+}
+
+func (s *scope) rethrow() {
+	s.panicMu.Lock()
+	defer s.panicMu.Unlock()
+	if s.hasPanic {
+		panic(s.panicked)
+	}
+}
+
+// Ctx is the capability to spawn tasks and open nested finish scopes. A
+// Ctx is bound to the innermost enclosing finish scope of the task that
+// received it.
+type Ctx struct {
+	exec   *Executor
+	scope  *scope
+	worker *sched.Worker // non-nil when running on a pool worker
+}
+
+// Finish runs body in a new finish scope on executor e and blocks until
+// every task transitively spawned inside has completed.
+func (e *Executor) Finish(body func(*Ctx)) {
+	e.finishOn(nil, body)
+}
+
+// Finish runs body in a nested finish scope, waiting for its transitive
+// tasks. The current task keeps its identity; only the join scope
+// changes.
+func (c *Ctx) Finish(body func(*Ctx)) {
+	c.exec.finishOn(c.worker, body)
+}
+
+func (e *Executor) finishOn(w *sched.Worker, body func(*Ctx)) {
+	s := &scope{}
+	ctx := &Ctx{exec: e, scope: s, worker: w}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.recordPanic(r)
+			}
+		}()
+		body(ctx)
+	}()
+	e.wait(ctx)
+	s.rethrow()
+}
+
+// Async spawns fn as a child task of the current task. The child joins
+// at the innermost enclosing finish scope. The child's Ctx spawns into
+// the same scope.
+func (c *Ctx) Async(fn func(*Ctx)) {
+	s := c.scope
+	s.pending.Add(1)
+	s.wg.Add(1)
+	run := func(w *sched.Worker) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.recordPanic(r)
+			}
+			s.pending.Add(-1)
+			s.wg.Done()
+		}()
+		fn(&Ctx{exec: c.exec, scope: s, worker: w})
+	}
+	if c.exec.pool == nil {
+		go run(nil)
+		return
+	}
+	if c.worker != nil {
+		c.worker.Spawn(run)
+	} else {
+		c.exec.pool.Submit(sched.Task(run))
+	}
+}
+
+// wait blocks until ctx's scope has no pending tasks. On the pool, a
+// blocked scope helps run queued tasks ("help-first" waiting) to avoid
+// deadlocking the fixed worker set.
+func (e *Executor) wait(ctx *Ctx) {
+	s := ctx.scope
+	if e.pool == nil || ctx.worker == nil {
+		s.wg.Wait()
+		return
+	}
+	for s.pending.Load() > 0 {
+		if !ctx.worker.RunOne() {
+			// Nothing stealable right now; the remaining tasks are
+			// running on other workers. Spin-yield via the WaitGroup
+			// fast path is not available per-scope, so just yield.
+			yield()
+		}
+	}
+}
+
+// Finish is the package-level convenience using a goroutine executor.
+func Finish(body func(*Ctx)) {
+	defaultExec.Finish(body)
+}
+
+var defaultExec = NewGoroutineExecutor()
+
+// String implements fmt.Stringer for diagnostics.
+func (e *Executor) String() string {
+	if e.pool == nil {
+		return "taskpar(goroutines)"
+	}
+	return fmt.Sprintf("taskpar(pool,%d)", e.pool.Size())
+}

@@ -1,0 +1,112 @@
+package taskpar_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"finishrepair/taskpar"
+)
+
+func executors(t *testing.T) map[string]*taskpar.Executor {
+	t.Helper()
+	pool := taskpar.NewPoolExecutor(4)
+	t.Cleanup(pool.Shutdown)
+	return map[string]*taskpar.Executor{
+		"goroutines": taskpar.NewGoroutineExecutor(),
+		"pool":       pool,
+	}
+}
+
+func TestFinishWaitsForAllTasks(t *testing.T) {
+	for name, exec := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			var n atomic.Int64
+			exec.Finish(func(c *taskpar.Ctx) {
+				for i := 0; i < 100; i++ {
+					c.Async(func(c *taskpar.Ctx) {
+						c.Async(func(*taskpar.Ctx) { n.Add(1) })
+						n.Add(1)
+					})
+				}
+			})
+			if got := n.Load(); got != 200 {
+				t.Errorf("finish returned before tasks completed: n = %d, want 200", got)
+			}
+		})
+	}
+}
+
+func TestNestedFinishJoinsOnlyItsTasks(t *testing.T) {
+	for name, exec := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			var inner, outer atomic.Int64
+			exec.Finish(func(c *taskpar.Ctx) {
+				c.Finish(func(c *taskpar.Ctx) {
+					for i := 0; i < 50; i++ {
+						c.Async(func(*taskpar.Ctx) { inner.Add(1) })
+					}
+				})
+				if inner.Load() != 50 {
+					t.Error("nested finish did not join its asyncs")
+				}
+				c.Async(func(*taskpar.Ctx) { outer.Add(1) })
+			})
+			if outer.Load() != 1 {
+				t.Error("outer finish did not join trailing async")
+			}
+		})
+	}
+}
+
+// Recursive fork/join: parallel Fibonacci with per-call result cells,
+// the canonical structured-parallelism smoke test.
+func TestParallelFib(t *testing.T) {
+	for name, exec := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			var fib func(c *taskpar.Ctx, n int, out *int64)
+			fib = func(c *taskpar.Ctx, n int, out *int64) {
+				if n < 2 {
+					*out = int64(n)
+					return
+				}
+				var x, y int64
+				c.Finish(func(c *taskpar.Ctx) {
+					c.Async(func(c *taskpar.Ctx) { fib(c, n-1, &x) })
+					c.Async(func(c *taskpar.Ctx) { fib(c, n-2, &y) })
+				})
+				*out = x + y
+			}
+			var r int64
+			exec.Finish(func(c *taskpar.Ctx) { fib(c, 18, &r) })
+			if r != 2584 {
+				t.Errorf("fib(18) = %d, want 2584", r)
+			}
+		})
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	for name, exec := range executors(t) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("recovered %v, want boom", r)
+				}
+			}()
+			exec.Finish(func(c *taskpar.Ctx) {
+				c.Async(func(*taskpar.Ctx) { panic("boom") })
+			})
+			t.Error("Finish returned instead of panicking")
+		})
+	}
+}
+
+func TestPackageLevelFinish(t *testing.T) {
+	var n atomic.Int64
+	taskpar.Finish(func(c *taskpar.Ctx) {
+		c.Async(func(*taskpar.Ctx) { n.Add(1) })
+	})
+	if n.Load() != 1 {
+		t.Error("package-level Finish did not join")
+	}
+}

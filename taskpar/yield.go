@@ -1,0 +1,5 @@
+package taskpar
+
+import "runtime"
+
+func yield() { runtime.Gosched() }

@@ -1,0 +1,106 @@
+package tdr
+
+import (
+	"fmt"
+
+	"finishrepair/internal/coverage"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/repair"
+)
+
+// Coverage reports how much of the program the built-in test input
+// exercises — the paper's §9 test-adequacy analysis. An input that
+// leaves async statements unexecuted cannot drive their repair;
+// Coverage.Adequate flags that.
+type CoverageReport struct {
+	Asyncs, AsyncsRun     int
+	Finishes, FinishesRun int
+	Stmts, StmtsRun       int
+	Funcs, FuncsRun       int
+}
+
+// Adequate reports whether every async statement executed.
+func (c CoverageReport) Adequate() bool { return c.AsyncsRun == c.Asyncs }
+
+// String renders the summary.
+func (c CoverageReport) String() string {
+	return fmt.Sprintf("asyncs %d/%d, finishes %d/%d, statements %d/%d, functions %d/%d",
+		c.AsyncsRun, c.Asyncs, c.FinishesRun, c.Finishes, c.StmtsRun, c.Stmts, c.FuncsRun, c.Funcs)
+}
+
+// Coverage measures the test coverage of the program's input.
+func (p *Program) Coverage() (CoverageReport, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return CoverageReport{}, fmt.Errorf("tdr: %w", err)
+	}
+	c, err := coverage.Measure(info)
+	if err != nil {
+		return CoverageReport{}, fmt.Errorf("tdr: %w", err)
+	}
+	return CoverageReport{
+		Asyncs: c.Asyncs, AsyncsRun: c.AsyncsRun,
+		Finishes: c.Finishes, FinishesRun: c.FinishesRun,
+		Stmts: c.Stmts, StmtsRun: c.StmtsRun,
+		Funcs: c.Funcs, FuncsRun: c.FuncsRun,
+	}, nil
+}
+
+// RepairAcross applies the tool iteratively over several test inputs
+// (paper §2: "the tool is applied iteratively for different test
+// inputs"). The inputs are renderings of ONE program that differ only in
+// constants (e.g. input sizes); block structure must be identical, which
+// holds when they come from the same template.
+//
+// Each input's repair placements are replayed onto the next input before
+// its own detection runs, so later inputs only contribute repairs for
+// races the earlier inputs missed. The returned source is the final
+// rendering (last input) with every inserted finish; the report
+// aggregates all rounds.
+func RepairAcross(srcs []string, opts RepairOptions) (string, *RepairReport, error) {
+	if len(srcs) == 0 {
+		return "", nil, fmt.Errorf("tdr: no inputs")
+	}
+	total := &RepairReport{}
+	var applied []repair.Iteration
+	for i, src := range srcs {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
+		}
+		if _, err := sem.Check(prog); err != nil {
+			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
+		}
+		if err := repair.Replay(prog, applied); err != nil {
+			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
+		}
+		v := raceVariant(opts.Detector)
+		rep, err := repair.Repair(prog, repair.Options{
+			Variant:       v,
+			MaxIterations: opts.MaxIterations,
+			UseTraceFiles: true,
+		})
+		if err != nil {
+			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
+		}
+		applied = append(applied, rep.Iterations...)
+		total.Iterations += len(rep.Iterations)
+		total.RacesFound += rep.TotalRaces()
+		total.FinishesInserted += rep.Inserted
+		total.Output = rep.Output
+	}
+
+	final, err := parser.Parse(srcs[len(srcs)-1])
+	if err != nil {
+		return "", nil, err
+	}
+	if err := repair.Replay(final, applied); err != nil {
+		return "", nil, err
+	}
+	if _, err := sem.Check(final); err != nil {
+		return "", nil, fmt.Errorf("tdr: repaired program invalid: %w", err)
+	}
+	return printer.Print(final), total, nil
+}

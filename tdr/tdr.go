@@ -1,0 +1,250 @@
+// Package tdr is the public facade of the test-driven data-race repair
+// tool (Surendran et al., PLDI 2014): load an HJ-lite structured
+// parallel program, detect the data races of its canonical sequential
+// execution, and insert finish statements that eliminate them while
+// maximizing parallelism and respecting the program's lexical scope.
+//
+// Typical use:
+//
+//	p, err := tdr.Load(src)
+//	report, err := p.Repair(tdr.RepairOptions{})
+//	fmt.Println(p.Source())       // program with inserted finishes
+//	out, err := p.RunParallel(0)  // execute on real tasks
+package tdr
+
+import (
+	"fmt"
+
+	"finishrepair/internal/cpl"
+	"finishrepair/internal/dpst"
+	"finishrepair/internal/interp"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/printer"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/parinterp"
+	"finishrepair/internal/race"
+	"finishrepair/internal/repair"
+	"finishrepair/taskpar"
+)
+
+// Program is a loaded HJ-lite program.
+type Program struct {
+	prog *ast.Program
+}
+
+// Load parses and checks an HJ-lite source program.
+func Load(src string) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("tdr: %w", err)
+	}
+	if _, err := sem.Check(prog); err != nil {
+		return nil, fmt.Errorf("tdr: %w", err)
+	}
+	return &Program{prog: prog}, nil
+}
+
+// Source renders the (possibly repaired) program as HJ-lite source.
+func (p *Program) Source() string { return printer.Print(p.prog) }
+
+// StripFinishes removes every finish statement (the paper's way of
+// producing buggy inputs for evaluation); it returns how many were
+// removed.
+func (p *Program) StripFinishes() int { return ast.StripFinishes(p.prog) }
+
+// CountFinishes returns the number of finish statements.
+func (p *Program) CountFinishes() int { return ast.CountFinishes(p.prog) }
+
+// Detector selects the race-detector variant.
+type Detector int
+
+// Detector variants (paper §4.1).
+const (
+	MRW Detector = iota // multiple reader-writer: all races in one run
+	SRW                 // single reader-writer: classic ESP-Bags subset
+)
+
+// RaceInfo describes one detected data race.
+type RaceInfo struct {
+	// Kind is "W->W", "R->W", or "W->R" (source access -> sink access).
+	Kind string
+	// SrcStep and DstStep are S-DPST step IDs (source is DFS-earlier).
+	SrcStep, DstStep int
+	// SrcPos and DstPos are source positions of the statements the
+	// racing steps cover, when known ("line:col").
+	SrcPos, DstPos string
+}
+
+// RaceReport summarizes a detection run.
+type RaceReport struct {
+	Races      []RaceInfo
+	SDPSTNodes int
+	Output     string
+}
+
+// Detect runs the canonical sequential depth-first execution with the
+// chosen detector and reports all races found.
+func (p *Program) Detect(d Detector) (*RaceReport, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return nil, fmt.Errorf("tdr: %w", err)
+	}
+	v := race.VariantMRW
+	if d == SRW {
+		v = race.VariantSRW
+	}
+	res, det, err := race.Detect(info, v, race.NewBagsOracle())
+	if err != nil {
+		return nil, fmt.Errorf("tdr: %w", err)
+	}
+	rep := &RaceReport{SDPSTNodes: res.Tree.NumNodes(), Output: res.Output}
+	for _, r := range det.Races() {
+		rep.Races = append(rep.Races, RaceInfo{
+			Kind:    r.Kind.String(),
+			SrcStep: r.Src.ID,
+			DstStep: r.Dst.ID,
+			SrcPos:  stepPos(r.Src),
+			DstPos:  stepPos(r.Dst),
+		})
+	}
+	return rep, nil
+}
+
+// stepPos renders the source position of the first statement a step
+// covers, when known.
+func stepPos(n *dpst.Node) string {
+	if n.OwnerBlock == nil || n.StmtLo < 0 || n.StmtLo >= len(n.OwnerBlock.Stmts) {
+		return ""
+	}
+	return n.OwnerBlock.Stmts[n.StmtLo].Pos().String()
+}
+
+// SDPSTDot runs the canonical instrumented execution and renders the
+// S-DPST in Graphviz DOT format with the detected races as dotted red
+// edges — the paper's Figure 9 for your program.
+func (p *Program) SDPSTDot() (string, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	res, det, err := race.Detect(info, race.VariantMRW, race.NewBagsOracle())
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	var edges [][2]*dpst.Node
+	for _, r := range det.Races() {
+		edges = append(edges, [2]*dpst.Node{r.Src, r.Dst})
+	}
+	return res.Tree.DOT(edges), nil
+}
+
+// RepairOptions configures Repair.
+type RepairOptions struct {
+	Detector      Detector
+	MaxIterations int
+}
+
+// RepairReport summarizes a repair.
+type RepairReport struct {
+	// Iterations is the number of detect/place/rewrite rounds (the last
+	// one is the race-free confirmation).
+	Iterations int
+	// RacesFound is the total number of races detected across rounds.
+	RacesFound int
+	// FinishesInserted counts the inserted finish statements.
+	FinishesInserted int
+	// Output is the program output of the final race-free run.
+	Output string
+}
+
+func raceVariant(d Detector) race.Variant {
+	if d == SRW {
+		return race.VariantSRW
+	}
+	return race.VariantMRW
+}
+
+// Repair runs the test-driven repair loop, mutating the program in
+// place. After a successful repair the program is data-race-free for
+// this input and Source returns the rewritten text.
+func (p *Program) Repair(opts RepairOptions) (*RepairReport, error) {
+	v := raceVariant(opts.Detector)
+	rep, err := repair.Repair(p.prog, repair.Options{
+		Variant:       v,
+		MaxIterations: opts.MaxIterations,
+		UseTraceFiles: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tdr: %w", err)
+	}
+	return &RepairReport{
+		Iterations:       len(rep.Iterations),
+		RacesFound:       rep.TotalRaces(),
+		FinishesInserted: rep.Inserted,
+		Output:           rep.Output,
+	}, nil
+}
+
+// RunSequential executes the serial elision (async/finish ignored) and
+// returns its output — the semantic reference.
+func (p *Program) RunSequential() (string, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	res, err := interp.Run(info, interp.Options{Mode: interp.Elide, OpLimit: 1 << 40})
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	return res.Output, nil
+}
+
+// RunParallel executes the program with real parallelism on a
+// work-stealing pool of the given size (0 = GOMAXPROCS). The program
+// should be race-free (expert-written or repaired).
+func (p *Program) RunParallel(workers int) (string, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	exec := taskpar.NewPoolExecutor(workers)
+	defer exec.Shutdown()
+	res, err := parinterp.Run(info, parinterp.Options{Executor: exec})
+	if err != nil {
+		return "", fmt.Errorf("tdr: %w", err)
+	}
+	return res.Output, nil
+}
+
+// Parallelism summarizes the available parallelism of an execution
+// (Definition 1: maximal parallelism = minimal critical path length).
+type Parallelism struct {
+	// Work is the total work in abstract units (T1).
+	Work int64
+	// Span is the critical path length (T-infinity).
+	Span int64
+}
+
+// Ratio returns Work/Span.
+func (pl Parallelism) Ratio() float64 {
+	if pl.Span == 0 {
+		return 1
+	}
+	return float64(pl.Work) / float64(pl.Span)
+}
+
+// CriticalPath measures work and span of the program's execution on the
+// deterministic cost model.
+func (p *Program) CriticalPath() (Parallelism, error) {
+	info, err := sem.Check(p.prog)
+	if err != nil {
+		return Parallelism{}, fmt.Errorf("tdr: %w", err)
+	}
+	res, err := interp.Run(info, interp.Options{Mode: interp.DepthFirst, Instrument: true, OpLimit: 1 << 40})
+	if err != nil {
+		return Parallelism{}, fmt.Errorf("tdr: %w", err)
+	}
+	m := cpl.Analyze(res.Tree)
+	return Parallelism{Work: m.Work, Span: m.Span}, nil
+}
