@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
+
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

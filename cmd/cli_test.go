@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"finishrepair/internal/obs"
 )
 
 var bins = map[string]string{}
@@ -64,6 +66,9 @@ func TestHjrepairThenRun(t *testing.T) {
 	if !strings.Contains(stderr, "finish(es) inserted") {
 		t.Errorf("missing summary: %s", stderr)
 	}
+	if !strings.Contains(stderr, "races/iter:") {
+		t.Errorf("summary missing per-iteration race counts: %s", stderr)
+	}
 
 	// The repaired program is race-free and runs in parallel.
 	_, stderr, code = runTool(t, "hjrun", "-mode", "detect", fixed)
@@ -109,6 +114,117 @@ func TestHjbenchFig4(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("fig 4 output missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+func TestHjrepairTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.json")
+	jsonlFile := filepath.Join(dir, "t.jsonl")
+	_, stderr, code := runTool(t, "hjrepair", "-quiet",
+		"-trace", traceFile, "-jsonl", jsonlFile, "-metrics", "../testdata/buggy_fib.hj")
+	if code != 0 {
+		t.Fatalf("hjrepair failed (%d): %s", code, stderr)
+	}
+
+	// The Chrome trace covers every pipeline phase of paper Fig. 6.
+	tf, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	recs, err := obs.ReadChromeTrace(tf)
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	have := map[string]bool{}
+	for _, r := range recs {
+		have[r.Name] = true
+	}
+	for _, phase := range []string{"parse", "sem-check", "repair", "iteration", "detect", "group-nslca", "dp-place", "rewrite", "verify"} {
+		if !have[phase] {
+			t.Errorf("chrome trace missing phase %q (got %v)", phase, have)
+		}
+	}
+
+	// The JSONL log re-parses, nests well-formedly, and carries metrics.
+	jf, err := os.Open(jsonlFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	spans, samples, err := obs.ReadJSONL(jf)
+	if err != nil {
+		t.Fatalf("invalid jsonl: %v", err)
+	}
+	if err := obs.ValidateNesting(spans); err != nil {
+		t.Errorf("jsonl spans malformed: %v", err)
+	}
+	foundDP := false
+	for _, s := range samples {
+		if s.Name == "repair.dp_states" && s.Value > 0 {
+			foundDP = true
+		}
+	}
+	if !foundDP {
+		t.Errorf("jsonl metrics missing repair.dp_states > 0: %v", samples)
+	}
+
+	// -metrics dumps the registry to stderr.
+	if !strings.Contains(stderr, "race.detect_runs") {
+		t.Errorf("-metrics output missing detector counters: %s", stderr)
+	}
+}
+
+func TestHjrepairMaxIterationsExitCode(t *testing.T) {
+	// buggy_fib needs two repair rounds; a bound of one exhausts.
+	_, stderr, code := runTool(t, "hjrepair", "-max-iter", "1", "../testdata/buggy_fib.hj")
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (max iterations exhausted); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "UNRESOLVED") || !strings.Contains(stderr, "races/iter:") {
+		t.Errorf("exhaustion summary incomplete: %s", stderr)
+	}
+}
+
+func TestHjrunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "run.json")
+	_, stderr, code := runTool(t, "hjrun", "-mode", "par", "-trace", traceFile, "-metrics", "../testdata/quicksort.hj")
+	if code != 0 {
+		t.Fatalf("hjrun failed (%d): %s", code, stderr)
+	}
+	tf, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	recs, err := obs.ReadChromeTrace(tf)
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	have := map[string]bool{}
+	for _, r := range recs {
+		have[r.Name] = true
+	}
+	for _, phase := range []string{"parse", "sem-check", "parallel-run"} {
+		if !have[phase] {
+			t.Errorf("trace missing phase %q", phase)
+		}
+	}
+	// The parallel run drove the task runtime; its counters surface.
+	if !strings.Contains(stderr, "taskpar.asyncs") {
+		t.Errorf("-metrics missing taskpar counters: %s", stderr)
+	}
+}
+
+func TestHjbenchDebugAddrRejectsBadAddress(t *testing.T) {
+	_, stderr, code := runTool(t, "hjbench", "-fig", "4", "-debug-addr", "256.0.0.1:bogus")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "debug server") {
+		t.Errorf("stderr missing debug server diagnosis: %s", stderr)
 	}
 }
 

@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	hjbench -table 1|2|3|4
+//	hjbench -table 1|2|3|4 [-json]
 //	hjbench -fig 16 [-runs N] [-scale PCT]
 //	hjbench -fig 4
 //	hjbench -homework
 //	hjbench -all [-runs N] [-scale PCT]
+//
+// Observability: -trace FILE writes a Chrome trace_event JSON of every
+// harness phase (per-benchmark repair iterations with detect / dp-place
+// / rewrite breakdowns), -metrics prints the metrics registry to stderr
+// after the run, and -debug-addr HOST:PORT serves expvar
+// (/debug/vars), a metrics text endpoint (/debug/metrics), and
+// net/http/pprof (/debug/pprof/) for live inspection while long
+// benchmark runs execute.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 
 	"finishrepair/internal/bench"
 	"finishrepair/internal/homework"
+	"finishrepair/internal/obs"
 	"finishrepair/internal/repair"
 )
 
@@ -30,7 +39,25 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	runs := flag.Int("runs", 5, "repetitions per data point for figure 16 (paper: 30)")
 	scale := flag.Int("scale", 100, "percentage of the performance input size for figure 16")
+	jsonOut := flag.Bool("json", false, "emit table 2 as JSON with stage-level breakdowns")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the harness phases to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, _, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hjbench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hjbench: debug endpoints at http://%s/debug/{vars,metrics,pprof}\n", addr)
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.New()
+		bench.SetTracer(tracer)
+	}
 
 	w := os.Stdout
 	any := false
@@ -47,7 +74,11 @@ func main() {
 		run("table 1", func() error { bench.PrintTable1(w); return nil })
 	}
 	if *all || *table == 2 {
-		run("table 2", func() error { return bench.PrintTable2(w) })
+		if *jsonOut {
+			run("table 2", func() error { return bench.Table2JSON(w) })
+		} else {
+			run("table 2", func() error { return bench.PrintTable2(w) })
+		}
 	}
 	if *all || *table == 3 {
 		run("table 3", func() error { return bench.PrintTable3(w) })
@@ -70,6 +101,16 @@ func main() {
 	if !any {
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	if tracer.Enabled() {
+		if err := obs.ExportFiles(tracer, *traceFile, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "hjbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		obs.WriteText(os.Stderr, obs.Default().Snapshot())
 	}
 }
 
@@ -104,7 +145,7 @@ func printFig4(w *os.File) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "Algorithm 1 optimum: CPL = %d, finish set:", sol.Cost)
+	fmt.Fprintf(w, "Algorithm 1 optimum: CPL = %d (%d DP states), finish set:", sol.Cost, sol.States)
 	for _, f := range sol.Finishes {
 		fmt.Fprintf(w, " (%c..%c)", names[f.S], names[f.E])
 	}

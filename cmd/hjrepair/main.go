@@ -6,21 +6,44 @@
 //
 // Usage:
 //
-//	hjrepair [-detector mrw|srw] [-o out.hj] [-quiet] program.hj
+//	hjrepair [-detector mrw|srw] [-o out.hj] [-quiet] [-max-iter N]
+//	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
+//
+// Observability: -trace writes a Chrome trace_event JSON covering every
+// pipeline phase (open it in chrome://tracing or ui.perfetto.dev),
+// -jsonl writes the same spans plus the metrics registry as a JSONL
+// event log, -metrics prints the metrics snapshot to stderr, and -v
+// prints the span tree to stderr.
+//
+// Exit codes: 0 repaired (or already race-free), 1 error, 2 usage,
+// 3 the iteration bound was exhausted with races remaining.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"finishrepair/internal/obs"
+	"finishrepair/internal/repair"
 	"finishrepair/tdr"
 )
+
+// exitMaxIterations is the distinct exit code for a repair that ran out
+// of iterations before reaching race-freedom.
+const exitMaxIterations = 3
 
 func main() {
 	detector := flag.String("detector", "mrw", "race detector variant: mrw or srw")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
+	maxIter := flag.Int("max-iter", 0, "bound on detect/repair rounds (0 = default 10)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline phases to this file")
+	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr")
+	verbose := flag.Bool("v", false, "print the phase span tree to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hjrepair [flags] program.hj")
@@ -28,11 +51,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" || *jsonlFile != "" || *verbose {
+		tracer = obs.New()
+	}
+	// Exporters run on every exit path so failed repairs stay auditable.
+	// A failed export turns an otherwise-successful run into exit 1: the
+	// caller asked for a trace it did not get.
+	exportFailed := false
+	exportObs := func() {
+		if tracer.Enabled() {
+			if err := obs.ExportFiles(tracer, *traceFile, *jsonlFile); err != nil {
+				fmt.Fprintln(os.Stderr, "hjrepair:", err)
+				exportFailed = true
+			}
+			if *verbose {
+				obs.WriteSpansText(os.Stderr, tracer.Records())
+			}
+		}
+		if *metrics {
+			obs.WriteText(os.Stderr, obs.Default().Snapshot())
+		}
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := tdr.Load(string(src))
+	prog, err := tdr.LoadTraced(string(src), tracer)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,23 +90,53 @@ func main() {
 		fatal(fmt.Errorf("unknown detector %q", *detector))
 	}
 
-	rep, err := prog.Repair(tdr.RepairOptions{Detector: d})
+	rep, err := prog.Repair(tdr.RepairOptions{Detector: d, MaxIterations: *maxIter})
 	if err != nil {
+		var mi *repair.MaxIterationsError
+		if errors.As(err, &mi) {
+			if !*quiet {
+				summarize(rep, mi)
+			}
+			exportObs()
+			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			os.Exit(exitMaxIterations)
+		}
+		exportObs()
 		fatal(err)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "hjrepair: %d race(s) found, %d finish(es) inserted in %d iteration(s)\n",
-			rep.RacesFound, rep.FinishesInserted, rep.Iterations)
+		summarize(rep, nil)
 	}
+	exportObs()
 
 	repaired := prog.Source()
 	if *out == "" {
 		fmt.Print(repaired)
-		return
-	}
-	if err := os.WriteFile(*out, []byte(repaired), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, []byte(repaired), 0o644); err != nil {
 		fatal(err)
 	}
+	if exportFailed {
+		os.Exit(1)
+	}
+}
+
+// summarize prints the one-line repair summary with the per-iteration
+// race counts (e.g. "races/iter: 3,2,0"; the final 0 is the race-free
+// confirmation round).
+func summarize(rep *tdr.RepairReport, mi *repair.MaxIterationsError) {
+	if rep == nil {
+		return
+	}
+	perIter := make([]string, 0, len(rep.PerIteration))
+	for _, n := range rep.RacesPerIteration() {
+		perIter = append(perIter, fmt.Sprint(n))
+	}
+	status := ""
+	if mi != nil {
+		status = fmt.Sprintf(", %d race(s) UNRESOLVED", mi.RemainingRaces)
+	}
+	fmt.Fprintf(os.Stderr, "hjrepair: %d race(s) found, %d finish(es) inserted in %d iteration(s) (races/iter: %s)%s\n",
+		rep.RacesFound, rep.FinishesInserted, rep.Iterations, strings.Join(perIter, ","), status)
 }
 
 func fatal(err error) {

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	hjrun [-mode seq|par|detect|coverage] [-workers N] program.hj
+//	hjrun [-mode seq|par|detect|coverage|dot] [-workers N]
+//	      [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // Modes:
 //
@@ -12,6 +13,11 @@
 //	coverage test-adequacy analysis: which asyncs/statements the
 //	         input actually exercises
 //	dot      S-DPST with race edges in Graphviz format (paper Fig. 9)
+//
+// Observability: -trace writes a Chrome trace_event JSON of the phases
+// (parse, sem-check, and the run/detect phase), -jsonl a JSONL event
+// log, -metrics the metrics snapshot (including taskpar/sched task and
+// steal counters for -mode par) to stderr, and -v the span tree.
 package main
 
 import (
@@ -19,12 +25,17 @@ import (
 	"fmt"
 	"os"
 
+	"finishrepair/internal/obs"
 	"finishrepair/tdr"
 )
 
 func main() {
 	mode := flag.String("mode", "par", "execution mode: seq, par, detect, or coverage")
 	workers := flag.Int("workers", 0, "pool workers for -mode par (0 = GOMAXPROCS)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the phases to this file")
+	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr")
+	verbose := flag.Bool("v", false, "print the phase span tree to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hjrun [flags] program.hj")
@@ -32,13 +43,40 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" || *jsonlFile != "" || *verbose {
+		tracer = obs.New()
+	}
+	// A failed export turns an otherwise-successful run into exit 1: the
+	// caller asked for a trace it did not get.
+	exportFailed := false
+	exportObs := func() {
+		if tracer.Enabled() {
+			if err := obs.ExportFiles(tracer, *traceFile, *jsonlFile); err != nil {
+				fmt.Fprintln(os.Stderr, "hjrun:", err)
+				exportFailed = true
+			}
+			if *verbose {
+				obs.WriteSpansText(os.Stderr, tracer.Records())
+			}
+		}
+		if *metrics {
+			obs.WriteText(os.Stderr, obs.Default().Snapshot())
+		}
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := tdr.Load(string(src))
+	prog, err := tdr.LoadTraced(string(src), tracer)
 	if err != nil {
 		fatal(err)
+	}
+
+	exit := func(code int) {
+		exportObs()
+		os.Exit(code)
 	}
 
 	switch *mode {
@@ -68,7 +106,7 @@ func main() {
 		fmt.Println(cov)
 		if !cov.Adequate() {
 			fmt.Fprintln(os.Stderr, "hjrun: WARNING: some async statements never executed; this input cannot drive their repair")
-			os.Exit(1)
+			exit(1)
 		}
 	case "detect":
 		rep, err := prog.Detect(tdr.MRW)
@@ -86,10 +124,14 @@ func main() {
 				r.Kind, r.SrcStep, r.SrcPos, r.DstStep, r.DstPos)
 		}
 		if len(rep.Races) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	exportObs()
+	if exportFailed {
+		os.Exit(1)
 	}
 }
 

@@ -10,38 +10,62 @@ import (
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/parser"
 	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/obs"
 	"finishrepair/internal/parinterp"
 	"finishrepair/internal/race"
 	"finishrepair/internal/repair"
 	"finishrepair/taskpar"
 )
 
+// tracer receives the per-phase spans of every harness run when set via
+// SetTracer (hjbench -trace).
+var tracer *obs.Tracer
+
+// SetTracer attaches tr to all subsequent harness runs; nil detaches.
+func SetTracer(tr *obs.Tracer) { tracer = tr }
+
 // RepairStats is one benchmark's repair-mode measurement (Tables 2-4).
 type RepairStats struct {
-	Name string
+	Name string `json:"name"`
 	// SeqTime is the serial-elision runtime (HJ-Seq column).
-	SeqTime time.Duration
+	SeqTime time.Duration `json:"seq_time_ns"`
 	// DetectTime is the first instrumented run: race detection plus
 	// S-DPST construction.
-	DetectTime time.Duration
-	SDPSTNodes int
-	Races      int
+	DetectTime time.Duration `json:"detect_time_ns"`
+	SDPSTNodes int           `json:"sdpst_nodes"`
+	Races      int           `json:"races"`
 	// RepairTime sums dynamic+static finish placement and rewrite time
 	// across iterations (trace I/O included, as in the paper's tool).
-	RepairTime time.Duration
+	RepairTime time.Duration `json:"repair_time_ns"`
+	// PlaceTime and RewriteTime break RepairTime down into NS-LCA
+	// grouping + DP placement vs the AST rewrite, summed over iterations.
+	PlaceTime   time.Duration `json:"place_time_ns"`
+	RewriteTime time.Duration `json:"rewrite_time_ns"`
 	// SecondDetect is the confirming detection run (the final, race-free
 	// iteration).
-	SecondDetect time.Duration
-	Iterations   int
-	Inserted     int
+	SecondDetect time.Duration `json:"second_detect_ns"`
+	Iterations   int           `json:"iterations"`
+	Inserted     int           `json:"inserted"`
+	// DPStates counts dynamic-programming states explored across all
+	// placement rounds.
+	DPStates int64 `json:"dp_states"`
+	// RacesPerIteration lists each round's race count (the final 0 is
+	// the confirmation round).
+	RacesPerIteration []int `json:"races_per_iteration"`
 	// OutputOK reports whether the repaired program's output equals the
 	// serial elision's.
-	OutputOK bool
+	OutputOK bool `json:"output_ok"`
 	// SpanOriginal/SpanRepaired are critical path lengths (work units) of
 	// the expert-written and the repaired program; equal values mean the
 	// repair preserved maximal parallelism (§7.1).
-	SpanOriginal, SpanRepaired int64
-	WorkOriginal, WorkRepaired int64
+	SpanOriginal int64 `json:"span_original"`
+	SpanRepaired int64 `json:"span_repaired"`
+	WorkOriginal int64 `json:"work_original"`
+	WorkRepaired int64 `json:"work_repaired"`
+	// Metrics is the delta of the process metrics registry over this
+	// benchmark's run: detector, placement, scheduler, and taskpar
+	// counters (stage-level breakdown for BENCH_*.json entries).
+	Metrics []obs.Sample `json:"metrics,omitempty"`
 }
 
 // loadChecked parses and checks src.
@@ -59,6 +83,9 @@ func loadChecked(src string) (*sem.Info, error) {
 func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, error) {
 	src := b.Src(size)
 	st := &RepairStats{Name: b.Name}
+	before := obs.Default().Snapshot()
+	bsp := tracer.Start("bench-repair").SetStr("benchmark", b.Name).SetStr("variant", variant.String())
+	defer bsp.End()
 
 	// HJ-Seq: the serial elision runtime.
 	elideInfo, err := loadChecked(src)
@@ -70,8 +97,10 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 	if err != nil {
 		return nil, fmt.Errorf("%s elision: %w", b.Name, err)
 	}
+	esp := bsp.Child("seq-elision")
 	t0 := time.Now()
 	elideRes, err := interp.Run(elideInfo, interp.Options{Mode: interp.Elide})
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s elision run: %w", b.Name, err)
 	}
@@ -91,17 +120,20 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 			return nil, err
 		}
 		det := race.New(variant, race.NewBagsOracle())
+		dsp := bsp.Child("detect-uncollapsed")
 		t0 := time.Now()
 		res, err := interp.Run(info, interp.Options{
 			Mode: interp.DepthFirst, Instrument: true,
 			Access: det, Structure: det, NoCollapse: true,
 		})
 		if err != nil {
+			dsp.End()
 			return nil, fmt.Errorf("%s detection: %w", b.Name, err)
 		}
 		st.DetectTime = time.Since(t0)
 		st.SDPSTNodes = res.Tree.NumNodes()
 		st.Races = len(det.Races())
+		dsp.SetInt("races", int64(st.Races)).SetInt("sdpst_nodes", int64(st.SDPSTNodes)).End()
 	}
 
 	// Buggy program: strip every finish, then repair (the repair loop
@@ -111,7 +143,7 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 		return nil, err
 	}
 	ast.StripFinishes(buggy)
-	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true})
+	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true, ParentSpan: bsp})
 	if err != nil {
 		return nil, fmt.Errorf("%s repair: %w", b.Name, err)
 	}
@@ -119,13 +151,19 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 	st.Iterations = len(rep.Iterations)
 	st.Inserted = rep.Inserted
 	st.SecondDetect = last.DetectTime
+	st.DPStates = rep.TotalDPStates()
 	for _, it := range rep.Iterations {
 		st.RepairTime += it.RepairTime
+		st.PlaceTime += it.PlaceTime
+		st.RewriteTime += it.RewriteTime
+		st.RacesPerIteration = append(st.RacesPerIteration, it.Races)
 	}
 	st.OutputOK = rep.Output == elideRes.Output
 
 	// Parallelism comparison: span of the repaired vs the expert-written
 	// program on the same input.
+	csp := bsp.Child("parallelism-compare")
+	defer csp.End()
 	origInfo, err := loadChecked(src)
 	if err != nil {
 		return nil, err
@@ -146,6 +184,7 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 	rm := cpl.Analyze(repRes.Tree)
 	st.SpanOriginal, st.SpanRepaired = om.Span, rm.Span
 	st.WorkOriginal, st.WorkRepaired = om.Work, rm.Work
+	st.Metrics = obs.Default().Delta(before)
 	return st, nil
 }
 
@@ -207,6 +246,8 @@ func RunPerf(b *Benchmark, size, runs int) (*PerfStats, error) {
 	}
 	src := b.Src(size)
 	ps := &PerfStats{Name: b.Name, Runs: runs}
+	psp := tracer.Start("bench-perf").SetStr("benchmark", b.Name).SetInt("runs", int64(runs))
+	defer psp.End()
 
 	// Serial elision.
 	elideInfo, err := loadChecked(src)

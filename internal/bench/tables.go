@@ -59,15 +59,15 @@ func PrintTable1(w io.Writer) {
 // repair time.
 func PrintTable2(w io.Writer) error {
 	fmt.Fprintf(w, "Table 2: Time for Program Repair (input size: Repair)\n")
-	fmt.Fprintf(w, "%-14s %12s %16s %14s %12s %12s %8s\n",
-		"Benchmark", "HJ-Seq (ms)", "Detection (ms)", "S-DPST Nodes", "Races", "Repair (s)", "OK")
+	fmt.Fprintf(w, "%-14s %12s %16s %14s %12s %12s %10s %8s\n",
+		"Benchmark", "HJ-Seq (ms)", "Detection (ms)", "S-DPST Nodes", "Races", "Repair (s)", "DP states", "OK")
 	for _, b := range All() {
 		st, err := RunRepair(b, race.VariantMRW, b.RepairSize)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-14s %12s %16s %14d %12d %12s %8v\n",
-			st.Name, ms(st.SeqTime), ms(st.DetectTime), st.SDPSTNodes, st.Races, secs(st.RepairTime), st.OutputOK)
+		fmt.Fprintf(w, "%-14s %12s %16s %14d %12d %12s %10d %8v\n",
+			st.Name, ms(st.SeqTime), ms(st.DetectTime), st.SDPSTNodes, st.Races, secs(st.RepairTime), st.DPStates, st.OutputOK)
 	}
 	return nil
 }

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns an http.Handler exposing the standard debug
+// surface:
+//
+//	/debug/vars     expvar JSON (includes the obs_metrics registry)
+//	/debug/metrics  the default registry as aligned text
+//	/debug/pprof/*  net/http/pprof profiles
+func DebugHandler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, Default().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060")
+// in a background goroutine and returns the bound listener address and
+// the server for shutdown. Pass addr with port 0 to pick a free port.
+func ServeDebug(addr string) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv, nil
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ExportFiles writes the tracer's records, together with the default
+// registry's snapshot, to chromePath (Chrome trace_event JSON) and
+// jsonlPath (JSONL event log). Empty paths are skipped; a nil tracer
+// exports empty span sets.
+func ExportFiles(t *Tracer, chromePath, jsonlPath string) error {
+	recs := t.Records()
+	samples := Default().Snapshot()
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(chromePath, func(w io.Writer) error {
+		return WriteChromeTrace(w, recs, samples)
+	}); err != nil {
+		return err
+	}
+	return write(jsonlPath, func(w io.Writer) error {
+		return WriteJSONL(w, recs, samples)
+	})
+}
+
+// jsonSpan is the JSONL wire form of one span.
+type jsonSpan struct {
+	Type       string         `json:"type"` // "span"
+	ID         int64          `json:"id"`
+	Parent     int64          `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	StartUS    float64        `json:"start_us"`
+	DurUS      float64        `json:"dur_us"`
+	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// jsonMetric is the JSONL wire form of one metric sample.
+type jsonMetric struct {
+	Type string `json:"type"` // "metric"
+	Sample
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// WriteJSONL writes one JSON object per line: every span record followed
+// by every metric sample (pass nil samples to omit metrics).
+func WriteJSONL(w io.Writer, recs []SpanRecord, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(jsonSpan{
+			Type: "span", ID: r.ID, Parent: r.Parent, Name: r.Name,
+			StartUS: micros(r.Start), DurUS: micros(r.Dur),
+			AllocBytes: r.AllocBytes, Attrs: attrMap(r.Attrs),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range samples {
+		if err := enc.Encode(jsonMetric{Type: "metric", Sample: s}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL export back into span records and metric
+// samples (the inverse of WriteJSONL, used for round-trip validation).
+func ReadJSONL(r io.Reader) ([]SpanRecord, []Sample, error) {
+	var recs []SpanRecord
+	var samples []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return nil, nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		switch head.Type {
+		case "span":
+			var js jsonSpan
+			if err := json.Unmarshal(raw, &js); err != nil {
+				return nil, nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+			}
+			rec := SpanRecord{
+				ID: js.ID, Parent: js.Parent, Name: js.Name,
+				Start:      time.Duration(js.StartUS * 1e3),
+				Dur:        time.Duration(js.DurUS * 1e3),
+				AllocBytes: js.AllocBytes,
+			}
+			for k, v := range js.Attrs {
+				switch x := v.(type) {
+				case string:
+					rec.Attrs = append(rec.Attrs, Attr{Key: k, Str: x, IsStr: true})
+				case float64:
+					rec.Attrs = append(rec.Attrs, Attr{Key: k, Int: int64(x)})
+				}
+			}
+			recs = append(recs, rec)
+		case "metric":
+			var jm jsonMetric
+			if err := json.Unmarshal(raw, &jm); err != nil {
+				return nil, nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+			}
+			samples = append(samples, jm.Sample)
+		default:
+			return nil, nil, fmt.Errorf("obs: jsonl line %d: unknown event type %q", line, head.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return recs, samples, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a microsecond timestamp and duration.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of a trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace writes the spans (and, as a final instant event, the
+// metric samples) in Chrome trace_event JSON. Load the file in
+// chrome://tracing or https://ui.perfetto.dev to see the pipeline
+// phases on a timeline.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord, samples []Sample) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms"}
+	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "finishrepair pipeline"},
+	})
+	for _, r := range recs {
+		args := attrMap(r.Attrs)
+		if r.AllocBytes > 0 {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["alloc_bytes"] = r.AllocBytes
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: r.Name, Ph: "X", TS: micros(r.Start), Dur: micros(r.Dur),
+			PID: 1, TID: 1, Args: args,
+		})
+	}
+	if len(samples) > 0 {
+		args := make(map[string]any, len(samples))
+		var last time.Duration
+		for _, r := range recs {
+			if end := r.Start + r.Dur; end > last {
+				last = end
+			}
+		}
+		for _, s := range samples {
+			args[s.Name] = s.Value
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "metrics", Ph: "i", TS: micros(last), PID: 1, TID: 1, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// ReadChromeTrace parses a trace file written by WriteChromeTrace back
+// into span records ("X" events only). Used for round-trip validation.
+func ReadChromeTrace(r io.Reader) ([]SpanRecord, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	var recs []SpanRecord
+	var id int64
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		id++
+		rec := SpanRecord{
+			ID:    id,
+			Name:  ev.Name,
+			Start: time.Duration(ev.TS * 1e3),
+			Dur:   time.Duration(ev.Dur * 1e3),
+		}
+		for k, v := range ev.Args {
+			switch x := v.(type) {
+			case string:
+				rec.Attrs = append(rec.Attrs, Attr{Key: k, Str: x, IsStr: true})
+			case float64:
+				rec.Attrs = append(rec.Attrs, Attr{Key: k, Int: int64(x)})
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// WriteSpansText renders the span tree as an indented human-readable
+// listing, children under parents in start order.
+func WriteSpansText(w io.Writer, recs []SpanRecord) error {
+	children := make(map[int64][]SpanRecord)
+	for _, r := range recs {
+		children[r.Parent] = append(children[r.Parent], r)
+	}
+	var emit func(parent int64, depth int) error
+	emit = func(parent int64, depth int) error {
+		for _, r := range children[parent] {
+			_, err := fmt.Fprintf(w, "%*s%-24s %12v", depth*2, "", r.Name, r.Dur.Round(time.Microsecond))
+			if err != nil {
+				return err
+			}
+			if r.AllocBytes > 0 {
+				if _, err := fmt.Fprintf(w, "  %8dB", r.AllocBytes); err != nil {
+					return err
+				}
+			}
+			for _, a := range r.Attrs {
+				if _, err := fmt.Fprintf(w, "  %s=%v", a.Key, a.Value()); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			if err := emit(r.ID, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return emit(0, 0)
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Updates are a single
+// atomic add; safe from any goroutine including scheduler hot paths.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds
+// zero, bucket i holds [2^(i-1), 2^i).
+const histBuckets = 64 + 1
+
+// Histogram is a power-of-two-bucketed distribution. Observe is one
+// atomic add per call plus two for sum/count.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one sample (negative samples count as zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observation, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Registry holds named metrics. Registration takes a write lock once per
+// metric name; subsequent lookups are read-locked and updates lock-free.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry used by the instrumented
+// packages (race, repair, sched, taskpar).
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Sample is one metric's snapshot value.
+type Sample struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge", or "histogram"
+	// Value is the counter/gauge value, or the histogram sum.
+	Value int64 `json:"value"`
+	// Count and Mean are set for histograms.
+	Count int64   `json:"count,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+}
+
+// Snapshot returns all metrics, sorted by name.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		out = append(out, Sample{Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count(), Mean: h.Mean()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delta returns the current snapshot minus a previous one: counters and
+// histogram sums/counts are differenced, gauges keep their latest value.
+// Metrics absent from prev appear with their full current value.
+func (r *Registry) Delta(prev []Sample) []Sample {
+	base := make(map[string]Sample, len(prev))
+	for _, s := range prev {
+		base[s.Name] = s
+	}
+	cur := r.Snapshot()
+	for i, s := range cur {
+		b, ok := base[s.Name]
+		if !ok || s.Kind == "gauge" {
+			continue
+		}
+		cur[i].Value -= b.Value
+		cur[i].Count -= b.Count
+		if cur[i].Count > 0 {
+			cur[i].Mean = float64(cur[i].Value) / float64(cur[i].Count)
+		} else {
+			cur[i].Mean = 0
+		}
+	}
+	return cur
+}
+
+// WriteText renders the snapshot in aligned human-readable lines.
+func WriteText(w io.Writer, samples []Sample) error {
+	width := 0
+	for _, s := range samples {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range samples {
+		var err error
+		switch s.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, "%-*s  %d (n=%d, mean=%.1f)\n", width, s.Name, s.Value, s.Count, s.Mean)
+		default:
+			_, err = fmt.Fprintf(w, "%-*s  %d\n", width, s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry under the expvar key
+// "obs_metrics" (served at /debug/vars). Safe to call more than once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}

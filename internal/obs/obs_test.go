@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTree opens a deterministic random span tree on tr and returns the
+// number of spans created.
+func buildTree(tr *Tracer, rng *rand.Rand, parent *Span, depth, maxDepth int) int {
+	n := 0
+	kids := 1 + rng.Intn(3)
+	for i := 0; i < kids; i++ {
+		var sp *Span
+		name := fmt.Sprintf("phase-%d-%d", depth, i)
+		if parent == nil {
+			sp = tr.Start(name)
+		} else {
+			sp = parent.Child(name)
+		}
+		sp.SetInt("depth", int64(depth)).SetStr("kind", "test")
+		n++
+		if depth < maxDepth && rng.Intn(2) == 0 {
+			n += buildTree(tr, rng, sp, depth+1, maxDepth)
+		}
+		sp.End()
+	}
+	return n
+}
+
+func TestSpanNestingWellFormed(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		tr := New(WithoutAllocs())
+		rng := rand.New(rand.NewSource(seed))
+		want := buildTree(tr, rng, nil, 0, 4)
+		if got := tr.OpenSpans(); got != 0 {
+			t.Fatalf("seed %d: %d spans left open", seed, got)
+		}
+		recs := tr.Records()
+		if len(recs) != want {
+			t.Fatalf("seed %d: %d records, want %d", seed, len(recs), want)
+		}
+		if err := ValidateNesting(recs); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestValidateNestingRejectsMalformed(t *testing.T) {
+	overlap := []SpanRecord{
+		{ID: 1, Name: "a", Start: 0, Dur: 10 * time.Millisecond},
+		{ID: 2, Name: "b", Start: 5 * time.Millisecond, Dur: 10 * time.Millisecond},
+	}
+	if err := ValidateNesting(overlap); err == nil {
+		t.Error("overlapping siblings accepted")
+	}
+	escape := []SpanRecord{
+		{ID: 1, Name: "p", Start: 0, Dur: 5 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "c", Start: 1 * time.Millisecond, Dur: 10 * time.Millisecond},
+	}
+	if err := ValidateNesting(escape); err == nil {
+		t.Error("child escaping parent accepted")
+	}
+	orphan := []SpanRecord{{ID: 2, Parent: 99, Name: "c", Start: 0, Dur: time.Millisecond}}
+	if err := ValidateNesting(orphan); err == nil {
+		t.Error("orphan parent accepted")
+	}
+}
+
+// roundTripTracer builds a small fixed trace plus metrics for the
+// exporter tests.
+func roundTripTracer(t *testing.T) (*Tracer, []Sample) {
+	t.Helper()
+	tr := New()
+	root := tr.Start("repair").SetInt("iterations", 2)
+	det := root.Child("detect").SetInt("races", 5).SetStr("variant", "MRW")
+	time.Sleep(time.Millisecond)
+	det.End()
+	place := root.Child("dp-place").SetInt("dp_states", 123)
+	place.End()
+	root.End()
+
+	reg := NewRegistry()
+	reg.Counter("repair.races").Add(5)
+	reg.Gauge("race.sdpst_nodes").Set(42)
+	reg.Histogram("repair.graph_size").Observe(7)
+	return tr, reg.Snapshot()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr, samples := roundTripTracer(t)
+	recs := tr.Records()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs, samples); err != nil {
+		t.Fatal(err)
+	}
+	gotRecs, gotSamples, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("%d spans round-tripped, want %d", len(gotRecs), len(recs))
+	}
+	for i, r := range recs {
+		g := gotRecs[i]
+		if g.Name != r.Name || g.ID != r.ID || g.Parent != r.Parent {
+			t.Errorf("span %d: got %+v, want %+v", i, g, r)
+		}
+		if len(g.Attrs) != len(r.Attrs) {
+			t.Errorf("span %d: %d attrs, want %d", i, len(g.Attrs), len(r.Attrs))
+		}
+		// Timestamps survive at microsecond precision.
+		if d := g.Start - r.Start; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("span %d: start drifted %v", i, d)
+		}
+	}
+	if len(gotSamples) != len(samples) {
+		t.Fatalf("%d samples round-tripped, want %d", len(gotSamples), len(samples))
+	}
+	for i, s := range samples {
+		if gotSamples[i] != s {
+			t.Errorf("sample %d: got %+v, want %+v", i, gotSamples[i], s)
+		}
+	}
+	if err := ValidateNesting(gotRecs); err != nil {
+		t.Errorf("re-parsed spans malformed: %v", err)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr, samples := roundTripTracer(t)
+	recs := tr.Records()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs, samples); err != nil {
+		t.Fatal(err)
+	}
+	gotRecs, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("%d X events, want %d", len(gotRecs), len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range gotRecs {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{"repair", "detect", "dp-place"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("phase %q missing from chrome trace", want)
+		}
+	}
+	det := byName["detect"]
+	attrs := map[string]any{}
+	for _, a := range det.Attrs {
+		attrs[a.Key] = a.Value()
+	}
+	if attrs["races"] != int64(5) || attrs["variant"] != "MRW" {
+		t.Errorf("detect attrs did not round-trip: %v", attrs)
+	}
+	if det.Dur < time.Millisecond {
+		t.Errorf("detect duration %v lost", det.Dur)
+	}
+}
+
+func TestDeltaAndText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(10)
+	before := reg.Snapshot()
+	reg.Counter("a").Add(7)
+	reg.Gauge("g").Set(3)
+	d := reg.Delta(before)
+	got := map[string]int64{}
+	for _, s := range d {
+		got[s.Name] = s.Value
+	}
+	if got["a"] != 7 || got["g"] != 3 {
+		t.Errorf("delta = %v, want a=7 g=3", got)
+	}
+	var buf strings.Builder
+	if err := WriteText(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a  7") {
+		t.Errorf("text output %q missing counter", buf.String())
+	}
+}
+
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("detect").SetInt("races", 3).SetStr("variant", "MRW")
+		child := sp.Child("dp-place")
+		child.Rename("verify").End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer: %v allocs/op, want 0", allocs)
+	}
+	if tr.Records() != nil || tr.OpenSpans() != 0 || tr.Enabled() {
+		t.Error("nil tracer leaked state")
+	}
+}
+
+func TestDebugEndpoint(t *testing.T) {
+	Default().Counter("test.debug_endpoint").Inc()
+	addr, srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/vars", "/debug/metrics", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var body bytes.Buffer
+		body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if path == "/debug/metrics" && !strings.Contains(body.String(), "test.debug_endpoint") {
+			t.Errorf("/debug/metrics missing registered counter:\n%s", body.String())
+		}
+		if path == "/debug/vars" && !strings.Contains(body.String(), "obs_metrics") {
+			t.Errorf("/debug/vars missing obs_metrics key")
+		}
+	}
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("detect").SetInt("races", int64(i))
+		sp.Child("dp-place").End()
+		sp.End()
+	}
+}
+
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := New(WithoutAllocs())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("detect").SetInt("races", int64(i))
+		sp.Child("dp-place").End()
+		sp.End()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := Default().Counter("bench.counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -3,6 +3,15 @@ package race
 import (
 	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/obs"
+)
+
+// Detection metrics, aggregated across all runs in the process.
+var (
+	mDetectRuns  = obs.Default().Counter("race.detect_runs")
+	mRacesFound  = obs.Default().Counter("race.races_found")
+	mRacesPerRun = obs.Default().Histogram("race.races_per_run")
+	mSDPSTNodes  = obs.Default().Gauge("race.sdpst_nodes")
 )
 
 // Variant selects the detector flavor.
@@ -41,5 +50,14 @@ func Detect(info *sem.Info, v Variant, o Oracle) (*interp.Result, Detector, erro
 		Access:     det,
 		Structure:  det,
 	})
+	if err == nil {
+		mDetectRuns.Inc()
+		n := int64(len(det.Races()))
+		mRacesFound.Add(n)
+		mRacesPerRun.Observe(n)
+		if res.Tree != nil {
+			mSDPSTNodes.Set(int64(res.Tree.NumNodes()))
+		}
+	}
 	return res, det, err
 }

@@ -50,6 +50,10 @@ type Solution struct {
 	// Finishes is the FinishSet extracted by Algorithm 3, outermost
 	// first.
 	Finishes []FinishBlock
+	// States counts the (i, k, j) partition candidates the DP evaluated —
+	// the work metric surfaced by the tracer and the repair.dp_states
+	// counter.
+	States int64
 }
 
 const inf = int64(math.MaxInt64 / 4)
@@ -90,12 +94,14 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 
+	sol := &Solution{}
 	for s := 2; s <= n; s++ {
 		for i := 0; i+s-1 < n; i++ {
 			j := i + s - 1
 			cmin := inf
 			bestP, bestF := -1, false
 			bestE := int64(0)
+			sol.States += int64(j - i)
 			for k := i; k < j; k++ {
 				var c, e int64
 				var f bool
@@ -127,7 +133,7 @@ func Solve(p *Problem) (*Solution, error) {
 		}
 	}
 
-	sol := &Solution{Cost: opt[idx(0, n-1)]}
+	sol.Cost = opt[idx(0, n-1)]
 	// Algorithm 3 (with the split corrected to begin..p / p+1..end; the
 	// paper's FIND(p, end) double-counts vertex p).
 	var find func(begin, end int)

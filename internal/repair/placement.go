@@ -6,7 +6,15 @@ import (
 
 	"finishrepair/internal/dpst"
 	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
+)
+
+// Pipeline metrics (registry names are stable; see README Observability).
+var (
+	mDPStates  = obs.Default().Counter("repair.dp_states")
+	mFallbacks = obs.Default().Counter("repair.fallback_placements")
+	mGraphSize = obs.Default().Histogram("repair.graph_size")
 )
 
 // Placement is a static finish insertion: wrap statements Lo..Hi of Block
@@ -196,7 +204,8 @@ func toPlacement(w wrap) Placement {
 // graph construction (§5.1), the DP (§5.2), and the bottom-up mapping to
 // AST coordinates. maxGraph bounds the DP size; larger graphs use the
 // sound fallback of wrapping each race source child in its own finish.
-func placeGroup(g *group, maxGraph int) ([]Placement, error) {
+// The second result counts DP states explored.
+func placeGroup(g *group, maxGraph int) ([]Placement, int64, error) {
 	nodes := dpst.NonScopeChildren(g.lca)
 	pos := make(map[*dpst.Node]int, len(nodes))
 	for i, n := range nodes {
@@ -210,15 +219,15 @@ func placeGroup(g *group, maxGraph int) ([]Placement, error) {
 		srcChild := dpst.NonScopeChildOn(g.lca, r.Src)
 		dstChild := dpst.NonScopeChildOn(g.lca, r.Dst)
 		if srcChild == nil || dstChild == nil {
-			return nil, fmt.Errorf("repair: race %v does not descend from its NS-LCA", r)
+			return nil, 0, fmt.Errorf("repair: race %v does not descend from its NS-LCA", r)
 		}
 		x, okx := pos[srcChild]
 		y, oky := pos[dstChild]
 		if !okx || !oky {
-			return nil, fmt.Errorf("repair: race child not among non-scope children")
+			return nil, 0, fmt.Errorf("repair: race child not among non-scope children")
 		}
 		if x == y {
-			return nil, fmt.Errorf("repair: race %v maps to a self edge; NS-LCA miscomputed", r)
+			return nil, 0, fmt.Errorf("repair: race %v maps to a self edge; NS-LCA miscomputed", r)
 		}
 		if x > y {
 			x, y = y, x
@@ -230,11 +239,13 @@ func placeGroup(g *group, maxGraph int) ([]Placement, error) {
 		}
 	}
 	if len(edges) == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
+	mGraphSize.Observe(int64(len(nodes)))
 
 	if len(nodes) > maxGraph {
-		return fallbackPlacements(nodes, edges)
+		ps, err := fallbackPlacements(nodes, edges)
+		return ps, 0, err
 	}
 
 	prob := &Problem{
@@ -255,10 +266,12 @@ func placeGroup(g *group, maxGraph int) ([]Placement, error) {
 	sol, err := Solve(prob)
 	if err != nil {
 		if _, ok := err.(*UnsatisfiableError); ok {
-			return fallbackPlacements(nodes, edges)
+			ps, ferr := fallbackPlacements(nodes, edges)
+			return ps, 0, ferr
 		}
-		return nil, err
+		return nil, 0, err
 	}
+	mDPStates.Add(sol.States)
 
 	var out []Placement
 	for i, fb := range sol.Finishes {
@@ -266,11 +279,12 @@ func placeGroup(g *group, maxGraph int) ([]Placement, error) {
 		if !ok {
 			// The DP only selects valid blocks; tolerate a mismatch by
 			// falling back for this group.
-			return fallbackPlacements(nodes, edges)
+			ps, ferr := fallbackPlacements(nodes, edges)
+			return ps, sol.States, ferr
 		}
 		out = append(out, toPlacement(widen(nodes, sol.Finishes, i, w)))
 	}
-	return out, nil
+	return out, sol.States, nil
 }
 
 // widen hoists a finish block to the highest expressible scope when it
@@ -308,6 +322,7 @@ func widen(nodes []*dpst.Node, all []FinishBlock, idx int, w wrap) wrap {
 // over-synchronized. Used when the dependence graph exceeds the DP size
 // bound or the DP finds no valid placement.
 func fallbackPlacements(nodes []*dpst.Node, edges [][2]int) ([]Placement, error) {
+	mFallbacks.Inc()
 	type span struct{ s, e int }
 	seen := make(map[span]bool)
 	var out []Placement

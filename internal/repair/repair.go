@@ -8,7 +8,15 @@ import (
 
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
+)
+
+// Loop-level metrics; the placement metrics live in placement.go.
+var (
+	mIterations = obs.Default().Counter("repair.iterations")
+	mRacesFound = obs.Default().Counter("repair.races_detected")
+	mInserted   = obs.Default().Counter("repair.finishes_inserted")
 )
 
 // Options configures the repair loop.
@@ -28,6 +36,14 @@ type Options struct {
 	// encoding, mirroring the paper's detector/analyzer file boundary
 	// (default true).
 	UseTraceFiles bool
+	// Tracer records per-phase spans of every iteration (sem-check,
+	// detect/verify, trace-io, group-nslca, dp-place, rewrite). Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// ParentSpan, when set, nests the repair's span tree under it
+	// instead of opening a new root on Tracer (callers wrapping the
+	// repair in a larger traced phase, e.g. the bench harness).
+	ParentSpan *obs.Span
 }
 
 func (o *Options) fill() {
@@ -55,14 +71,21 @@ type Iteration struct {
 	NSLCAs     int
 	Placements int
 	SDPSTNodes int
+	// DPStates counts the dynamic-programming states explored by this
+	// round's finish placements.
+	DPStates int64
 	// Applied lists the finish insertions of this iteration in
 	// application order, for Replay.
 	Applied []AppliedRange
 	// DetectTime covers the instrumented execution (data race detection
 	// and S-DPST construction); RepairTime covers trace I/O, dynamic and
-	// static finish placement, and the AST rewrite.
-	DetectTime time.Duration
-	RepairTime time.Duration
+	// static finish placement, and the AST rewrite. PlaceTime and
+	// RewriteTime break RepairTime down into the grouping+DP phase and
+	// the AST rewrite phase.
+	DetectTime  time.Duration
+	RepairTime  time.Duration
+	PlaceTime   time.Duration
+	RewriteTime time.Duration
 }
 
 // Report summarizes a repair.
@@ -86,39 +109,100 @@ func (r *Report) TotalRaces() int {
 	return n
 }
 
+// TotalDPStates sums the DP states explored across iterations.
+func (r *Report) TotalDPStates() int64 {
+	var n int64
+	for _, it := range r.Iterations {
+		n += it.DPStates
+	}
+	return n
+}
+
+// MaxIterationsError reports that the iteration bound was exhausted
+// before a detection run came back race-free. The partial Report (with
+// every completed iteration) is still returned alongside it.
+type MaxIterationsError struct {
+	// Iterations is the bound that was exhausted.
+	Iterations int
+	// RemainingRaces is the race count of the last detection run.
+	RemainingRaces int
+}
+
+// Error implements the error interface.
+func (e *MaxIterationsError) Error() string {
+	return fmt.Sprintf("repair: %d race(s) remain after %d iterations", e.RemainingRaces, e.Iterations)
+}
+
 // Repair runs the test-driven repair loop on prog, mutating it in place:
 // detect races on the canonical execution, compute finish placements,
 // rewrite the AST, and repeat until a detection run is race-free.
 func Repair(prog *ast.Program, opts Options) (*Report, error) {
 	opts.fill()
 	rep := &Report{}
+	root := opts.ParentSpan.Child("repair")
+	if opts.ParentSpan == nil {
+		root = opts.Tracer.Start("repair")
+	}
+	defer func() {
+		root.SetInt("iterations", int64(len(rep.Iterations))).
+			SetInt("races_total", int64(rep.TotalRaces())).
+			SetInt("finishes_inserted", int64(rep.Inserted)).
+			End()
+	}()
 	for iter := 0; ; iter++ {
 		if iter >= opts.MaxIterations {
-			return rep, fmt.Errorf("repair: races remain after %d iterations", iter)
+			remaining := 0
+			if n := len(rep.Iterations); n > 0 {
+				remaining = rep.Iterations[n-1].Races
+			}
+			return rep, &MaxIterationsError{Iterations: iter, RemainingRaces: remaining}
 		}
-		info, err := sem.Check(prog)
-		if err != nil {
-			return rep, fmt.Errorf("repair: program invalid after rewrite: %w", err)
+		mIterations.Inc()
+		iterSpan := root.Child("iteration").SetInt("n", int64(iter))
+		iterErr := func(err error) (*Report, error) {
+			iterSpan.SetStr("error", err.Error()).End()
+			return rep, err
 		}
 
+		semSpan := iterSpan.Child("sem-check")
+		info, err := sem.Check(prog)
+		semSpan.End()
+		if err != nil {
+			return iterErr(fmt.Errorf("repair: program invalid after rewrite: %w", err))
+		}
+
+		detSpan := iterSpan.Child("detect").SetStr("variant", opts.Variant.String())
 		t0 := time.Now()
 		res, det, err := race.Detect(info, opts.Variant, opts.Oracle())
 		if err != nil {
-			return rep, fmt.Errorf("repair: execution failed: %w", err)
+			detSpan.End()
+			return iterErr(fmt.Errorf("repair: execution failed: %w", err))
 		}
 		detectTime := time.Since(t0)
+		if len(det.Races()) == 0 {
+			// The race-free confirmation round is the paper's "verify"
+			// stage (Fig. 6); rename so traces show it as such.
+			detSpan.Rename("verify")
+		}
+		detSpan.SetInt("races", int64(len(det.Races()))).
+			SetInt("sdpst_nodes", int64(res.Tree.NumNodes())).
+			End()
 
 		t1 := time.Now()
 		races := det.Races()
+		mRacesFound.Add(int64(len(races)))
 		if opts.UseTraceFiles {
+			ioSpan := iterSpan.Child("trace-io")
 			var buf bytes.Buffer
 			if err := race.WriteTrace(&buf, races); err != nil {
-				return rep, err
+				ioSpan.End()
+				return iterErr(err)
 			}
 			rep.TraceBytes += buf.Len()
 			races, err = race.ReadTrace(&buf, res.Tree)
+			ioSpan.SetInt("trace_bytes", int64(buf.Len())).End()
 			if err != nil {
-				return rep, err
+				return iterErr(err)
 			}
 		}
 
@@ -131,10 +215,14 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 			it.RepairTime = time.Since(t1)
 			rep.Iterations = append(rep.Iterations, it)
 			rep.Output = res.Output
+			iterSpan.SetInt("races", 0).End()
 			return rep, nil
 		}
 
+		tPlace := time.Now()
+		groupSpan := iterSpan.Child("group-nslca")
 		groups := groupByNSLCA(races)
+		groupSpan.SetInt("groups", int64(len(groups))).End()
 		it.NSLCAs = len(groups)
 		// Paper §6 steps 3(d)-(f): placements inserted for an earlier
 		// NS-LCA can fix later groups' races (recursive programs visit
@@ -144,6 +232,7 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 		// identical to or disjoint from those already chosen; skipped
 		// groups are re-examined by the next detection run, which sees
 		// the updated program.
+		placeSpan := iterSpan.Child("dp-place")
 		var placements []Placement
 		chosen := make(map[Placement]bool)
 		overlaps := func(p Placement) bool {
@@ -155,9 +244,11 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 			return false
 		}
 		for _, g := range groups {
-			ps, err := placeGroup(g, opts.MaxGraph)
+			ps, states, err := placeGroup(g, opts.MaxGraph)
+			it.DPStates += states
 			if err != nil {
-				return rep, err
+				placeSpan.End()
+				return iterErr(err)
 			}
 			conflict := false
 			for _, p := range ps {
@@ -176,19 +267,33 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 				}
 			}
 		}
+		placeSpan.SetInt("dp_states", it.DPStates).
+			SetInt("placements", int64(len(placements))).
+			End()
+		it.PlaceTime = time.Since(tPlace)
 		if len(placements) == 0 {
-			return rep, fmt.Errorf("repair: %d races but no placements computed", len(races))
+			return iterErr(fmt.Errorf("repair: %d races but no placements computed", len(races)))
 		}
+
+		tRewrite := time.Now()
+		rewriteSpan := iterSpan.Child("rewrite")
 		applied, err := applyPlacements(prog, placements)
 		if err != nil {
-			return rep, err
+			rewriteSpan.End()
+			return iterErr(err)
 		}
 		inserted := len(applied)
+		rewriteSpan.SetInt("finishes_inserted", int64(inserted)).End()
+		it.RewriteTime = time.Since(tRewrite)
+		mInserted.Add(int64(inserted))
 		it.Placements = inserted
 		it.Applied = applied
 		it.RepairTime = time.Since(t1)
 		rep.Inserted += inserted
 		rep.Iterations = append(rep.Iterations, it)
+		iterSpan.SetInt("races", int64(it.Races)).
+			SetInt("finishes_inserted", int64(inserted)).
+			End()
 	}
 }
 

@@ -8,6 +8,16 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"finishrepair/internal/obs"
+)
+
+// Scheduler metrics: one atomic add per event, cheap enough for the
+// spawn/steal hot paths (the deque mutex dominates).
+var (
+	mSpawns  = obs.Default().Counter("sched.spawns")
+	mSubmits = obs.Default().Counter("sched.global_submits")
+	mSteals  = obs.Default().Counter("sched.steals")
 )
 
 // Task is a unit of work. The worker executing it is passed in so the
@@ -60,6 +70,7 @@ func (p *Pool) Size() int { return len(p.workers) }
 
 // Submit enqueues a task from outside the pool.
 func (p *Pool) Submit(t Task) {
+	mSubmits.Inc()
 	p.global <- t
 	p.notify()
 }
@@ -86,6 +97,7 @@ func (p *Pool) Shutdown() {
 
 // Spawn pushes a child task onto this worker's deque (LIFO end).
 func (w *Worker) Spawn(t Task) {
+	mSpawns.Inc()
 	w.mu.Lock()
 	w.deq = append(w.deq, t)
 	w.mu.Unlock()
@@ -115,6 +127,7 @@ func (w *Worker) stealFrom(victim *Worker) Task {
 	}
 	t := victim.deq[0]
 	victim.deq = victim.deq[1:]
+	mSteals.Inc()
 	return t
 }
 

@@ -23,7 +23,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"finishrepair/internal/obs"
 	"finishrepair/internal/sched"
+)
+
+// Runtime metrics: tasks spawned, finish scopes waited on, and (in
+// yield.go) the yields of blocked pool scopes.
+var (
+	mAsyncs   = obs.Default().Counter("taskpar.asyncs")
+	mFinishes = obs.Default().Counter("taskpar.finish_waits")
 )
 
 // Executor runs async/finish programs.
@@ -100,6 +108,7 @@ func (c *Ctx) Finish(body func(*Ctx)) {
 }
 
 func (e *Executor) finishOn(w *sched.Worker, body func(*Ctx)) {
+	mFinishes.Inc()
 	s := &scope{}
 	ctx := &Ctx{exec: e, scope: s, worker: w}
 	func() {
@@ -118,6 +127,7 @@ func (e *Executor) finishOn(w *sched.Worker, body func(*Ctx)) {
 // at the innermost enclosing finish scope. The child's Ctx spawns into
 // the same scope.
 func (c *Ctx) Async(fn func(*Ctx)) {
+	mAsyncs.Inc()
 	s := c.scope
 	s.pending.Add(1)
 	s.wg.Add(1)

@@ -1,5 +1,14 @@
 package taskpar
 
-import "runtime"
+import (
+	"runtime"
 
-func yield() { runtime.Gosched() }
+	"finishrepair/internal/obs"
+)
+
+var mYields = obs.Default().Counter("taskpar.yields")
+
+func yield() {
+	mYields.Inc()
+	runtime.Gosched()
+}

@@ -81,15 +81,18 @@ func RepairAcross(srcs []string, opts RepairOptions) (string, *RepairReport, err
 			Variant:       v,
 			MaxIterations: opts.MaxIterations,
 			UseTraceFiles: true,
+			Tracer:        opts.Tracer,
 		})
 		if err != nil {
 			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
 		}
 		applied = append(applied, rep.Iterations...)
-		total.Iterations += len(rep.Iterations)
-		total.RacesFound += rep.TotalRaces()
-		total.FinishesInserted += rep.Inserted
-		total.Output = rep.Output
+		part := convertReport(rep)
+		total.Iterations += part.Iterations
+		total.RacesFound += part.RacesFound
+		total.FinishesInserted += part.FinishesInserted
+		total.PerIteration = append(total.PerIteration, part.PerIteration...)
+		total.Output = part.Output
 	}
 
 	final, err := parser.Parse(srcs[len(srcs)-1])

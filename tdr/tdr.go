@@ -14,6 +14,7 @@ package tdr
 
 import (
 	"fmt"
+	"time"
 
 	"finishrepair/internal/cpl"
 	"finishrepair/internal/dpst"
@@ -22,6 +23,7 @@ import (
 	"finishrepair/internal/lang/parser"
 	"finishrepair/internal/lang/printer"
 	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/obs"
 	"finishrepair/internal/parinterp"
 	"finishrepair/internal/race"
 	"finishrepair/internal/repair"
@@ -30,20 +32,35 @@ import (
 
 // Program is a loaded HJ-lite program.
 type Program struct {
-	prog *ast.Program
+	prog   *ast.Program
+	tracer *obs.Tracer
 }
 
 // Load parses and checks an HJ-lite source program.
-func Load(src string) (*Program, error) {
+func Load(src string) (*Program, error) { return LoadTraced(src, nil) }
+
+// LoadTraced is Load with observability: the front-end phases are
+// recorded as "parse" and "sem-check" spans on tr, and tr becomes the
+// program's tracer for later Detect/Repair/Run calls. A nil tracer makes
+// LoadTraced identical to Load.
+func LoadTraced(src string, tr *obs.Tracer) (*Program, error) {
+	sp := tr.Start("parse").SetInt("source_bytes", int64(len(src)))
 	prog, err := parser.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("tdr: %w", err)
 	}
-	if _, err := sem.Check(prog); err != nil {
+	sp = tr.Start("sem-check")
+	_, err = sem.Check(prog)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("tdr: %w", err)
 	}
-	return &Program{prog: prog}, nil
+	return &Program{prog: prog, tracer: tr}, nil
 }
+
+// Tracer returns the tracer attached at load time (nil when untraced).
+func (p *Program) Tracer() *obs.Tracer { return p.tracer }
 
 // Source renders the (possibly repaired) program as HJ-lite source.
 func (p *Program) Source() string { return printer.Print(p.prog) }
@@ -94,10 +111,15 @@ func (p *Program) Detect(d Detector) (*RaceReport, error) {
 	if d == SRW {
 		v = race.VariantSRW
 	}
+	sp := p.tracer.Start("detect").SetStr("variant", v.String())
 	res, det, err := race.Detect(info, v, race.NewBagsOracle())
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("tdr: %w", err)
 	}
+	sp.SetInt("races", int64(len(det.Races()))).
+		SetInt("sdpst_nodes", int64(res.Tree.NumNodes())).
+		End()
 	rep := &RaceReport{SDPSTNodes: res.Tree.NumNodes(), Output: res.Output}
 	for _, r := range det.Races() {
 		rep.Races = append(rep.Races, RaceInfo{
@@ -143,6 +165,30 @@ func (p *Program) SDPSTDot() (string, error) {
 type RepairOptions struct {
 	Detector      Detector
 	MaxIterations int
+	// Tracer records per-phase spans; when nil, the tracer attached by
+	// LoadTraced (if any) is used.
+	Tracer *obs.Tracer
+}
+
+// IterationReport details one detect/place/rewrite round.
+type IterationReport struct {
+	// Races found by this round's detection run (0 in the final,
+	// race-free confirmation round).
+	Races int
+	// FinishesInserted counts the finish statements this round added.
+	FinishesInserted int
+	// NSLCAs is the number of race groups (distinct non-scope LCAs).
+	NSLCAs int
+	// SDPSTNodes is the size of this round's S-DPST.
+	SDPSTNodes int
+	// DPStates counts dynamic-programming states explored by the
+	// placement phase.
+	DPStates int64
+	// DetectTime covers the instrumented detection run; PlaceTime the
+	// NS-LCA grouping plus DP placement; RewriteTime the AST rewrite.
+	DetectTime  time.Duration
+	PlaceTime   time.Duration
+	RewriteTime time.Duration
 }
 
 // RepairReport summarizes a repair.
@@ -154,8 +200,19 @@ type RepairReport struct {
 	RacesFound int
 	// FinishesInserted counts the inserted finish statements.
 	FinishesInserted int
+	// PerIteration details every round, in order.
+	PerIteration []IterationReport
 	// Output is the program output of the final race-free run.
 	Output string
+}
+
+// RacesPerIteration lists each round's race count, in order.
+func (r *RepairReport) RacesPerIteration() []int {
+	out := make([]int, len(r.PerIteration))
+	for i, it := range r.PerIteration {
+		out[i] = it.Races
+	}
+	return out
 }
 
 func raceVariant(d Detector) race.Variant {
@@ -168,22 +225,52 @@ func raceVariant(d Detector) race.Variant {
 // Repair runs the test-driven repair loop, mutating the program in
 // place. After a successful repair the program is data-race-free for
 // this input and Source returns the rewritten text.
+//
+// When the iteration bound is exhausted the error wraps
+// *repair.MaxIterationsError and the partial report (every completed
+// round) is returned alongside it.
 func (p *Program) Repair(opts RepairOptions) (*RepairReport, error) {
 	v := raceVariant(opts.Detector)
+	tr := opts.Tracer
+	if tr == nil {
+		tr = p.tracer
+	}
 	rep, err := repair.Repair(p.prog, repair.Options{
 		Variant:       v,
 		MaxIterations: opts.MaxIterations,
 		UseTraceFiles: true,
+		Tracer:        tr,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("tdr: %w", err)
+	var report *RepairReport
+	if rep != nil {
+		report = convertReport(rep)
 	}
-	return &RepairReport{
+	if err != nil {
+		return report, fmt.Errorf("tdr: %w", err)
+	}
+	return report, nil
+}
+
+func convertReport(rep *repair.Report) *RepairReport {
+	out := &RepairReport{
 		Iterations:       len(rep.Iterations),
 		RacesFound:       rep.TotalRaces(),
 		FinishesInserted: rep.Inserted,
 		Output:           rep.Output,
-	}, nil
+	}
+	for _, it := range rep.Iterations {
+		out.PerIteration = append(out.PerIteration, IterationReport{
+			Races:            it.Races,
+			FinishesInserted: it.Placements,
+			NSLCAs:           it.NSLCAs,
+			SDPSTNodes:       it.SDPSTNodes,
+			DPStates:         it.DPStates,
+			DetectTime:       it.DetectTime,
+			PlaceTime:        it.PlaceTime,
+			RewriteTime:      it.RewriteTime,
+		})
+	}
+	return out
 }
 
 // RunSequential executes the serial elision (async/finish ignored) and
@@ -193,7 +280,9 @@ func (p *Program) RunSequential() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("tdr: %w", err)
 	}
+	sp := p.tracer.Start("sequential-run")
 	res, err := interp.Run(info, interp.Options{Mode: interp.Elide, OpLimit: 1 << 40})
+	sp.End()
 	if err != nil {
 		return "", fmt.Errorf("tdr: %w", err)
 	}
@@ -210,7 +299,9 @@ func (p *Program) RunParallel(workers int) (string, error) {
 	}
 	exec := taskpar.NewPoolExecutor(workers)
 	defer exec.Shutdown()
+	sp := p.tracer.Start("parallel-run").SetInt("workers", int64(workers))
 	res, err := parinterp.Run(info, parinterp.Options{Executor: exec})
+	sp.End()
 	if err != nil {
 		return "", fmt.Errorf("tdr: %w", err)
 	}
