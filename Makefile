@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci clean
+.PHONY: all build test vet race bench fuzz ci clean
 
 all: build test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
+
+# Short fuzz smoke: the CI budget; raise -fuzztime locally for real hunts.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/lang/parser
+	$(GO) test -fuzz=FuzzRepairRoundTrip -fuzztime=20s ./tdr
 
 ci: build vet race
 

@@ -242,3 +242,85 @@ func TestHjrepairBadInput(t *testing.T) {
 		t.Errorf("stderr %q missing diagnosis", stderr)
 	}
 }
+
+// writeProg drops an HJ-lite source into a temp dir and returns its path.
+func writeProg(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliLongRacy = `
+var g = 0;
+
+func main() {
+    async {
+        for (var i = 0; i < 1000000000; i = i + 1) {
+            g = g + 1;
+        }
+    }
+    g = 1;
+}
+`
+
+const cliShortRacy = `
+var g = 0;
+
+func main() {
+    async { g = 1; }
+    async { g = 2; }
+    g = 3;
+    println(g);
+}
+`
+
+// TestHjrepairTimeoutExitsBudgetCode: a wall-clock budget too small for
+// the detection run must stop the pipeline with the distinct budget
+// exit code (4), not the iteration-bound code (3) or a generic 1.
+func TestHjrepairTimeoutExitsBudgetCode(t *testing.T) {
+	prog := writeProg(t, "long.hj", cliLongRacy)
+	_, stderr, code := runTool(t, "hjrepair", "-timeout", "50ms", prog)
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4 (budget exceeded); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "deadline exceeded") {
+		t.Errorf("stderr should name the tripped deadline: %s", stderr)
+	}
+}
+
+// TestHjrepairDPStateBudgetDegrades: a DP-state budget of 1 trips the
+// optimal placement immediately; the tool must still succeed (exit 0)
+// with the coarse sound placement and report the degradation.
+func TestHjrepairDPStateBudgetDegrades(t *testing.T) {
+	prog := writeProg(t, "short.hj", cliShortRacy)
+	dir := t.TempDir()
+	fixed := filepath.Join(dir, "fixed.hj")
+	_, stderr, code := runTool(t, "hjrepair", "-max-dp-states", "1", "-o", fixed, prog)
+	if code != 0 {
+		t.Fatalf("degraded repair should exit 0, got %d; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "DEGRADED") {
+		t.Errorf("summary should flag the degraded placement: %s", stderr)
+	}
+	// The degraded output must still be race-free.
+	_, stderr, code = runTool(t, "hjrun", "-mode", "detect", fixed)
+	if code != 0 {
+		t.Fatalf("degraded repair left races: %s", stderr)
+	}
+}
+
+// TestHjrunTimeoutExitsBudgetCode: hjrun's -timeout bounds a runaway
+// sequential execution and exits 4.
+func TestHjrunTimeoutExitsBudgetCode(t *testing.T) {
+	prog := writeProg(t, "long.hj", cliLongRacy)
+	_, stderr, code := runTool(t, "hjrun", "-mode", "seq", "-timeout", "50ms", prog)
+	if code != 4 {
+		t.Fatalf("exit = %d, want 4 (budget exceeded); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "deadline exceeded") {
+		t.Errorf("stderr should name the tripped deadline: %s", stderr)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"finishrepair/internal/homework"
 	"finishrepair/internal/obs"
 	"finishrepair/internal/repair"
+	"finishrepair/tdr"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func main() {
 	scale := flag.Int("scale", 100, "percentage of the performance input size for figure 16")
 	jsonOut := flag.Bool("json", false, "emit table 2 as JSON with stage-level breakdowns")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the harness phases to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per benchmark repair (0 = none)")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -57,6 +59,9 @@ func main() {
 	if *traceFile != "" {
 		tracer = obs.New()
 		bench.SetTracer(tracer)
+	}
+	if *timeout > 0 {
+		bench.SetBudget(tdr.Budget{Timeout: *timeout})
 	}
 
 	w := os.Stdout

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	hjrepair [-detector mrw|srw] [-o out.hj] [-quiet] [-max-iter N]
+//	         [-timeout D] [-max-dp-states N]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
+//
+// Robustness: -timeout bounds the wall-clock time of the whole pipeline
+// and -max-dp-states bounds the dynamic-programming states explored by
+// finish placement. A DP-state or deadline trip mid-placement degrades
+// to the coarse sound placement (reported in the summary) rather than
+// failing; exhausting a budget outright exits 4.
 //
 // Observability: -trace writes a Chrome trace_event JSON covering every
 // pipeline phase (open it in chrome://tracing or ui.perfetto.dev),
@@ -16,7 +23,9 @@
 // prints the span tree to stderr.
 //
 // Exit codes: 0 repaired (or already race-free), 1 error, 2 usage,
-// 3 the iteration bound was exhausted with races remaining.
+// 3 the iteration bound was exhausted with races remaining, 4 a
+// resource budget (wall clock, ops, DP states) was exhausted or the run
+// was canceled.
 package main
 
 import (
@@ -32,14 +41,20 @@ import (
 )
 
 // exitMaxIterations is the distinct exit code for a repair that ran out
-// of iterations before reaching race-freedom.
-const exitMaxIterations = 3
+// of iterations before reaching race-freedom; exitBudgetExceeded for a
+// run stopped by a resource budget or cancellation.
+const (
+	exitMaxIterations  = 3
+	exitBudgetExceeded = 4
+)
 
 func main() {
 	detector := flag.String("detector", "mrw", "race detector variant: mrw or srw")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
 	maxIter := flag.Int("max-iter", 0, "bound on detect/repair rounds (0 = default 10)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole pipeline (0 = none)")
+	maxDPStates := flag.Int64("max-dp-states", 0, "bound on DP states explored by finish placement (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline phases to this file")
 	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr")
@@ -90,7 +105,11 @@ func main() {
 		fatal(fmt.Errorf("unknown detector %q", *detector))
 	}
 
-	rep, err := prog.Repair(tdr.RepairOptions{Detector: d, MaxIterations: *maxIter})
+	rep, err := prog.Repair(tdr.RepairOptions{
+		Detector:      d,
+		MaxIterations: *maxIter,
+		Budget:        tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
+	})
 	if err != nil {
 		var mi *repair.MaxIterationsError
 		if errors.As(err, &mi) {
@@ -100,6 +119,14 @@ func main() {
 			exportObs()
 			fmt.Fprintln(os.Stderr, "hjrepair:", err)
 			os.Exit(exitMaxIterations)
+		}
+		if tdr.IsBudgetOrCanceled(err) {
+			if !*quiet {
+				summarize(rep, nil)
+			}
+			exportObs()
+			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			os.Exit(exitBudgetExceeded)
 		}
 		exportObs()
 		fatal(err)
@@ -137,6 +164,10 @@ func summarize(rep *tdr.RepairReport, mi *repair.MaxIterationsError) {
 	}
 	fmt.Fprintf(os.Stderr, "hjrepair: %d race(s) found, %d finish(es) inserted in %d iteration(s) (races/iter: %s)%s\n",
 		rep.RacesFound, rep.FinishesInserted, rep.Iterations, strings.Join(perIter, ","), status)
+	if rep.Degraded {
+		fmt.Fprintf(os.Stderr, "hjrepair: DEGRADED placement (still race-free, possibly over-synchronized): %s\n",
+			rep.DegradedReason)
+	}
 }
 
 func fatal(err error) {

@@ -18,9 +18,13 @@
 // (parse, sem-check, and the run/detect phase), -jsonl a JSONL event
 // log, -metrics the metrics snapshot (including taskpar/sched task and
 // steal counters for -mode par) to stderr, and -v the span tree.
+//
+// -timeout bounds the wall clock of the whole run; exhausting it (or
+// any other resource budget) exits 4.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +33,14 @@ import (
 	"finishrepair/tdr"
 )
 
+// exitBudgetExceeded is the distinct exit code for a run stopped by a
+// resource budget (wall clock, ops) or cancellation.
+const exitBudgetExceeded = 4
+
 func main() {
 	mode := flag.String("mode", "par", "execution mode: seq, par, detect, or coverage")
 	workers := flag.Int("workers", 0, "pool workers for -mode par (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the phases to this file")
 	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr")
@@ -79,17 +88,28 @@ func main() {
 		os.Exit(code)
 	}
 
+	budget := tdr.Budget{Timeout: *timeout}
+	ctx := context.Background()
+	fail := func(err error) {
+		exportObs()
+		fmt.Fprintln(os.Stderr, "hjrun:", err)
+		if tdr.IsBudgetOrCanceled(err) {
+			os.Exit(exitBudgetExceeded)
+		}
+		os.Exit(1)
+	}
+
 	switch *mode {
 	case "seq":
-		out, err := prog.RunSequential()
+		out, err := prog.RunSequentialCtx(ctx, budget)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(out)
 	case "par":
-		out, err := prog.RunParallel(*workers)
+		out, err := prog.RunParallelCtx(ctx, *workers, budget)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(out)
 	case "dot":
@@ -109,9 +129,9 @@ func main() {
 			exit(1)
 		}
 	case "detect":
-		rep, err := prog.Detect(tdr.MRW)
+		rep, err := prog.DetectCtx(ctx, tdr.MRW, budget)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Print(rep.Output)
 		fmt.Fprintf(os.Stderr, "hjrun: %d race(s), %d S-DPST nodes\n", len(rep.Races), rep.SDPSTNodes)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"finishrepair/internal/cpl"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/parser"
@@ -23,6 +24,23 @@ var tracer *obs.Tracer
 
 // SetTracer attaches tr to all subsequent harness runs; nil detaches.
 func SetTracer(tr *obs.Tracer) { tracer = tr }
+
+// budget bounds subsequent harness repairs when set via SetBudget
+// (hjbench -timeout). Each repair gets a fresh meter so the budget is
+// per benchmark run, not cumulative across the suite.
+var budget guard.Budget
+
+// SetBudget applies b to all subsequent harness repairs; the zero
+// Budget restores the defaults.
+func SetBudget(b guard.Budget) { budget = b }
+
+// newMeter builds the per-run meter, or nil when no budget is set.
+func newMeter() *guard.Meter {
+	if budget == (guard.Budget{}) {
+		return nil
+	}
+	return guard.NewMeter(nil, budget)
+}
 
 // RepairStats is one benchmark's repair-mode measurement (Tables 2-4).
 type RepairStats struct {
@@ -143,7 +161,7 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 		return nil, err
 	}
 	ast.StripFinishes(buggy)
-	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true, ParentSpan: bsp})
+	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true, ParentSpan: bsp, Meter: newMeter()})
 	if err != nil {
 		return nil, fmt.Errorf("%s repair: %w", b.Name, err)
 	}
@@ -261,7 +279,7 @@ func RunPerf(b *Benchmark, size, runs int) (*PerfStats, error) {
 	}
 	var seqOut string
 	ps.Seq, ps.SeqCI, err = timeRuns(runs, func() error {
-		r, err := interp.Run(elideInfo, interp.Options{Mode: interp.Elide, OpLimit: 1 << 40})
+		r, err := interp.Run(elideInfo, interp.Options{Mode: interp.Elide})
 		if err == nil {
 			seqOut = r.Output
 		}
@@ -331,7 +349,7 @@ func RunPerf(b *Benchmark, size, runs int) (*PerfStats, error) {
 // and returns the work/span metrics.
 func modelMetrics(info *sem.Info) (cpl.Metrics, error) {
 	res, err := interp.Run(info, interp.Options{
-		Mode: interp.DepthFirst, Instrument: true, OpLimit: 1 << 40,
+		Mode: interp.DepthFirst, Instrument: true,
 	})
 	if err != nil {
 		return cpl.Metrics{}, err

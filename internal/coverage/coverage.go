@@ -60,7 +60,6 @@ func Measure(info *sem.Info) (Coverage, error) {
 	res, err := interp.Run(info, interp.Options{
 		Mode:       interp.DepthFirst,
 		Instrument: true,
-		OpLimit:    1 << 40,
 		NoCollapse: true,
 	})
 	if err != nil {

@@ -1,0 +1,92 @@
+package faults_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"finishrepair/internal/faults"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	faults.Reset()
+	for _, p := range faults.Points() {
+		if err := faults.Inject(p); err != nil {
+			t.Fatalf("disarmed %s returned %v", p, err)
+		}
+	}
+}
+
+func TestArmErrorFiresOnceOnNthHit(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("boom")
+	faults.ArmError(faults.Detect, 3, boom)
+	for i := 1; i <= 2; i++ {
+		if err := faults.Inject(faults.Detect); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := faults.Inject(faults.Detect); !errors.Is(err, boom) {
+		t.Fatalf("hit 3 = %v, want %v", err, boom)
+	}
+	if err := faults.Inject(faults.Detect); err != nil {
+		t.Fatalf("fault fired twice: %v", err)
+	}
+	if got := faults.Hits(faults.Detect); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+	// Other points stay disarmed.
+	if err := faults.Inject(faults.Rewrite); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	defer faults.Reset()
+	faults.ArmPanic(faults.Rewrite, 1, "kaboom")
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recover = %v, want kaboom", r)
+		}
+	}()
+	_ = faults.Inject(faults.Rewrite)
+	t.Fatal("Inject did not panic")
+}
+
+func TestRearmAfterHitsCountsFromNow(t *testing.T) {
+	defer faults.Reset()
+	faults.ArmError(faults.Parse, 1, errors.New("a"))
+	if err := faults.Inject(faults.Parse); err == nil {
+		t.Fatal("first arm did not fire")
+	}
+	// Re-arming for "next hit" must fire on the next hit even though the
+	// counter is already at 1.
+	faults.ArmError(faults.Parse, 1, errors.New("b"))
+	if err := faults.Inject(faults.Parse); err == nil {
+		t.Fatal("re-armed fault did not fire")
+	}
+}
+
+func TestConcurrentInjectIsSafe(t *testing.T) {
+	defer faults.Reset()
+	faults.ArmError(faults.ParallelRun, 50, errors.New("x"))
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := faults.Inject(faults.ParallelRun); err != nil {
+					fired.Store(err.Error(), true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(any, any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("fault fired %d distinct times, want exactly 1", n)
+	}
+}

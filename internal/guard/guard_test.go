@@ -1,0 +1,182 @@
+package guard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"finishrepair/internal/guard"
+)
+
+func TestNilMeterIsUnlimited(t *testing.T) {
+	var m *guard.Meter
+	if err := m.AddOps(1 << 50); err != nil {
+		t.Fatalf("nil meter AddOps: %v", err)
+	}
+	if err := m.AddDPStates(1 << 50); err != nil {
+		t.Fatalf("nil meter AddDPStates: %v", err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("nil meter Check: %v", err)
+	}
+	if got := m.OpLimit(); got != guard.DefaultOpLimit {
+		t.Fatalf("nil meter OpLimit = %d, want default %d", got, guard.DefaultOpLimit)
+	}
+	if got := m.Iterations(); got != guard.DefaultMaxIterations {
+		t.Fatalf("nil meter Iterations = %d, want %d", got, guard.DefaultMaxIterations)
+	}
+	m.SetPhase("x") // must not panic
+	m.Lift(guard.ResourceDeadline)
+}
+
+func TestOpBudgetTripsWithTypedError(t *testing.T) {
+	m := guard.NewMeter(nil, guard.Budget{OpLimit: 100})
+	m.SetPhase("detect")
+	if err := m.AddOps(100); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.AddOps(1)
+	var be *guard.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want BudgetExceededError", err)
+	}
+	if be.Resource != guard.ResourceOps || be.Phase != "detect" || be.Limit != 100 {
+		t.Fatalf("bad error fields: %+v", be)
+	}
+	if !strings.Contains(err.Error(), "op budget exhausted") {
+		t.Errorf("ops message %q lost the historical phrasing", err)
+	}
+}
+
+func TestDPStateBudgetTrips(t *testing.T) {
+	m := guard.NewMeter(nil, guard.Budget{MaxDPStates: 10})
+	if err := m.AddDPStates(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := m.AddDPStates(1)
+	var be *guard.BudgetExceededError
+	if !errors.As(err, &be) || be.Resource != guard.ResourceDPStates {
+		t.Fatalf("err = %v, want dp-states BudgetExceededError", err)
+	}
+}
+
+func TestCancellationSurfacesErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := guard.NewMeter(ctx, guard.Budget{})
+	m.SetPhase("dp-place")
+	if err := m.Check(); err != nil {
+		t.Fatalf("premature cancel: %v", err)
+	}
+	cancel()
+	err := m.Check()
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v should also unwrap to context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "dp-place") {
+		t.Errorf("canceled error %q missing phase", err)
+	}
+}
+
+func TestTimeoutBecomesDeadlineBudgetError(t *testing.T) {
+	m := guard.NewMeter(nil, guard.Budget{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	err := m.Check()
+	var be *guard.BudgetExceededError
+	if !errors.As(err, &be) || be.Resource != guard.ResourceDeadline {
+		t.Fatalf("err = %v, want deadline BudgetExceededError", err)
+	}
+	// Lifting the deadline disarms further trips.
+	m.Lift(guard.ResourceDeadline)
+	if err := m.Check(); err != nil {
+		t.Fatalf("after Lift: %v", err)
+	}
+}
+
+func TestContextDeadlineReportsAsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	m := guard.NewMeter(ctx, guard.Budget{})
+	err := m.Check()
+	var be *guard.BudgetExceededError
+	if !errors.As(err, &be) || be.Resource != guard.ResourceDeadline {
+		t.Fatalf("err = %v, want deadline BudgetExceededError from ctx deadline", err)
+	}
+}
+
+func TestPeriodicCheckObservesCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := guard.NewMeter(ctx, guard.Budget{})
+	// Small batches must still observe cancellation within one check
+	// interval's worth of ops.
+	var err error
+	for i := 0; i < 4096 && err == nil; i++ {
+		err = m.AddOps(1)
+	}
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("cancellation not observed within a check interval: %v", err)
+	}
+}
+
+func TestProtectConvertsPanicToInternalError(t *testing.T) {
+	err := guard.Protect("rewrite", func() error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	})
+	var ie *guard.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want InternalError", err)
+	}
+	if ie.Phase != "rewrite" || !strings.Contains(ie.Stack, "guard_test") {
+		t.Fatalf("InternalError missing phase/stack: phase=%q stackLen=%d", ie.Phase, len(ie.Stack))
+	}
+}
+
+func TestProtectUnwrapsBail(t *testing.T) {
+	want := &guard.BudgetExceededError{Resource: guard.ResourceOps, Phase: "detect", Limit: 1, Used: 2}
+	err := guard.Protect("detect", func() error {
+		panic(guard.Bail{Err: want})
+	})
+	var be *guard.BudgetExceededError
+	if !errors.As(err, &be) || be != want {
+		t.Fatalf("err = %v, want the bailed error verbatim", err)
+	}
+}
+
+func TestProtectPassesThroughReturnedError(t *testing.T) {
+	want := errors.New("plain")
+	if err := guard.Protect("p", func() error { return want }); err != want {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := guard.Protect("p", func() error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestInternalErrorUnwrapsPanickedError(t *testing.T) {
+	inner := fmt.Errorf("inner cause")
+	err := guard.Protect("parse", func() error { panic(inner) })
+	if !errors.Is(err, inner) {
+		t.Fatalf("InternalError should unwrap to the panicked error; got %v", err)
+	}
+}
+
+func TestIsBudgetOrCanceled(t *testing.T) {
+	if !guard.IsBudgetOrCanceled(&guard.BudgetExceededError{Resource: guard.ResourceOps}) {
+		t.Error("budget error not recognized")
+	}
+	if !guard.IsBudgetOrCanceled(fmt.Errorf("wrap: %w", guard.ErrCanceled)) {
+		t.Error("wrapped ErrCanceled not recognized")
+	}
+	if guard.IsBudgetOrCanceled(errors.New("other")) {
+		t.Error("unrelated error recognized")
+	}
+}

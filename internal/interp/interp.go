@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/lang/token"
@@ -48,8 +49,14 @@ type Options struct {
 	// Access and Structure receive events when Instrument is set.
 	Access    AccessListener
 	Structure StructureListener
-	// OpLimit bounds total work units; 0 means the default (2^31).
+	// OpLimit bounds this run's work units; 0 means the shared default
+	// (guard.DefaultOpLimit), so sequential, instrumented, and parallel
+	// runs all agree on one bound.
 	OpLimit int64
+	// Meter, when set, threads the pipeline's shared budget through the
+	// hot loop: cumulative op accounting, periodic cancellation/deadline
+	// checks, and the S-DPST node bound. Nil costs one pointer test.
+	Meter *guard.Meter
 	// NoCollapse disables maximal-step collapsing of task-free scope
 	// subtrees (the paper's §9 "garbage collection of parts of the
 	// S-DPST that do not exhibit race conditions", realized eagerly).
@@ -69,12 +76,14 @@ type Result struct {
 // faults are returned as *RuntimeError.
 func Run(info *sem.Info, opts Options) (*Result, error) {
 	in := &interp{
-		info:    info,
-		opts:    opts,
-		opLimit: opts.OpLimit,
+		info:      info,
+		opts:      opts,
+		opLimit:   opts.OpLimit,
+		meter:     opts.Meter,
+		nodeLimit: opts.Meter.MaxSDPSTNodes(),
 	}
 	if in.opLimit == 0 {
-		in.opLimit = 1 << 31
+		in.opLimit = guard.DefaultOpLimit
 	}
 	if opts.Instrument {
 		in.tree = dpst.NewTree()
@@ -94,6 +103,12 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 					err = re
 					return
 				}
+				// Budget trips and cancellations unwind via guard.Bail;
+				// return the typed error they carry.
+				if b, ok := r.(guard.Bail); ok {
+					err = b.Err
+					return
+				}
 				panic(r)
 			}
 		}()
@@ -104,6 +119,13 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 		in.callFunc(main, nil, nil, 0)
 		return nil
 	}()
+
+	// Flush the unbatched tail so cumulative accounting across pipeline
+	// runs stays accurate; enforcement already happened in tick.
+	if in.meter != nil && in.sinceMeter > 0 {
+		_ = in.meter.AddOps(in.sinceMeter)
+		in.sinceMeter = 0
+	}
 
 	if opts.Instrument {
 		if opts.Structure != nil {
@@ -132,6 +154,13 @@ type interp struct {
 	work    int64
 	opLimit int64
 
+	// Shared pipeline budget (nil = unlimited); sinceMeter batches the
+	// meter calls so the hot loop stays one increment and two compares.
+	meter      *guard.Meter
+	sinceMeter int64
+	nodeLimit  int64 // S-DPST node budget (0 = unlimited)
+	nodes      int64 // nodes created this run
+
 	// Instrumentation state.
 	tree    *dpst.Tree
 	curNode *dpst.Node // innermost interior node
@@ -145,14 +174,39 @@ type interp struct {
 	siteIdx   int
 }
 
+// meterBatch is how many ticks elapse between flushes to the shared
+// meter (which itself checks cancellation every guard check interval).
+const meterBatch = 1024
+
 // tick charges one work unit to the current step.
 func (in *interp) tick() {
 	in.work++
 	if in.work > in.opLimit {
-		throwf("op budget exhausted after %d work units (infinite loop?)", in.opLimit)
+		panic(guard.Bail{Err: &guard.BudgetExceededError{
+			Resource: guard.ResourceOps,
+			Phase:    in.meter.CurrentPhase(),
+			Limit:    in.opLimit,
+			Used:     in.work,
+		}})
+	}
+	if in.meter != nil {
+		if in.sinceMeter++; in.sinceMeter >= meterBatch {
+			in.sinceMeter = 0
+			if err := in.meter.AddOps(meterBatch); err != nil {
+				panic(guard.Bail{Err: err})
+			}
+		}
 	}
 	if in.curStep != nil {
 		in.curStep.Work++
+	}
+}
+
+// noteNode charges one S-DPST node against the node budget.
+func (in *interp) noteNode() {
+	in.nodes++
+	if in.nodeLimit > 0 && in.nodes > in.nodeLimit {
+		panic(guard.Bail{Err: in.meter.NodeBudgetError(in.nodes)})
 	}
 }
 
@@ -187,6 +241,7 @@ func (in *interp) ensureStep(b *ast.Block, idx int) {
 		}
 		return
 	}
+	in.noteNode()
 	s := in.tree.NewChild(in.curNode, dpst.Step, dpst.NotScope, "")
 	s.OwnerBlock = b
 	s.StmtLo, s.StmtHi = idx, idx
@@ -203,6 +258,7 @@ func (in *interp) pushNode(kind dpst.Kind, class dpst.ScopeClass, label string, 
 		return nil
 	}
 	in.endStep()
+	in.noteNode()
 	n := in.tree.NewChild(in.curNode, kind, class, label)
 	n.OwnerBlock = owner
 	n.StmtLo, n.StmtHi = idx, idx

@@ -120,7 +120,8 @@ func (v Value) Equal(o Value) bool {
 }
 
 // RuntimeError is an HJ-lite runtime fault (index out of range, division
-// by zero, nil array, op budget exhausted).
+// by zero, nil array). Budget trips and cancellations are NOT runtime
+// errors; they surface as the guard package's typed errors.
 type RuntimeError struct {
 	Msg string
 }

@@ -1,0 +1,62 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/lang/printer"
+)
+
+// FuzzParse asserts the front end's containment contract on arbitrary
+// bytes: Parse never panics, and a program that parses cleanly
+// round-trips through the printer (print → reparse → print is a fixed
+// point).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"func main() { }",
+		"var g = 0;\nfunc main() { finish { async { g = 1; } } g = 2; }",
+		"func f(n int) int { if (n < 2) { return n; } return f(n-1) + f(n-2); }\nfunc main() { println(f(10)); }",
+		"func main() { for (var i = 0; i < 4; i = i + 1) { async { println(i); } } }",
+		"func main() { while (true) { } }",
+		"{{{{",
+		"func main() { g[0 }",
+		strings.Repeat("}", 200),
+		strings.Repeat("(", 300),
+		"func main() { x = 1e999; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := printer.Print(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\nsource:\n%s\nprinted:\n%s", err, src, out)
+		}
+		out2 := printer.Print(prog2)
+		if out != out2 {
+			t.Fatalf("printer is not a fixed point\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+	})
+}
+
+// TestParseErrorCascadeContained is the regression test for the runaway
+// error cascade hard stop: an adversarial input producing an error per
+// token must come back as an ErrorList, not a panic.
+func TestParseErrorCascadeContained(t *testing.T) {
+	src := strings.Repeat("?; ", 300) // 300 invalid tokens at top level
+	prog, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected an error for %d invalid tokens", 300)
+	}
+	if prog == nil {
+		t.Fatalf("Parse must return a non-nil (possibly empty) program alongside errors")
+	}
+	if _, ok := err.(ErrorList); !ok {
+		t.Fatalf("expected ErrorList, got %T: %v", err, err)
+	}
+}

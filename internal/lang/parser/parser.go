@@ -53,10 +53,22 @@ type parser struct {
 
 // Parse parses src and returns the program. On syntax errors it returns a
 // non-nil error (an ErrorList) and a possibly partial program.
-func Parse(src string) (*ast.Program, error) {
+func Parse(src string) (prog *ast.Program, err error) {
 	p := &parser{lex: lexer.New(src)}
+	// errorf hard-stops runaway error cascades (adversarial inputs can
+	// produce an error per byte) by panicking the accumulated ErrorList;
+	// convert that back to an ordinary error return so no panic escapes.
+	defer func() {
+		if r := recover(); r != nil {
+			errs, ok := r.(ErrorList)
+			if !ok {
+				panic(r)
+			}
+			prog, err = &ast.Program{}, errs
+		}
+	}()
 	p.next()
-	prog := p.parseProgram()
+	prog = p.parseProgram()
 	for _, le := range p.lex.Errors() {
 		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
 	}

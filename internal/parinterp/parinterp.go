@@ -14,6 +14,8 @@ import (
 	"math"
 	"sync"
 
+	"finishrepair/internal/faults"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
@@ -25,6 +27,13 @@ import (
 type Options struct {
 	// Executor runs the tasks; nil means a fresh goroutine executor.
 	Executor *taskpar.Executor
+	// Meter charges coarse work units (loop iterations, calls, task
+	// spawns) against the shared pipeline budget and aborts the run with
+	// a typed error on cancellation, deadline, or op exhaustion. Nil
+	// means unlimited. Charging is deliberately coarse — the parallel
+	// run's cost model feeds no analysis, so per-expression atomics would
+	// be pure overhead.
+	Meter *guard.Meter
 }
 
 // Result of a parallel run.
@@ -38,10 +47,14 @@ func Run(info *sem.Info, opts Options) (res *Result, err error) {
 	if exec == nil {
 		exec = taskpar.NewGoroutineExecutor()
 	}
-	pi := &par{info: info, globals: make([]interp.Value, info.GlobalCount)}
+	pi := &par{info: info, globals: make([]interp.Value, info.GlobalCount), meter: opts.Meter}
 
 	defer func() {
 		if r := recover(); r != nil {
+			if b, ok := r.(guard.Bail); ok {
+				res, err = nil, b.Err
+				return
+			}
 			if re, ok := r.(*interp.RuntimeError); ok {
 				res, err = nil, re
 				return
@@ -50,8 +63,14 @@ func Run(info *sem.Info, opts Options) (res *Result, err error) {
 		}
 	}()
 
+	opts.Meter.SetPhase("parallel-run")
 	// Globals initialize sequentially before main (no tasks yet).
 	exec.Finish(func(c *taskpar.Ctx) {
+		// Injected inside the root finish so an armed panic exercises the
+		// executor's propagation path, not just this function's recover.
+		if ferr := faults.Inject(faults.ParallelRun); ferr != nil {
+			panic(guard.Bail{Err: ferr})
+		}
 		for _, g := range info.Prog.Globals {
 			sym := g.Sym.(*sem.Symbol)
 			if g.Init != nil {
@@ -69,9 +88,23 @@ func Run(info *sem.Info, opts Options) (res *Result, err error) {
 type par struct {
 	info    *sem.Info
 	globals []interp.Value
+	meter   *guard.Meter
 
 	outMu sync.Mutex
 	out   bytes.Buffer
+}
+
+// tick charges one coarse work unit; it panics a guard.Bail carrying the
+// meter's typed error when the budget trips or the run is canceled. The
+// Bail unwinds the current task, propagates through the executor's
+// finish-scope panic channel, and is converted back to an error at Run.
+func (p *par) tick() {
+	if p.meter == nil {
+		return
+	}
+	if err := p.meter.AddOps(1); err != nil {
+		panic(guard.Bail{Err: err})
+	}
 }
 
 type frame struct {
@@ -84,6 +117,7 @@ type ctrl struct {
 }
 
 func (p *par) call(c *taskpar.Ctx, fn *ast.FuncDecl, args []interp.Value) interp.Value {
+	p.tick()
 	f := &frame{slots: make([]interp.Value, p.info.FrameSize[fn])}
 	copy(f.slots, args)
 	r := p.execBlock(c, f, fn.Body)
@@ -134,6 +168,7 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 		return ctrl{}
 	case *ast.WhileStmt:
 		for p.eval(c, f, st.Cond).Bool() {
+			p.tick()
 			if r := p.execBlock(c, f, st.Body); r.returned {
 				return r
 			}
@@ -146,6 +181,7 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 			}
 		}
 		for st.Cond == nil || p.eval(c, f, st.Cond).Bool() {
+			p.tick()
 			if r := p.execBlock(c, f, st.Body); r.returned {
 				return r
 			}
@@ -157,6 +193,7 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 		}
 		return ctrl{}
 	case *ast.AsyncStmt:
+		p.tick()
 		// By-value snapshot of the parent frame (final-variable capture).
 		child := &frame{slots: make([]interp.Value, len(f.slots))}
 		copy(child.slots, f.slots)

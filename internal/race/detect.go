@@ -1,6 +1,8 @@
 package race
 
 import (
+	"finishrepair/internal/faults"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
@@ -43,12 +45,25 @@ func New(v Variant, o Oracle) Detector {
 // checked program with instrumentation and returns the run result
 // (including the S-DPST) and the detector holding the races found.
 func Detect(info *sem.Info, v Variant, o Oracle) (*interp.Result, Detector, error) {
+	return DetectWith(info, v, o, nil)
+}
+
+// DetectWith is Detect threaded with the pipeline's shared budget meter:
+// the instrumented execution charges its work units against the
+// cumulative op budget, honors the S-DPST node bound, and aborts with a
+// typed error on cancellation or deadline. A nil meter is unlimited.
+func DetectWith(info *sem.Info, v Variant, o Oracle, m *guard.Meter) (*interp.Result, Detector, error) {
+	m.SetPhase("detect")
+	if err := faults.Inject(faults.Detect); err != nil {
+		return nil, nil, err
+	}
 	det := New(v, o)
 	res, err := interp.Run(info, interp.Options{
 		Mode:       interp.DepthFirst,
 		Instrument: true,
 		Access:     det,
 		Structure:  det,
+		Meter:      m,
 	})
 	if err == nil {
 		mDetectRuns.Inc()

@@ -53,7 +53,7 @@ func TestDebugMergesortGroups(t *testing.T) {
 	groups := groupByNSLCA(det.Races())
 	for _, g := range groups {
 		nodes := dpst.NonScopeChildren(g.lca)
-		ps, _, err := placeGroup(g, 1200)
+		ps, _, err := placeGroup(g, 1200, nil)
 		if err != nil {
 			t.Fatalf("placeGroup: %v", err)
 		}
@@ -104,7 +104,7 @@ func TestDebugPlacements(t *testing.T) {
 			dc := dpst.NonScopeChildOn(g.lca, r.Dst)
 			t.Logf("  race %v: %v -> %v", r, sc, dc)
 		}
-		ps, _, err := placeGroup(g, 1200)
+		ps, _, err := placeGroup(g, 1200, nil)
 		if err != nil {
 			t.Fatalf("placeGroup: %v", err)
 		}

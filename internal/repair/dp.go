@@ -20,6 +20,8 @@ package repair
 import (
 	"fmt"
 	"math"
+
+	"finishrepair/internal/guard"
 )
 
 // Problem is the abstract optimal-finish-placement instance of §5.2: a
@@ -35,6 +37,10 @@ type Problem struct {
 	// statically expressible (Algorithm 2 / scope rules). Nil means
 	// always valid.
 	Valid func(s, e int) bool
+	// Meter, when set, charges explored DP states against the pipeline's
+	// shared budget and checks cancellation between cells; Solve returns
+	// the meter's typed error mid-placement when a limit trips.
+	Meter *guard.Meter
 }
 
 // FinishBlock is one (s, e) element of the FinishSet: a finish enclosing
@@ -102,6 +108,13 @@ func Solve(p *Problem) (*Solution, error) {
 			bestP, bestF := -1, false
 			bestE := int64(0)
 			sol.States += int64(j - i)
+			// Budget/cancellation check once per cell: the DP-state limit
+			// and the deadline both trip mid-placement, letting the repair
+			// loop degrade to the coarse placement instead of crashing or
+			// running away on huge dependence graphs.
+			if err := p.Meter.AddDPStates(int64(j - i)); err != nil {
+				return nil, err
+			}
 			for k := i; k < j; k++ {
 				var c, e int64
 				var f bool

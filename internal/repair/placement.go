@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
@@ -200,13 +201,11 @@ func toPlacement(w wrap) Placement {
 	return Placement{Block: w.owner, Lo: w.lo, Hi: w.hi}
 }
 
-// placeGroup computes the placements for one NS-LCA group: dependence
-// graph construction (§5.1), the DP (§5.2), and the bottom-up mapping to
-// AST coordinates. maxGraph bounds the DP size; larger graphs use the
-// sound fallback of wrapping each race source child in its own finish.
-// The second result counts DP states explored.
-func placeGroup(g *group, maxGraph int) ([]Placement, int64, error) {
-	nodes := dpst.NonScopeChildren(g.lca)
+// depGraph reduces a group's races to the dependence DAG over the
+// NS-LCA's non-scope children (§5.1): the ordered vertex list and the
+// deduplicated race edges.
+func depGraph(g *group) (nodes []*dpst.Node, edges [][2]int, err error) {
+	nodes = dpst.NonScopeChildren(g.lca)
 	pos := make(map[*dpst.Node]int, len(nodes))
 	for i, n := range nodes {
 		pos[n] = i
@@ -214,20 +213,19 @@ func placeGroup(g *group, maxGraph int) ([]Placement, int64, error) {
 
 	type edgeKey struct{ x, y int }
 	edgeSet := make(map[edgeKey]bool)
-	var edges [][2]int
 	for _, r := range g.races {
 		srcChild := dpst.NonScopeChildOn(g.lca, r.Src)
 		dstChild := dpst.NonScopeChildOn(g.lca, r.Dst)
 		if srcChild == nil || dstChild == nil {
-			return nil, 0, fmt.Errorf("repair: race %v does not descend from its NS-LCA", r)
+			return nil, nil, fmt.Errorf("repair: race %v does not descend from its NS-LCA", r)
 		}
 		x, okx := pos[srcChild]
 		y, oky := pos[dstChild]
 		if !okx || !oky {
-			return nil, 0, fmt.Errorf("repair: race child not among non-scope children")
+			return nil, nil, fmt.Errorf("repair: race child not among non-scope children")
 		}
 		if x == y {
-			return nil, 0, fmt.Errorf("repair: race %v maps to a self edge; NS-LCA miscomputed", r)
+			return nil, nil, fmt.Errorf("repair: race %v maps to a self edge; NS-LCA miscomputed", r)
 		}
 		if x > y {
 			x, y = y, x
@@ -237,6 +235,37 @@ func placeGroup(g *group, maxGraph int) ([]Placement, int64, error) {
 			edgeSet[k] = true
 			edges = append(edges, [2]int{x, y})
 		}
+	}
+	return nodes, edges, nil
+}
+
+// degradeGroup computes the coarse-but-sound placement for one group
+// without touching the DP: every racing source child is joined (wrapped
+// in its own finish, widening when a single-vertex wrap is not
+// expressible) before its sink can start. Race-free though possibly
+// over-synchronized — the graceful-degradation path taken when the
+// DP-state or deadline budget trips mid-placement.
+func degradeGroup(g *group) ([]Placement, error) {
+	nodes, edges, err := depGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	return fallbackPlacements(nodes, edges)
+}
+
+// placeGroup computes the placements for one NS-LCA group: dependence
+// graph construction (§5.1), the DP (§5.2), and the bottom-up mapping to
+// AST coordinates. maxGraph bounds the DP size; larger graphs use the
+// sound fallback of wrapping each race source child in its own finish.
+// The second result counts DP states explored. Budget trips and
+// cancellations inside the DP surface as the meter's typed errors.
+func placeGroup(g *group, maxGraph int, m *guard.Meter) ([]Placement, int64, error) {
+	nodes, edges, err := depGraph(g)
+	if err != nil {
+		return nil, 0, err
 	}
 	if len(edges) == 0 {
 		return nil, 0, nil
@@ -257,6 +286,7 @@ func placeGroup(g *group, maxGraph int) ([]Placement, int64, error) {
 			_, ok := computeWrap(nodes, s, e)
 			return ok
 		},
+		Meter: m,
 	}
 	for i, n := range nodes {
 		prob.T[i] = n.SubtreeWork

@@ -2,10 +2,14 @@ package repair
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"finishrepair/internal/faults"
+	"finishrepair/internal/guard"
+	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
@@ -17,6 +21,7 @@ var (
 	mIterations = obs.Default().Counter("repair.iterations")
 	mRacesFound = obs.Default().Counter("repair.races_detected")
 	mInserted   = obs.Default().Counter("repair.finishes_inserted")
+	mDegraded   = obs.Default().Counter("repair.degraded_placements")
 )
 
 // Options configures the repair loop.
@@ -44,6 +49,10 @@ type Options struct {
 	// instead of opening a new root on Tracer (callers wrapping the
 	// repair in a larger traced phase, e.g. the bench harness).
 	ParentSpan *obs.Span
+	// Meter threads the pipeline's shared budget and cancellation state
+	// through every phase (detect runs, the DP, the loop itself). Nil
+	// means unlimited and never canceled.
+	Meter *guard.Meter
 }
 
 func (o *Options) fill() {
@@ -98,6 +107,13 @@ type Report struct {
 	Output string
 	// TraceBytes is the total size of the race trace files produced.
 	TraceBytes int
+	// Degraded reports that at least one placement fell back to the
+	// coarse sound placement because the DP-state or deadline budget
+	// tripped mid-placement; DegradedReason carries the first trip. The
+	// repaired program is still verified race-free, just possibly
+	// over-synchronized.
+	Degraded       bool
+	DegradedReason string
 }
 
 // TotalRaces sums the races found across iterations.
@@ -157,6 +173,12 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			return rep, &MaxIterationsError{Iterations: iter, RemainingRaces: remaining}
 		}
+		// Cancellation gate between rounds; the phases below also check
+		// from their own hot loops.
+		opts.Meter.SetPhase("repair")
+		if err := opts.Meter.Check(); err != nil {
+			return rep, err
+		}
 		mIterations.Inc()
 		iterSpan := root.Child("iteration").SetInt("n", int64(iter))
 		iterErr := func(err error) (*Report, error) {
@@ -173,7 +195,13 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 
 		detSpan := iterSpan.Child("detect").SetStr("variant", opts.Variant.String())
 		t0 := time.Now()
-		res, det, err := race.Detect(info, opts.Variant, opts.Oracle())
+		var res *interp.Result
+		var det race.Detector
+		err = guard.Protect("detect", func() error {
+			r, d, err := race.DetectWith(info, opts.Variant, opts.Oracle(), opts.Meter)
+			res, det = r, d
+			return err
+		})
 		if err != nil {
 			detSpan.End()
 			return iterErr(fmt.Errorf("repair: execution failed: %w", err))
@@ -194,12 +222,19 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 		if opts.UseTraceFiles {
 			ioSpan := iterSpan.Child("trace-io")
 			var buf bytes.Buffer
-			if err := race.WriteTrace(&buf, races); err != nil {
-				ioSpan.End()
-				return iterErr(err)
-			}
-			rep.TraceBytes += buf.Len()
-			races, err = race.ReadTrace(&buf, res.Tree)
+			err = guard.Protect("trace-io", func() error {
+				opts.Meter.SetPhase("trace-io")
+				if err := faults.Inject(faults.TraceIO); err != nil {
+					return err
+				}
+				if err := race.WriteTrace(&buf, races); err != nil {
+					return err
+				}
+				rep.TraceBytes += buf.Len()
+				var rerr error
+				races, rerr = race.ReadTrace(&buf, res.Tree)
+				return rerr
+			})
 			ioSpan.SetInt("trace_bytes", int64(buf.Len())).End()
 			if err != nil {
 				return iterErr(err)
@@ -221,8 +256,19 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 
 		tPlace := time.Now()
 		groupSpan := iterSpan.Child("group-nslca")
-		groups := groupByNSLCA(races)
+		var groups []*group
+		err = guard.Protect("group-nslca", func() error {
+			opts.Meter.SetPhase("group-nslca")
+			if err := faults.Inject(faults.GroupNSLCA); err != nil {
+				return err
+			}
+			groups = groupByNSLCA(races)
+			return nil
+		})
 		groupSpan.SetInt("groups", int64(len(groups))).End()
+		if err != nil {
+			return iterErr(err)
+		}
 		it.NSLCAs = len(groups)
 		// Paper §6 steps 3(d)-(f): placements inserted for an earlier
 		// NS-LCA can fix later groups' races (recursive programs visit
@@ -234,42 +280,82 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 		// the updated program.
 		placeSpan := iterSpan.Child("dp-place")
 		var placements []Placement
-		chosen := make(map[Placement]bool)
-		overlaps := func(p Placement) bool {
-			for c := range chosen {
-				if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
-					return true
+		err = guard.Protect("dp-place", func() error {
+			opts.Meter.SetPhase("dp-place")
+			if err := faults.Inject(faults.DPPlace); err != nil {
+				return err
+			}
+			chosen := make(map[Placement]bool)
+			overlaps := func(p Placement) bool {
+				for c := range chosen {
+					if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
+						return true
+					}
+				}
+				return false
+			}
+			degraded := false
+			for _, g := range groups {
+				var ps []Placement
+				var err error
+				if degraded {
+					// An earlier group tripped the budget; skip the DP for
+					// the remaining groups and go straight to the coarse
+					// placement.
+					ps, err = degradeGroup(g)
+				} else {
+					var states int64
+					ps, states, err = placeGroup(g, opts.MaxGraph, opts.Meter)
+					it.DPStates += states
+					var bx *guard.BudgetExceededError
+					if errors.As(err, &bx) &&
+						(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
+						// Graceful degradation: commit the sound
+						// coarse-but-valid placement instead of failing
+						// mid-repair. A tripped deadline is lifted so the
+						// mandatory verification run can still complete (the
+						// op budget keeps it bounded). User cancellation is
+						// NOT degraded — it propagates below.
+						mDegraded.Inc()
+						rep.Degraded = true
+						if rep.DegradedReason == "" {
+							rep.DegradedReason = bx.Error()
+						}
+						if bx.Resource == guard.ResourceDeadline {
+							opts.Meter.Lift(guard.ResourceDeadline)
+						}
+						degraded = true
+						ps, err = degradeGroup(g)
+					}
+				}
+				if err != nil {
+					return err
+				}
+				conflict := false
+				for _, p := range ps {
+					if !chosen[p] && overlaps(p) {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				for _, p := range ps {
+					if !chosen[p] {
+						chosen[p] = true
+						placements = append(placements, p)
+					}
 				}
 			}
-			return false
-		}
-		for _, g := range groups {
-			ps, states, err := placeGroup(g, opts.MaxGraph)
-			it.DPStates += states
-			if err != nil {
-				placeSpan.End()
-				return iterErr(err)
-			}
-			conflict := false
-			for _, p := range ps {
-				if !chosen[p] && overlaps(p) {
-					conflict = true
-					break
-				}
-			}
-			if conflict {
-				continue
-			}
-			for _, p := range ps {
-				if !chosen[p] {
-					chosen[p] = true
-					placements = append(placements, p)
-				}
-			}
-		}
+			return nil
+		})
 		placeSpan.SetInt("dp_states", it.DPStates).
 			SetInt("placements", int64(len(placements))).
 			End()
+		if err != nil {
+			return iterErr(err)
+		}
 		it.PlaceTime = time.Since(tPlace)
 		if len(placements) == 0 {
 			return iterErr(fmt.Errorf("repair: %d races but no placements computed", len(races)))
@@ -277,7 +363,16 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 
 		tRewrite := time.Now()
 		rewriteSpan := iterSpan.Child("rewrite")
-		applied, err := applyPlacements(prog, placements)
+		var applied []AppliedRange
+		err = guard.Protect("rewrite", func() error {
+			opts.Meter.SetPhase("rewrite")
+			if err := faults.Inject(faults.Rewrite); err != nil {
+				return err
+			}
+			var rerr error
+			applied, rerr = applyPlacements(prog, placements)
+			return rerr
+		})
 		if err != nil {
 			rewriteSpan.End()
 			return iterErr(err)

@@ -1,0 +1,201 @@
+package taskpar_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"finishrepair/taskpar"
+)
+
+// recoverFrom runs f and returns the value it panicked with (nil if it
+// returned normally).
+func recoverFrom(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+// TestPanicCancelsUnstartedSiblings pins the scope-cancellation
+// contract on a 1-worker pool, where task order is deterministic: the
+// panicking task is submitted first and runs first, so every sibling
+// submitted after it must be skipped and the counter stays zero.
+func TestPanicCancelsUnstartedSiblings(t *testing.T) {
+	e := taskpar.NewPoolExecutor(1)
+	defer e.Shutdown()
+	var ran atomic.Int64
+	v := recoverFrom(func() {
+		e.Finish(func(c *taskpar.Ctx) {
+			c.Async(func(*taskpar.Ctx) { panic("boom") })
+			for i := 0; i < 64; i++ {
+				c.Async(func(*taskpar.Ctx) { ran.Add(1) })
+			}
+		})
+	})
+	if v != "boom" {
+		t.Fatalf("expected Finish to re-raise the task panic, got %v", v)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d sibling task(s) ran after the panic; all should be skipped", n)
+	}
+}
+
+// TestNestedFinishPanicCancelsOuterSiblings: a panic inside a nested
+// finish scope unwinds through the nested join into the outer task,
+// which records it in the outer scope — so the outer scope's unstarted
+// siblings are skipped too.
+func TestNestedFinishPanicCancelsOuterSiblings(t *testing.T) {
+	e := taskpar.NewPoolExecutor(1)
+	defer e.Shutdown()
+	var ran atomic.Int64
+	v := recoverFrom(func() {
+		e.Finish(func(c *taskpar.Ctx) {
+			c.Async(func(c *taskpar.Ctx) {
+				c.Finish(func(c *taskpar.Ctx) {
+					c.Async(func(*taskpar.Ctx) { panic("inner boom") })
+				})
+			})
+			for i := 0; i < 32; i++ {
+				c.Async(func(*taskpar.Ctx) { ran.Add(1) })
+			}
+		})
+	})
+	if v != "inner boom" {
+		t.Fatalf("expected the nested panic to propagate to the outer Finish, got %v", v)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d outer sibling task(s) ran after the nested panic", n)
+	}
+}
+
+// TestPanicPropagatesExactlyOnceAndPoolIsReusable: with many panicking
+// tasks, Finish re-raises exactly one of the recorded values, and the
+// executor stays fully usable afterwards — no stale panic resurfaces on
+// the next scope.
+func TestPanicPropagatesExactlyOnceAndPoolIsReusable(t *testing.T) {
+	e := taskpar.NewPoolExecutor(4)
+	defer e.Shutdown()
+	v := recoverFrom(func() {
+		e.Finish(func(c *taskpar.Ctx) {
+			for i := 0; i < 16; i++ {
+				i := i
+				c.Async(func(*taskpar.Ctx) { panic(i) })
+			}
+		})
+	})
+	if _, ok := v.(int); !ok {
+		t.Fatalf("expected one of the task panic values, got %T (%v)", v, v)
+	}
+	// The same executor must run a fresh scope cleanly.
+	var sum atomic.Int64
+	v = recoverFrom(func() {
+		e.Finish(func(c *taskpar.Ctx) {
+			for i := 1; i <= 100; i++ {
+				i := i
+				c.Async(func(*taskpar.Ctx) { sum.Add(int64(i)) })
+			}
+		})
+	})
+	if v != nil {
+		t.Fatalf("reused pool re-raised a stale panic: %v", v)
+	}
+	if got := sum.Load(); got != 5050 {
+		t.Fatalf("reused pool computed %d, want 5050", got)
+	}
+}
+
+// TestPoolShutdownAfterPanicLeaksNoGoroutines: after a panicking
+// workload and Shutdown, the process goroutine count must return to its
+// pre-pool baseline (small slack for runtime background goroutines).
+func TestPoolShutdownAfterPanicLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := taskpar.NewPoolExecutor(4)
+	recoverFrom(func() {
+		e.Finish(func(c *taskpar.Ctx) {
+			for i := 0; i < 32; i++ {
+				c.Async(func(*taskpar.Ctx) { panic("boom") })
+			}
+		})
+	})
+	e.Shutdown()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before pool, %d after shutdown",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFinishCtxCancelSkipsUnstartedTasks: once the context is canceled,
+// tasks that have not started are skipped (the running task completes —
+// never preempted) and FinishCtx returns the context's cause.
+func TestFinishCtxCancelSkipsUnstartedTasks(t *testing.T) {
+	e := taskpar.NewPoolExecutor(1)
+	defer e.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := e.FinishCtx(ctx, func(c *taskpar.Ctx) {
+		c.Async(func(*taskpar.Ctx) {
+			cancel()
+			<-ctx.Done() // keep running after cancellation; must not be preempted
+		})
+		for i := 0; i < 64; i++ {
+			c.Async(func(*taskpar.Ctx) { ran.Add(1) })
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FinishCtx returned %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d task(s) ran after cancellation", n)
+	}
+}
+
+// TestFinishCtxNilAndUncanceled: FinishCtx with a live context behaves
+// exactly like Finish and returns nil.
+func TestFinishCtxNilAndUncanceled(t *testing.T) {
+	e := taskpar.NewGoroutineExecutor()
+	var sum atomic.Int64
+	if err := e.FinishCtx(context.Background(), func(c *taskpar.Ctx) {
+		for i := 1; i <= 10; i++ {
+			i := i
+			c.Async(func(*taskpar.Ctx) { sum.Add(int64(i)) })
+		}
+	}); err != nil {
+		t.Fatalf("FinishCtx with live context returned %v", err)
+	}
+	if got := sum.Load(); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+// TestFinishCtxInheritedByNestedScope: a nested c.Finish opened under a
+// canceled FinishCtx inherits the cancellation, so its tasks are
+// skipped as well.
+func TestFinishCtxInheritedByNestedScope(t *testing.T) {
+	e := taskpar.NewPoolExecutor(1)
+	defer e.Shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the scope even opens
+	var ran atomic.Int64
+	err := e.FinishCtx(ctx, func(c *taskpar.Ctx) {
+		c.Finish(func(c *taskpar.Ctx) {
+			c.Async(func(*taskpar.Ctx) { ran.Add(1) })
+		})
+		c.Async(func(*taskpar.Ctx) { ran.Add(1) })
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FinishCtx returned %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d task(s) ran under a pre-canceled context", n)
+	}
+}

@@ -15,10 +15,17 @@
 // tasks instead of idling.
 //
 // Panics inside tasks propagate: the first panic observed in a finish
-// scope is re-raised by Finish after all its tasks complete.
+// scope is re-raised by Finish after all its tasks complete — exactly
+// once, regardless of how many tasks panicked. A recorded panic also
+// CANCELS the scope: sibling tasks that have not started yet are skipped
+// (running tasks are never preempted), so a failing subtree does not
+// keep burning workers while the scope drains. FinishCtx extends the
+// same cooperative cancellation to a context.Context; nested finish
+// scopes inherit it.
 package taskpar
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -61,8 +68,12 @@ func (e *Executor) Shutdown() {
 // the pool executor polls pending so a blocked scope can help run
 // queued tasks.
 type scope struct {
-	pending  atomic.Int64
-	wg       sync.WaitGroup
+	pending atomic.Int64
+	wg      sync.WaitGroup
+	// done, when non-nil, is the cancellation channel of the context the
+	// scope was opened under (FinishCtx); nested scopes inherit it.
+	done     <-chan struct{}
+	failed   atomic.Bool // set with the first recorded panic
 	panicMu  sync.Mutex
 	panicked any
 	hasPanic bool
@@ -73,8 +84,25 @@ func (s *scope) recordPanic(v any) {
 	if !s.hasPanic {
 		s.hasPanic = true
 		s.panicked = v
+		s.failed.Store(true)
 	}
 	s.panicMu.Unlock()
+}
+
+// aborted reports whether the scope should stop launching new tasks: a
+// sibling already panicked, or the scope's context was canceled.
+func (s *scope) aborted() bool {
+	if s.failed.Load() {
+		return true
+	}
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 func (s *scope) rethrow() {
@@ -97,19 +125,38 @@ type Ctx struct {
 // Finish runs body in a new finish scope on executor e and blocks until
 // every task transitively spawned inside has completed.
 func (e *Executor) Finish(body func(*Ctx)) {
-	e.finishOn(nil, body)
+	e.finishOn(nil, nil, body)
+}
+
+// FinishCtx is Finish with cooperative cancellation: when ctx is
+// canceled, tasks of the scope (and of nested scopes, which inherit the
+// context) that have not started yet are skipped; tasks already running
+// complete normally — they are never preempted. After the scope drains
+// FinishCtx returns the context's cause, or nil if it was not canceled.
+// Panics still propagate by re-raise, exactly as with Finish.
+func (e *Executor) FinishCtx(ctx context.Context, body func(*Ctx)) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	e.finishOn(nil, done, body)
+	if ctx != nil && ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // Finish runs body in a nested finish scope, waiting for its transitive
 // tasks. The current task keeps its identity; only the join scope
-// changes.
+// changes. The nested scope inherits the enclosing scope's cancellation
+// context, if any.
 func (c *Ctx) Finish(body func(*Ctx)) {
-	c.exec.finishOn(c.worker, body)
+	c.exec.finishOn(c.worker, c.scope.done, body)
 }
 
-func (e *Executor) finishOn(w *sched.Worker, body func(*Ctx)) {
+func (e *Executor) finishOn(w *sched.Worker, done <-chan struct{}, body func(*Ctx)) {
 	mFinishes.Inc()
-	s := &scope{}
+	s := &scope{done: done}
 	ctx := &Ctx{exec: e, scope: s, worker: w}
 	func() {
 		defer func() {
@@ -139,6 +186,12 @@ func (c *Ctx) Async(fn func(*Ctx)) {
 			s.pending.Add(-1)
 			s.wg.Done()
 		}()
+		// A panicked sibling or canceled context aborts the scope: tasks
+		// that have not started yet are skipped (the join bookkeeping
+		// above still runs, so the finish drains normally).
+		if s.aborted() {
+			return
+		}
 		fn(&Ctx{exec: c.exec, scope: s, worker: w})
 	}
 	if c.exec.pool == nil {

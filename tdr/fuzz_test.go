@@ -1,0 +1,61 @@
+package tdr_test
+
+import (
+	"errors"
+	"testing"
+
+	"finishrepair/tdr"
+)
+
+// fuzzBudget keeps arbitrary fuzz programs cheap: a small op limit trips
+// fast on generated infinite loops, and the DP-state and iteration
+// bounds keep placement from blowing up on degenerate race sets.
+var fuzzBudget = tdr.Budget{
+	OpLimit:       200_000,
+	MaxDPStates:   200_000,
+	MaxIterations: 4,
+}
+
+// FuzzRepairRoundTrip asserts the pipeline's containment and semantics
+// contracts on arbitrary source text: no stage panics (typed errors are
+// fine), and whenever a repair succeeds its final race-free output must
+// equal the program's serial elision — the paper's correctness
+// criterion.
+func FuzzRepairRoundTrip(f *testing.F) {
+	seeds := []string{
+		"func main() { }",
+		"var g = 0;\nfunc main() { async { g = 1; } g = 2; println(g); }",
+		"var g = 0;\nvar h = 0;\nfunc main() { finish { async { g = 1; } } async { h = 2; } h = 3; }",
+		"func work(a []int, i int) { a[i] = i * 2; }\nfunc main() { var a = make([]int, 16); for (var i = 0; i < 16; i = i + 1) { async work(a, i); } println(a[3]); }",
+		"func main() { while (true) { } }",
+		"var g = 0;\nfunc main() { async { async { g = 1; } g = 2; } g = 3; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := tdr.Load(src)
+		if err != nil {
+			return
+		}
+		var ie *tdr.InternalError
+		want, err := p.RunSequentialCtx(t.Context(), fuzzBudget)
+		if err != nil {
+			if errors.As(err, &ie) {
+				t.Fatalf("sequential run leaked a panic: %v\n%s", ie, ie.Stack)
+			}
+			return
+		}
+		rep, err := p.RepairCtx(t.Context(), tdr.RepairOptions{Budget: fuzzBudget})
+		if err != nil {
+			if errors.As(err, &ie) {
+				t.Fatalf("repair leaked a panic: %v\n%s", ie, ie.Stack)
+			}
+			return
+		}
+		if rep.Output != want {
+			t.Fatalf("repaired output diverges from serial elision\nsource:\n%s\nserial:\n%q\nrepaired:\n%q",
+				src, want, rep.Output)
+		}
+	})
+}

@@ -1,9 +1,11 @@
 package tdr
 
 import (
+	"context"
 	"fmt"
 
 	"finishrepair/internal/coverage"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/parser"
 	"finishrepair/internal/lang/printer"
 	"finishrepair/internal/lang/sem"
@@ -60,8 +62,20 @@ func (p *Program) Coverage() (CoverageReport, error) {
 // rendering (last input) with every inserted finish; the report
 // aggregates all rounds.
 func RepairAcross(srcs []string, opts RepairOptions) (string, *RepairReport, error) {
+	return RepairAcrossCtx(context.Background(), srcs, opts)
+}
+
+// RepairAcrossCtx is RepairAcross with cancellation and a budget. ONE
+// meter spans every input: the op, DP-state, and wall-clock budgets are
+// cumulative across the whole multi-input session, not per input.
+func RepairAcrossCtx(ctx context.Context, srcs []string, opts RepairOptions) (string, *RepairReport, error) {
 	if len(srcs) == 0 {
 		return "", nil, fmt.Errorf("tdr: no inputs")
+	}
+	m := guard.NewMeter(ctx, opts.Budget)
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = opts.Budget.Iterations()
 	}
 	total := &RepairReport{}
 	var applied []repair.Iteration
@@ -77,11 +91,17 @@ func RepairAcross(srcs []string, opts RepairOptions) (string, *RepairReport, err
 			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
 		}
 		v := raceVariant(opts.Detector)
-		rep, err := repair.Repair(prog, repair.Options{
-			Variant:       v,
-			MaxIterations: opts.MaxIterations,
-			UseTraceFiles: true,
-			Tracer:        opts.Tracer,
+		var rep *repair.Report
+		err = guard.Protect("repair", func() error {
+			var rerr error
+			rep, rerr = repair.Repair(prog, repair.Options{
+				Variant:       v,
+				MaxIterations: maxIter,
+				UseTraceFiles: true,
+				Tracer:        opts.Tracer,
+				Meter:         m,
+			})
+			return rerr
 		})
 		if err != nil {
 			return "", nil, fmt.Errorf("tdr: input %d: %w", i, err)
@@ -93,6 +113,10 @@ func RepairAcross(srcs []string, opts RepairOptions) (string, *RepairReport, err
 		total.FinishesInserted += part.FinishesInserted
 		total.PerIteration = append(total.PerIteration, part.PerIteration...)
 		total.Output = part.Output
+		if part.Degraded && !total.Degraded {
+			total.Degraded = true
+			total.DegradedReason = part.DegradedReason
+		}
 	}
 
 	final, err := parser.Parse(srcs[len(srcs)-1])

@@ -13,11 +13,14 @@
 package tdr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"finishrepair/internal/cpl"
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/faults"
+	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/parser"
@@ -39,20 +42,53 @@ type Program struct {
 // Load parses and checks an HJ-lite source program.
 func Load(src string) (*Program, error) { return LoadTraced(src, nil) }
 
+// LoadCtx is Load with cancellation and a budget: the front end checks
+// ctx before each phase and any panic surfaces as an *InternalError.
+func LoadCtx(ctx context.Context, src string, b Budget) (*Program, error) {
+	return loadGuarded(ctx, src, b, nil)
+}
+
 // LoadTraced is Load with observability: the front-end phases are
 // recorded as "parse" and "sem-check" spans on tr, and tr becomes the
 // program's tracer for later Detect/Repair/Run calls. A nil tracer makes
 // LoadTraced identical to Load.
 func LoadTraced(src string, tr *obs.Tracer) (*Program, error) {
-	sp := tr.Start("parse").SetInt("source_bytes", int64(len(src)))
-	prog, err := parser.Parse(src)
-	sp.End()
+	return loadGuarded(nil, src, Budget{}, tr)
+}
+
+func loadGuarded(ctx context.Context, src string, b Budget, tr *obs.Tracer) (*Program, error) {
+	m := guard.NewMeter(ctx, b)
+	var prog *ast.Program
+	err := guard.Protect("parse", func() error {
+		m.SetPhase("parse")
+		if err := m.Check(); err != nil {
+			return err
+		}
+		if err := faults.Inject(faults.Parse); err != nil {
+			return err
+		}
+		sp := tr.Start("parse").SetInt("source_bytes", int64(len(src)))
+		var perr error
+		prog, perr = parser.Parse(src)
+		sp.End()
+		return perr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("tdr: %w", err)
 	}
-	sp = tr.Start("sem-check")
-	_, err = sem.Check(prog)
-	sp.End()
+	err = guard.Protect("sem-check", func() error {
+		m.SetPhase("sem-check")
+		if err := m.Check(); err != nil {
+			return err
+		}
+		if err := faults.Inject(faults.SemCheck); err != nil {
+			return err
+		}
+		sp := tr.Start("sem-check")
+		_, serr := sem.Check(prog)
+		sp.End()
+		return serr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("tdr: %w", err)
 	}
@@ -103,32 +139,44 @@ type RaceReport struct {
 // Detect runs the canonical sequential depth-first execution with the
 // chosen detector and reports all races found.
 func (p *Program) Detect(d Detector) (*RaceReport, error) {
-	info, err := sem.Check(p.prog)
+	return p.DetectCtx(context.Background(), d, Budget{})
+}
+
+// DetectCtx is Detect with cancellation and a budget: the instrumented
+// execution charges against b's op and S-DPST-node limits and aborts
+// with a typed error when ctx is canceled or a limit trips.
+func (p *Program) DetectCtx(ctx context.Context, d Detector, b Budget) (*RaceReport, error) {
+	m := guard.NewMeter(ctx, b)
+	v := raceVariant(d)
+	var rep *RaceReport
+	err := guard.Protect("detect", func() error {
+		info, err := sem.Check(p.prog)
+		if err != nil {
+			return err
+		}
+		sp := p.tracer.Start("detect").SetStr("variant", v.String())
+		res, det, err := race.DetectWith(info, v, race.NewBagsOracle(), m)
+		if err != nil {
+			sp.End()
+			return err
+		}
+		sp.SetInt("races", int64(len(det.Races()))).
+			SetInt("sdpst_nodes", int64(res.Tree.NumNodes())).
+			End()
+		rep = &RaceReport{SDPSTNodes: res.Tree.NumNodes(), Output: res.Output}
+		for _, r := range det.Races() {
+			rep.Races = append(rep.Races, RaceInfo{
+				Kind:    r.Kind.String(),
+				SrcStep: r.Src.ID,
+				DstStep: r.Dst.ID,
+				SrcPos:  stepPos(r.Src),
+				DstPos:  stepPos(r.Dst),
+			})
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("tdr: %w", err)
-	}
-	v := race.VariantMRW
-	if d == SRW {
-		v = race.VariantSRW
-	}
-	sp := p.tracer.Start("detect").SetStr("variant", v.String())
-	res, det, err := race.Detect(info, v, race.NewBagsOracle())
-	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("tdr: %w", err)
-	}
-	sp.SetInt("races", int64(len(det.Races()))).
-		SetInt("sdpst_nodes", int64(res.Tree.NumNodes())).
-		End()
-	rep := &RaceReport{SDPSTNodes: res.Tree.NumNodes(), Output: res.Output}
-	for _, r := range det.Races() {
-		rep.Races = append(rep.Races, RaceInfo{
-			Kind:    r.Kind.String(),
-			SrcStep: r.Src.ID,
-			DstStep: r.Dst.ID,
-			SrcPos:  stepPos(r.Src),
-			DstPos:  stepPos(r.Dst),
-		})
 	}
 	return rep, nil
 }
@@ -165,6 +213,10 @@ func (p *Program) SDPSTDot() (string, error) {
 type RepairOptions struct {
 	Detector      Detector
 	MaxIterations int
+	// Budget bounds the run's resources (wall clock, interpreter ops, DP
+	// states, S-DPST nodes, iterations). Zero value = defaults. A nonzero
+	// MaxIterations field above takes precedence over Budget.MaxIterations.
+	Budget Budget
 	// Tracer records per-phase spans; when nil, the tracer attached by
 	// LoadTraced (if any) is used.
 	Tracer *obs.Tracer
@@ -204,6 +256,12 @@ type RepairReport struct {
 	PerIteration []IterationReport
 	// Output is the program output of the final race-free run.
 	Output string
+	// Degraded reports that a DP-state or deadline budget tripped
+	// mid-placement and the repair fell back to the coarse sound
+	// placement; DegradedReason carries the first trip. The result is
+	// still verified race-free, just possibly over-synchronized.
+	Degraded       bool
+	DegradedReason string
 }
 
 // RacesPerIteration lists each round's race count, in order.
@@ -230,16 +288,36 @@ func raceVariant(d Detector) race.Variant {
 // *repair.MaxIterationsError and the partial report (every completed
 // round) is returned alongside it.
 func (p *Program) Repair(opts RepairOptions) (*RepairReport, error) {
+	return p.RepairCtx(context.Background(), opts)
+}
+
+// RepairCtx is Repair with cancellation and a budget: canceling ctx
+// aborts the loop mid-iteration with a *CanceledError; a tripped
+// DP-state or deadline budget degrades to the coarse sound placement
+// and marks the report Degraded; any panic surfaces as *InternalError.
+// The partial report of the completed rounds accompanies every error.
+func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairReport, error) {
 	v := raceVariant(opts.Detector)
 	tr := opts.Tracer
 	if tr == nil {
 		tr = p.tracer
 	}
-	rep, err := repair.Repair(p.prog, repair.Options{
-		Variant:       v,
-		MaxIterations: opts.MaxIterations,
-		UseTraceFiles: true,
-		Tracer:        tr,
+	m := guard.NewMeter(ctx, opts.Budget)
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = opts.Budget.Iterations()
+	}
+	var rep *repair.Report
+	err := guard.Protect("repair", func() error {
+		var rerr error
+		rep, rerr = repair.Repair(p.prog, repair.Options{
+			Variant:       v,
+			MaxIterations: maxIter,
+			UseTraceFiles: true,
+			Tracer:        tr,
+			Meter:         m,
+		})
+		return rerr
 	})
 	var report *RepairReport
 	if rep != nil {
@@ -257,6 +335,8 @@ func convertReport(rep *repair.Report) *RepairReport {
 		RacesFound:       rep.TotalRaces(),
 		FinishesInserted: rep.Inserted,
 		Output:           rep.Output,
+		Degraded:         rep.Degraded,
+		DegradedReason:   rep.DegradedReason,
 	}
 	for _, it := range rep.Iterations {
 		out.PerIteration = append(out.PerIteration, IterationReport{
@@ -276,36 +356,71 @@ func convertReport(rep *repair.Report) *RepairReport {
 // RunSequential executes the serial elision (async/finish ignored) and
 // returns its output — the semantic reference.
 func (p *Program) RunSequential() (string, error) {
-	info, err := sem.Check(p.prog)
+	return p.RunSequentialCtx(context.Background(), Budget{})
+}
+
+// RunSequentialCtx is RunSequential with cancellation and a budget.
+func (p *Program) RunSequentialCtx(ctx context.Context, b Budget) (string, error) {
+	m := guard.NewMeter(ctx, b)
+	var out string
+	err := guard.Protect("sequential-run", func() error {
+		m.SetPhase("sequential-run")
+		if err := faults.Inject(faults.SequentialRun); err != nil {
+			return err
+		}
+		info, err := sem.Check(p.prog)
+		if err != nil {
+			return err
+		}
+		sp := p.tracer.Start("sequential-run")
+		res, rerr := interp.Run(info, interp.Options{Mode: interp.Elide, Meter: m})
+		sp.End()
+		if rerr != nil {
+			return rerr
+		}
+		out = res.Output
+		return nil
+	})
 	if err != nil {
 		return "", fmt.Errorf("tdr: %w", err)
 	}
-	sp := p.tracer.Start("sequential-run")
-	res, err := interp.Run(info, interp.Options{Mode: interp.Elide, OpLimit: 1 << 40})
-	sp.End()
-	if err != nil {
-		return "", fmt.Errorf("tdr: %w", err)
-	}
-	return res.Output, nil
+	return out, nil
 }
 
 // RunParallel executes the program with real parallelism on a
 // work-stealing pool of the given size (0 = GOMAXPROCS). The program
 // should be race-free (expert-written or repaired).
 func (p *Program) RunParallel(workers int) (string, error) {
-	info, err := sem.Check(p.prog)
+	return p.RunParallelCtx(context.Background(), workers, Budget{})
+}
+
+// RunParallelCtx is RunParallel with cancellation and a budget: the
+// parallel run charges coarse work units (loop iterations, calls, task
+// spawns) against the op budget; on cancellation or a trip, tasks that
+// have not started are skipped and the run returns a typed error.
+func (p *Program) RunParallelCtx(ctx context.Context, workers int, b Budget) (string, error) {
+	m := guard.NewMeter(ctx, b)
+	var out string
+	err := guard.Protect("parallel-run", func() error {
+		info, err := sem.Check(p.prog)
+		if err != nil {
+			return err
+		}
+		exec := taskpar.NewPoolExecutor(workers)
+		defer exec.Shutdown()
+		sp := p.tracer.Start("parallel-run").SetInt("workers", int64(workers))
+		res, rerr := parinterp.Run(info, parinterp.Options{Executor: exec, Meter: m})
+		sp.End()
+		if rerr != nil {
+			return rerr
+		}
+		out = res.Output
+		return nil
+	})
 	if err != nil {
 		return "", fmt.Errorf("tdr: %w", err)
 	}
-	exec := taskpar.NewPoolExecutor(workers)
-	defer exec.Shutdown()
-	sp := p.tracer.Start("parallel-run").SetInt("workers", int64(workers))
-	res, err := parinterp.Run(info, parinterp.Options{Executor: exec})
-	sp.End()
-	if err != nil {
-		return "", fmt.Errorf("tdr: %w", err)
-	}
-	return res.Output, nil
+	return out, nil
 }
 
 // Parallelism summarizes the available parallelism of an execution
@@ -332,7 +447,7 @@ func (p *Program) CriticalPath() (Parallelism, error) {
 	if err != nil {
 		return Parallelism{}, fmt.Errorf("tdr: %w", err)
 	}
-	res, err := interp.Run(info, interp.Options{Mode: interp.DepthFirst, Instrument: true, OpLimit: 1 << 40})
+	res, err := interp.Run(info, interp.Options{Mode: interp.DepthFirst, Instrument: true})
 	if err != nil {
 		return Parallelism{}, fmt.Errorf("tdr: %w", err)
 	}
