@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz ci clean
+.PHONY: all build test vet race bench bench-detect eval fuzz ci clean
 
 all: build test
 
@@ -18,6 +18,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/obs
+
+# Regenerate the detect-engine comparison: capture cost vs per-engine
+# trace-replay analysis cost (time and allocs), as JSON.
+bench-detect:
+	$(GO) test -run '^$$' -bench BenchmarkDetectEngines -benchmem -benchtime 3x . \
+		| awk -f scripts/benchjson.awk > BENCH_detect.json
+
+# Regenerate the archived evaluation output (all paper tables, figures,
+# and studies). The full figure-16 inputs take a few minutes; lower
+# -runs/-scale for a quick spin.
+eval:
+	$(GO) run ./cmd/hjbench -all -runs 3 > testdata/evaluation_output.txt
 
 # Short fuzz smoke: the CI budget; raise -fuzztime locally for real hunts.
 fuzz:

@@ -163,6 +163,45 @@ func BenchmarkHomeworkGrading(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectEngines splits detection into its capture-once /
+// analyze-many halves and compares the pluggable engines: "capture" is
+// the one instrumented execution that records the event-trace IR, and
+// "espbags" / "vc" are pure trace replays through each detector
+// backend. Regenerate BENCH_detect.json with `make bench-detect`.
+func BenchmarkDetectEngines(b *testing.B) {
+	for _, bm := range bench.All() {
+		bm := bm
+		prog := parser.MustParse(bm.Src(bm.RepairSize))
+		ast.StripFinishes(prog)
+		info := sem.MustCheck(prog)
+		_, tr, err := race.Capture(info, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bm.Name+"/capture", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := race.Capture(info, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len()), "events")
+		})
+		for _, kind := range []race.EngineKind{race.EngineESPBags, race.EngineVC} {
+			kind := kind
+			b.Run(bm.Name+"/"+kind.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := race.NewEngine(kind, race.VariantMRW)
+					if _, err := race.Analyze(tr, info.Prog, nil, eng, nil, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // ----------------------------------------------------------------------
 // Substrate micro-benchmarks (ablations).
 

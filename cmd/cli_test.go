@@ -324,3 +324,51 @@ func TestHjrunTimeoutExitsBudgetCode(t *testing.T) {
 		t.Errorf("stderr should name the tripped deadline: %s", stderr)
 	}
 }
+
+// TestHjrunDetectorEngines: every -detector value must report the same
+// races on the buggy fixture, and "both" must agree (no exit 5).
+func TestHjrunDetectorEngines(t *testing.T) {
+	var reports []string
+	for _, d := range []string{"mrw", "espbags", "vc", "both"} {
+		_, stderr, code := runTool(t, "hjrun", "-mode", "detect", "-detector", d, "../testdata/buggy_fib.hj")
+		if code != 1 {
+			t.Fatalf("-detector %s: exit = %d, want 1 (races found); stderr: %s", d, code, stderr)
+		}
+		if !strings.Contains(stderr, "race(s)") {
+			t.Errorf("-detector %s: stderr missing race report: %s", d, stderr)
+		}
+		reports = append(reports, stderr)
+	}
+	for i, r := range reports[1:] {
+		if r != reports[0] {
+			t.Errorf("-detector %s race report differs from mrw:\n%s\nvs\n%s",
+				[]string{"espbags", "vc", "both"}[i], r, reports[0])
+		}
+	}
+	_, stderr, code := runTool(t, "hjrun", "-mode", "detect", "-detector", "nope", "../testdata/buggy_fib.hj")
+	if code != 1 || !strings.Contains(stderr, "unknown detector") {
+		t.Errorf("bad -detector: exit = %d, stderr: %s", code, stderr)
+	}
+}
+
+// TestHjrepairDetectorBoth repairs under the differential engine: the
+// engines must agree on every round (exit 0) and the repaired source
+// must match the default engine's result byte for byte.
+func TestHjrepairDetectorBoth(t *testing.T) {
+	var outs []string
+	for _, d := range []string{"mrw", "vc", "both"} {
+		stdout, stderr, code := runTool(t, "hjrepair", "-quiet", "-detector", d, "../testdata/buggy_fib.hj")
+		if code != 0 {
+			t.Fatalf("-detector %s: exit = %d; stderr: %s", d, code, stderr)
+		}
+		if !strings.Contains(stdout, "finish") {
+			t.Errorf("-detector %s: no finish in repaired source", d)
+		}
+		outs = append(outs, stdout)
+	}
+	for i, o := range outs[1:] {
+		if o != outs[0] {
+			t.Errorf("-detector %s repaired source differs from mrw", []string{"vc", "both"}[i])
+		}
+	}
+}

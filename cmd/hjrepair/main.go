@@ -6,9 +6,15 @@
 //
 // Usage:
 //
-//	hjrepair [-detector mrw|srw] [-o out.hj] [-quiet] [-max-iter N]
-//	         [-timeout D] [-max-dp-states N]
+//	hjrepair [-detector mrw|srw|espbags|vc|both] [-o out.hj] [-quiet]
+//	         [-max-iter N] [-timeout D] [-max-dp-states N]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
+//
+// -detector picks the detector: "mrw" (default) and "srw" select the
+// ESP-Bags variant; "espbags", "vc", and "both" select the analysis
+// engine replayed over the captured event trace — ESP-Bags, the
+// vector-clock detector, or both in lockstep. With "both" any race-set
+// disagreement between the engines aborts the repair with exit code 5.
 //
 // Robustness: -timeout bounds the wall-clock time of the whole pipeline
 // and -max-dp-states bounds the dynamic-programming states explored by
@@ -25,7 +31,8 @@
 // Exit codes: 0 repaired (or already race-free), 1 error, 2 usage,
 // 3 the iteration bound was exhausted with races remaining, 4 a
 // resource budget (wall clock, ops, DP states) was exhausted or the run
-// was canceled.
+// was canceled, 5 the differential detector engines disagreed
+// (-detector both).
 package main
 
 import (
@@ -42,14 +49,17 @@ import (
 
 // exitMaxIterations is the distinct exit code for a repair that ran out
 // of iterations before reaching race-freedom; exitBudgetExceeded for a
-// run stopped by a resource budget or cancellation.
+// run stopped by a resource budget or cancellation; exitDisagreement
+// for differential detector engines (-detector both) reporting
+// different race sets.
 const (
 	exitMaxIterations  = 3
 	exitBudgetExceeded = 4
+	exitDisagreement   = 5
 )
 
 func main() {
-	detector := flag.String("detector", "mrw", "race detector variant: mrw or srw")
+	detector := flag.String("detector", "mrw", "race detector: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
 	maxIter := flag.Int("max-iter", 0, "bound on detect/repair rounds (0 = default 10)")
@@ -98,19 +108,24 @@ func main() {
 		fatal(err)
 	}
 
-	d := tdr.MRW
-	if *detector == "srw" {
-		d = tdr.SRW
-	} else if *detector != "mrw" {
+	d, eng, ok := tdr.ParseDetector(*detector)
+	if !ok {
 		fatal(fmt.Errorf("unknown detector %q", *detector))
 	}
 
 	rep, err := prog.Repair(tdr.RepairOptions{
 		Detector:      d,
+		Engine:        eng,
 		MaxIterations: *maxIter,
 		Budget:        tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
 	})
 	if err != nil {
+		var de *tdr.DisagreementError
+		if errors.As(err, &de) {
+			exportObs()
+			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			os.Exit(exitDisagreement)
+		}
 		var mi *repair.MaxIterationsError
 		if errors.As(err, &mi) {
 			if !*quiet {

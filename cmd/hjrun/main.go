@@ -3,16 +3,23 @@
 // Usage:
 //
 //	hjrun [-mode seq|par|detect|coverage|dot] [-workers N]
+//	      [-detector mrw|srw|espbags|vc|both]
 //	      [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // Modes:
 //
 //	seq      serial elision (async/finish ignored) — the reference
 //	par      parallel execution on the taskpar work-stealing runtime
-//	detect   canonical depth-first execution with MRW race detection
+//	detect   canonical depth-first execution with race detection
 //	coverage test-adequacy analysis: which asyncs/statements the
 //	         input actually exercises
 //	dot      S-DPST with race edges in Graphviz format (paper Fig. 9)
+//
+// For -mode detect, -detector picks the detector: "mrw" (default) and
+// "srw" select the ESP-Bags variant; "espbags", "vc", and "both" select
+// the engine that analyzes the captured event trace — ESP-Bags, the
+// vector-clock detector, or both in lockstep. With "both" any race-set
+// disagreement between the engines exits with code 5.
 //
 // Observability: -trace writes a Chrome trace_event JSON of the phases
 // (parse, sem-check, and the run/detect phase), -jsonl a JSONL event
@@ -25,6 +32,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,12 +42,18 @@ import (
 )
 
 // exitBudgetExceeded is the distinct exit code for a run stopped by a
-// resource budget (wall clock, ops) or cancellation.
-const exitBudgetExceeded = 4
+// resource budget (wall clock, ops) or cancellation; exitDisagreement
+// for differential detector engines (-detector both) reporting
+// different race sets.
+const (
+	exitBudgetExceeded = 4
+	exitDisagreement   = 5
+)
 
 func main() {
 	mode := flag.String("mode", "par", "execution mode: seq, par, detect, or coverage")
 	workers := flag.Int("workers", 0, "pool workers for -mode par (0 = GOMAXPROCS)")
+	detector := flag.String("detector", "mrw", "race detector for -mode detect: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the phases to this file")
 	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
@@ -129,8 +143,18 @@ func main() {
 			exit(1)
 		}
 	case "detect":
-		rep, err := prog.DetectCtx(ctx, tdr.MRW, budget)
+		d, eng, ok := tdr.ParseDetector(*detector)
+		if !ok {
+			fatal(fmt.Errorf("unknown detector %q", *detector))
+		}
+		rep, err := prog.DetectEngineCtx(ctx, d, eng, budget)
 		if err != nil {
+			var de *tdr.DisagreementError
+			if errors.As(err, &de) {
+				exportObs()
+				fmt.Fprintln(os.Stderr, "hjrun:", err)
+				os.Exit(exitDisagreement)
+			}
 			fail(err)
 		}
 		fmt.Print(rep.Output)

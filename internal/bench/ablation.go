@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"finishrepair/internal/dpst"
-	"finishrepair/internal/interp"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/parser"
 	"finishrepair/internal/lang/sem"
@@ -26,28 +25,28 @@ type AblationStats struct {
 	MaxGraphFull, MaxGraphGC int
 }
 
-// RunAblation measures one benchmark both ways on the repair input.
+// RunAblation measures one benchmark both ways on the repair input: the
+// stripped program is captured once, then the trace is replayed with
+// and without collapsing.
 func RunAblation(b *Benchmark) (*AblationStats, error) {
 	st := &AblationStats{Name: b.Name}
+	prog, err := parser.Parse(b.Src(b.RepairSize))
+	if err != nil {
+		return nil, err
+	}
+	ast.StripFinishes(prog)
+	info, err := sem.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	_, tr, err := race.Capture(info, nil)
+	if err != nil {
+		return nil, err
+	}
 	for _, noCollapse := range []bool{true, false} {
-		prog, err := parser.Parse(b.Src(b.RepairSize))
-		if err != nil {
-			return nil, err
-		}
-		ast.StripFinishes(prog)
-		info, err := sem.Check(prog)
-		if err != nil {
-			return nil, err
-		}
 		det := race.NewMRW(race.NewBagsOracle())
 		t0 := time.Now()
-		res, err := interp.Run(info, interp.Options{
-			Mode:       interp.DepthFirst,
-			Instrument: true,
-			Access:     det,
-			Structure:  det,
-			NoCollapse: noCollapse,
-		})
+		res, err := race.Analyze(tr, info.Prog, nil, det, nil, noCollapse)
 		if err != nil {
 			return nil, err
 		}

@@ -140,16 +140,18 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 		det := race.New(variant, race.NewBagsOracle())
 		dsp := bsp.Child("detect-uncollapsed")
 		t0 := time.Now()
-		res, err := interp.Run(info, interp.Options{
-			Mode: interp.DepthFirst, Instrument: true,
-			Access: det, Structure: det, NoCollapse: true,
-		})
+		_, tr, err := race.Capture(info, nil)
+		if err != nil {
+			dsp.End()
+			return nil, fmt.Errorf("%s detection: %w", b.Name, err)
+		}
+		rr, err := race.Analyze(tr, info.Prog, nil, det, nil, true)
 		if err != nil {
 			dsp.End()
 			return nil, fmt.Errorf("%s detection: %w", b.Name, err)
 		}
 		st.DetectTime = time.Since(t0)
-		st.SDPSTNodes = res.Tree.NumNodes()
+		st.SDPSTNodes = rr.Tree.NumNodes()
 		st.Races = len(det.Races())
 		dsp.SetInt("races", int64(st.Races)).SetInt("sdpst_nodes", int64(st.SDPSTNodes)).End()
 	}
@@ -208,25 +210,26 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 
 // RaceCounts runs both detectors once on the stripped benchmark and
 // returns (SRW, MRW) race counts (Table 4). Counts use the
-// paper-faithful uncollapsed S-DPST (steps at scope granularity).
+// paper-faithful uncollapsed S-DPST (steps at scope granularity). The
+// execution is captured once and analyzed by both variants.
 func RaceCounts(b *Benchmark, size int) (srw, mrw int, err error) {
+	prog, err := parser.Parse(b.Src(size))
+	if err != nil {
+		return 0, 0, err
+	}
+	ast.StripFinishes(prog)
+	info, err := sem.Check(prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, tr, err := race.Capture(info, nil)
+	if err != nil {
+		return 0, 0, err
+	}
 	for _, v := range []race.Variant{race.VariantSRW, race.VariantMRW} {
-		prog, perr := parser.Parse(b.Src(size))
-		if perr != nil {
-			return 0, 0, perr
-		}
-		ast.StripFinishes(prog)
-		info, cerr := sem.Check(prog)
-		if cerr != nil {
-			return 0, 0, cerr
-		}
 		det := race.New(v, race.NewBagsOracle())
-		_, derr := interp.Run(info, interp.Options{
-			Mode: interp.DepthFirst, Instrument: true,
-			Access: det, Structure: det, NoCollapse: true,
-		})
-		if derr != nil {
-			return 0, 0, derr
+		if _, err := race.Analyze(tr, info.Prog, nil, det, nil, true); err != nil {
+			return 0, 0, err
 		}
 		if v == race.VariantSRW {
 			srw = len(det.Races())

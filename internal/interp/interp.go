@@ -8,6 +8,7 @@ import (
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/lang/token"
+	"finishrepair/internal/trace"
 )
 
 // Mode selects how parallel constructs are executed.
@@ -23,32 +24,16 @@ const (
 	Elide
 )
 
-// AccessListener receives instrumented memory accesses. The step is the
-// current S-DPST step performing the access; loc identifies the memory
-// location (a global cell or an array element).
-type AccessListener interface {
-	Read(loc uint64, step *dpst.Node)
-	Write(loc uint64, step *dpst.Node)
-}
-
-// StructureListener receives task-structure events during the canonical
-// execution, in depth-first order. ESP-Bags detectors maintain their bag
-// structures from these.
-type StructureListener interface {
-	TaskStart(n *dpst.Node)
-	TaskEnd(n *dpst.Node)
-	FinishStart(n *dpst.Node)
-	FinishEnd(n *dpst.Node)
-}
-
 // Options configures a run.
 type Options struct {
 	Mode Mode
 	// Instrument enables S-DPST construction and access instrumentation.
 	Instrument bool
-	// Access and Structure receive events when Instrument is set.
-	Access    AccessListener
-	Structure StructureListener
+	// Trace, when set, captures the event-trace IR of this run: structure
+	// events, step boundaries, and memory accesses stream into the
+	// recorder so analyses can replay the execution without re-running
+	// it. Requires Instrument and the DepthFirst mode.
+	Trace *trace.Recorder
 	// OpLimit bounds this run's work units; 0 means the shared default
 	// (guard.DefaultOpLimit), so sequential, instrumented, and parallel
 	// runs all agree on one bound.
@@ -78,9 +63,13 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 	in := &interp{
 		info:      info,
 		opts:      opts,
+		ev:        opts.Trace,
 		opLimit:   opts.OpLimit,
 		meter:     opts.Meter,
 		nodeLimit: opts.Meter.MaxSDPSTNodes(),
+	}
+	if in.ev != nil && (!opts.Instrument || opts.Mode != DepthFirst) {
+		return nil, &RuntimeError{Msg: "trace capture requires the instrumented depth-first mode"}
 	}
 	if in.opLimit == 0 {
 		in.opLimit = guard.DefaultOpLimit
@@ -89,9 +78,6 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 		in.tree = dpst.NewTree()
 		in.curNode = in.tree.Root
 		in.nextLoc = 1 + uint64(info.GlobalCount)
-		if opts.Structure != nil {
-			opts.Structure.TaskStart(in.tree.Root)
-		}
 	}
 	in.globals = make([]Value, info.GlobalCount)
 
@@ -128,9 +114,6 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 	}
 
 	if opts.Instrument {
-		if opts.Structure != nil {
-			opts.Structure.TaskEnd(in.tree.Root)
-		}
 		in.endStep()
 		in.tree.AggregateWork()
 		res.Tree = in.tree
@@ -153,6 +136,9 @@ type interp struct {
 
 	work    int64
 	opLimit int64
+
+	// Event-trace capture (nil = off).
+	ev *trace.Recorder
 
 	// Shared pipeline budget (nil = unlimited); sinceMeter batches the
 	// meter calls so the hot loop stays one increment and two compares.
@@ -199,6 +185,9 @@ func (in *interp) tick() {
 	}
 	if in.curStep != nil {
 		in.curStep.Work++
+		if in.ev != nil {
+			in.ev.AddWork(1)
+		}
 	}
 }
 
@@ -219,6 +208,9 @@ func (in *interp) ensureStep(b *ast.Block, idx int) {
 		return
 	}
 	in.siteBlock, in.siteIdx = b, idx
+	if in.ev != nil {
+		in.ev.Step(b, idx)
+	}
 	if in.curStep == nil {
 		// Maximal steps: when the previous construct collapsed into a
 		// trailing step of the same block, extend it instead of starting
@@ -249,7 +241,12 @@ func (in *interp) ensureStep(b *ast.Block, idx int) {
 	in.steps++
 }
 
-func (in *interp) endStep() { in.curStep = nil }
+func (in *interp) endStep() {
+	if in.curStep != nil && in.ev != nil {
+		in.ev.End()
+	}
+	in.curStep = nil
+}
 
 // pushNode opens an interior S-DPST node for the construct at statement
 // idx of block owner, whose children instantiate body.
@@ -265,6 +262,9 @@ func (in *interp) pushNode(kind dpst.Kind, class dpst.ScopeClass, label string, 
 	n.Body = body
 	n.Stmt = stmt
 	in.curNode = n
+	if in.ev != nil {
+		in.ev.Push(uint8(kind), uint8(class), label, owner, idx, body)
+	}
 	return n
 }
 
@@ -273,6 +273,9 @@ func (in *interp) popNode() {
 		return
 	}
 	in.endStep()
+	if in.ev != nil {
+		in.ev.Pop()
+	}
 	closing := in.curNode
 	in.curNode = in.curNode.Parent
 	// Maximal steps: a scope whose subtree spawned no tasks is just
@@ -284,22 +287,22 @@ func (in *interp) popNode() {
 }
 
 func (in *interp) readLoc(loc uint64) {
-	if in.opts.Access != nil && loc != 0 {
+	if in.ev != nil && loc != 0 {
 		if in.curStep == nil {
 			// A call scope ended mid-statement; resume a step at the
 			// recorded statement site.
 			in.ensureStep(in.siteBlock, in.siteIdx)
 		}
-		in.opts.Access.Read(loc, in.curStep)
+		in.ev.Read(loc)
 	}
 }
 
 func (in *interp) writeLoc(loc uint64) {
-	if in.opts.Access != nil && loc != 0 {
+	if in.ev != nil && loc != 0 {
 		if in.curStep == nil {
 			in.ensureStep(in.siteBlock, in.siteIdx)
 		}
-		in.opts.Access.Write(loc, in.curStep)
+		in.ev.Write(loc)
 	}
 }
 
@@ -460,7 +463,7 @@ func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
 	case *ast.AsyncStmt:
 		in.ensureStep(b, idx)
 		in.tick()
-		n := in.pushNode(dpst.Async, dpst.NotScope, "async", st, b, idx, st.Body)
+		in.pushNode(dpst.Async, dpst.NotScope, "async", st, b, idx, st.Body)
 		if in.opts.Mode == Elide {
 			c := in.execBlock(f, st.Body)
 			in.popNode()
@@ -468,31 +471,19 @@ func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
 			// returns from the enclosing function.
 			return c
 		}
-		if in.opts.Structure != nil && n != nil {
-			in.opts.Structure.TaskStart(n)
-		}
 		// Depth-first inline execution with a by-value snapshot of the
 		// parent frame (HJ final-variable capture semantics).
 		child := &frame{slots: make([]Value, len(f.slots))}
 		copy(child.slots, f.slots)
 		in.execBlock(child, st.Body)
-		if in.opts.Structure != nil && n != nil {
-			in.opts.Structure.TaskEnd(n)
-		}
 		in.popNode()
 		return ctrl{}
 
 	case *ast.FinishStmt:
 		// Finish statements are free in the cost model so that repaired
 		// programs have exactly the work of the original.
-		n := in.pushNode(dpst.Finish, dpst.NotScope, "finish", st, b, idx, st.Body)
-		if in.opts.Mode != Elide && in.opts.Structure != nil && n != nil {
-			in.opts.Structure.FinishStart(n)
-		}
+		in.pushNode(dpst.Finish, dpst.NotScope, "finish", st, b, idx, st.Body)
 		c := in.execBlock(f, st.Body)
-		if in.opts.Mode != Elide && in.opts.Structure != nil && n != nil {
-			in.opts.Structure.FinishEnd(n)
-		}
 		in.popNode()
 		return c
 

@@ -4,16 +4,19 @@ import (
 	"finishrepair/internal/faults"
 	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
+	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
+	"finishrepair/internal/trace"
 )
 
 // Detection metrics, aggregated across all runs in the process.
 var (
-	mDetectRuns  = obs.Default().Counter("race.detect_runs")
-	mRacesFound  = obs.Default().Counter("race.races_found")
-	mRacesPerRun = obs.Default().Histogram("race.races_per_run")
-	mSDPSTNodes  = obs.Default().Gauge("race.sdpst_nodes")
+	mDetectRuns    = obs.Default().Counter("race.detect_runs")
+	mRacesFound    = obs.Default().Counter("race.races_found")
+	mRacesPerRun   = obs.Default().Histogram("race.races_per_run")
+	mSDPSTNodes    = obs.Default().Gauge("race.sdpst_nodes")
+	mTraceCaptures = obs.Default().Counter("race.trace_captures")
 )
 
 // Variant selects the detector flavor.
@@ -41,9 +44,60 @@ func New(v Variant, o Oracle) Detector {
 	return NewMRW(o)
 }
 
-// Detect runs the canonical sequential depth-first execution of the
-// checked program with instrumentation and returns the run result
-// (including the S-DPST) and the detector holding the races found.
+// Capture executes the canonical sequential depth-first run of the
+// checked program once, recording the event-trace IR. The returned
+// trace can then be analyzed any number of times — by different
+// engines, with different collapse policies, or with virtual finish
+// scopes injected — without re-executing the program.
+func Capture(info *sem.Info, m *guard.Meter) (*interp.Result, *trace.Trace, error) {
+	m.SetPhase("trace-capture")
+	if err := faults.Inject(faults.Detect); err != nil {
+		return nil, nil, err
+	}
+	rec := trace.NewRecorder()
+	res, err := interp.Run(info, interp.Options{
+		Mode:       interp.DepthFirst,
+		Instrument: true,
+		Trace:      rec,
+		Meter:      m,
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	mTraceCaptures.Inc()
+	return res, rec.Trace(), nil
+}
+
+// Analyze replays a captured trace against a detector engine,
+// reconstructing the S-DPST (optionally with virtual finish scopes
+// injected) and feeding every structure and access event to det. The
+// races det holds afterwards reference the returned replayed tree.
+func Analyze(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det Detector, m *guard.Meter, noCollapse bool) (*trace.Result, error) {
+	m.SetPhase("detect")
+	rr, err := trace.Replay(tr, trace.ReplayOptions{
+		Prog:       prog,
+		Finishes:   fins,
+		Sink:       det,
+		NoCollapse: noCollapse,
+		Meter:      m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mDetectRuns.Inc()
+	n := int64(len(det.Races()))
+	mRacesFound.Add(n)
+	mRacesPerRun.Observe(n)
+	if rr.Tree != nil {
+		mSDPSTNodes.Set(int64(rr.Tree.NumNodes()))
+	}
+	return rr, nil
+}
+
+// Detect captures the canonical sequential execution of the checked
+// program and analyzes it with a fresh detector: capture once, analyze
+// once. The returned result carries the replayed S-DPST (the tree the
+// detector's races reference).
 func Detect(info *sem.Info, v Variant, o Oracle) (*interp.Result, Detector, error) {
 	return DetectWith(info, v, o, nil)
 }
@@ -53,26 +107,16 @@ func Detect(info *sem.Info, v Variant, o Oracle) (*interp.Result, Detector, erro
 // cumulative op budget, honors the S-DPST node bound, and aborts with a
 // typed error on cancellation or deadline. A nil meter is unlimited.
 func DetectWith(info *sem.Info, v Variant, o Oracle, m *guard.Meter) (*interp.Result, Detector, error) {
-	m.SetPhase("detect")
-	if err := faults.Inject(faults.Detect); err != nil {
-		return nil, nil, err
+	res, tr, err := Capture(info, m)
+	if err != nil {
+		return res, nil, err
 	}
 	det := New(v, o)
-	res, err := interp.Run(info, interp.Options{
-		Mode:       interp.DepthFirst,
-		Instrument: true,
-		Access:     det,
-		Structure:  det,
-		Meter:      m,
-	})
-	if err == nil {
-		mDetectRuns.Inc()
-		n := int64(len(det.Races()))
-		mRacesFound.Add(n)
-		mRacesPerRun.Observe(n)
-		if res.Tree != nil {
-			mSDPSTNodes.Set(int64(res.Tree.NumNodes()))
-		}
+	rr, err := Analyze(tr, info.Prog, nil, det, m, false)
+	if err != nil {
+		return res, det, err
 	}
-	return res, det, err
+	res.Tree = rr.Tree
+	res.Steps = rr.Steps
+	return res, det, nil
 }

@@ -1,0 +1,202 @@
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"finishrepair/internal/dpst"
+)
+
+// EngineKind selects a race-detector backend.
+type EngineKind int
+
+// Detector engines. ESP-Bags is the paper's detector; VC is the
+// vector-clock detector after Kumar et al.; Both runs the two in
+// lockstep over one replay and cross-checks their race sets.
+const (
+	EngineESPBags EngineKind = iota
+	EngineVC
+	EngineBoth
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineVC:
+		return "vc"
+	case EngineBoth:
+		return "both"
+	default:
+		return "espbags"
+	}
+}
+
+// ParseEngineKind maps a CLI flag value to an engine kind.
+func ParseEngineKind(s string) (EngineKind, bool) {
+	switch s {
+	case "espbags", "bags", "esp":
+		return EngineESPBags, true
+	case "vc", "vectorclock", "vector-clock":
+		return EngineVC, true
+	case "both", "differential":
+		return EngineBoth, true
+	}
+	return EngineESPBags, false
+}
+
+// Engine is a pluggable race-detector backend: a Detector (which is
+// also a trace.Sink) plus a stable name for spans and reports.
+type Engine interface {
+	Detector
+	Name() string
+}
+
+type namedEngine struct {
+	Detector
+	name string
+}
+
+func (e namedEngine) Name() string { return e.name }
+
+// WithName wraps a detector as a named engine (for callers composing
+// custom oracles with the engine plumbing).
+func WithName(d Detector, name string) Engine { return namedEngine{d, name} }
+
+// NewEngine builds a detector engine of the given kind and variant.
+// EngineBoth returns a *Differential.
+func NewEngine(k EngineKind, v Variant) Engine {
+	switch k {
+	case EngineVC:
+		return namedEngine{New(v, NewVCOracle()), "vc"}
+	case EngineBoth:
+		return NewDifferential(
+			namedEngine{New(v, NewBagsOracle()), "espbags"},
+			namedEngine{New(v, NewVCOracle()), "vc"},
+		)
+	default:
+		return namedEngine{New(v, NewBagsOracle()), "espbags"}
+	}
+}
+
+// Differential fans one replayed execution out to two engines and
+// cross-checks that they report identical race sets. Races() returns
+// the primary engine's result, so a differential run is a drop-in
+// replacement for either backend; call Check after analysis to surface
+// any disagreement.
+type Differential struct {
+	primary, secondary Engine
+}
+
+// NewDifferential pairs two engines for cross-checking.
+func NewDifferential(primary, secondary Engine) *Differential {
+	return &Differential{primary: primary, secondary: secondary}
+}
+
+// Name identifies the differential runner.
+func (d *Differential) Name() string { return "both" }
+
+// Read forwards to both engines.
+func (d *Differential) Read(loc uint64, step *dpst.Node) {
+	d.primary.Read(loc, step)
+	d.secondary.Read(loc, step)
+}
+
+// Write forwards to both engines.
+func (d *Differential) Write(loc uint64, step *dpst.Node) {
+	d.primary.Write(loc, step)
+	d.secondary.Write(loc, step)
+}
+
+// TaskStart forwards to both engines.
+func (d *Differential) TaskStart(n *dpst.Node) {
+	d.primary.TaskStart(n)
+	d.secondary.TaskStart(n)
+}
+
+// TaskEnd forwards to both engines.
+func (d *Differential) TaskEnd(n *dpst.Node) {
+	d.primary.TaskEnd(n)
+	d.secondary.TaskEnd(n)
+}
+
+// FinishStart forwards to both engines.
+func (d *Differential) FinishStart(n *dpst.Node) {
+	d.primary.FinishStart(n)
+	d.secondary.FinishStart(n)
+}
+
+// FinishEnd forwards to both engines.
+func (d *Differential) FinishEnd(n *dpst.Node) {
+	d.primary.FinishEnd(n)
+	d.secondary.FinishEnd(n)
+}
+
+// Races returns the primary engine's races.
+func (d *Differential) Races() []*Race { return d.primary.Races() }
+
+// DisagreementError reports a divergence between two detector engines
+// run over the same execution: a differential-testing failure, never an
+// expected outcome.
+type DisagreementError struct {
+	Engines [2]string // engine names
+	Counts  [2]int    // race counts per engine
+	Detail  string    // first difference, for diagnostics
+}
+
+// Error renders the disagreement.
+func (e *DisagreementError) Error() string {
+	return fmt.Sprintf("detector engines disagree: %s found %d race(s), %s found %d; %s",
+		e.Engines[0], e.Counts[0], e.Engines[1], e.Counts[1], e.Detail)
+}
+
+// raceSig is the identity under which race sets are compared: endpoint
+// steps, location, access-pair kind, and the NS-LCA group the repair
+// phase would place a finish for. Both engines see the same replayed
+// tree, so node IDs are directly comparable.
+type raceSig struct {
+	src, dst int
+	loc      uint64
+	kind     Kind
+	nslca    int
+}
+
+func signatures(races []*Race) map[raceSig]bool {
+	m := make(map[raceSig]bool, len(races))
+	for _, r := range races {
+		sig := raceSig{src: r.Src.ID, dst: r.Dst.ID, loc: r.Loc, kind: r.Kind}
+		if l := dpst.NSLCA(r.Src, r.Dst); l != nil {
+			sig.nslca = l.ID
+		}
+		m[sig] = true
+	}
+	return m
+}
+
+// Check compares the two race sets (variable, access pair, NS-LCA
+// group) and returns a *DisagreementError on any difference.
+func (d *Differential) Check() error {
+	pr, sr := d.primary.Races(), d.secondary.Races()
+	ps, ss := signatures(pr), signatures(sr)
+	var diffs []string
+	for sig := range ps {
+		if !ss[sig] {
+			diffs = append(diffs, fmt.Sprintf("%s: step %d -> step %d @loc %d (nslca %d) [%s only]",
+				sig.kind, sig.src, sig.dst, sig.loc, sig.nslca, d.primary.Name()))
+		}
+	}
+	for sig := range ss {
+		if !ps[sig] {
+			diffs = append(diffs, fmt.Sprintf("%s: step %d -> step %d @loc %d (nslca %d) [%s only]",
+				sig.kind, sig.src, sig.dst, sig.loc, sig.nslca, d.secondary.Name()))
+		}
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	sort.Strings(diffs)
+	return &DisagreementError{
+		Engines: [2]string{d.primary.Name(), d.secondary.Name()},
+		Counts:  [2]int{len(pr), len(sr)},
+		Detail:  diffs[0],
+	}
+}

@@ -14,14 +14,16 @@ import (
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
+	"finishrepair/internal/trace"
 )
 
 // Loop-level metrics; the placement metrics live in placement.go.
 var (
-	mIterations = obs.Default().Counter("repair.iterations")
-	mRacesFound = obs.Default().Counter("repair.races_detected")
-	mInserted   = obs.Default().Counter("repair.finishes_inserted")
-	mDegraded   = obs.Default().Counter("repair.degraded_placements")
+	mIterations   = obs.Default().Counter("repair.iterations")
+	mRacesFound   = obs.Default().Counter("repair.races_detected")
+	mInserted     = obs.Default().Counter("repair.finishes_inserted")
+	mDegraded     = obs.Default().Counter("repair.degraded_placements")
+	mTraceReplays = obs.Default().Counter("repair.trace_replays")
 )
 
 // Options configures the repair loop.
@@ -53,6 +55,16 @@ type Options struct {
 	// through every phase (detect runs, the DP, the loop itself). Nil
 	// means unlimited and never canceled.
 	Meter *guard.Meter
+	// Engine selects the race-detector backend (default ESP-Bags).
+	// EngineBoth cross-checks ESP-Bags against the vector-clock engine on
+	// every analysis and fails the repair with a *race.DisagreementError
+	// if they ever disagree.
+	Engine race.EngineKind
+	// ReExecute forces the legacy loop that re-executes the instrumented
+	// program on every iteration instead of capturing the event trace
+	// once and replaying it with virtual finish scopes. It exists for
+	// differential testing of the two paths and ignores Engine.
+	ReExecute bool
 }
 
 func (o *Options) fill() {
@@ -151,9 +163,23 @@ func (e *MaxIterationsError) Error() string {
 
 // Repair runs the test-driven repair loop on prog, mutating it in place:
 // detect races on the canonical execution, compute finish placements,
-// rewrite the AST, and repeat until a detection run is race-free.
+// and repeat until a detection run is race-free. The default loop
+// executes the instrumented program exactly once — iteration 0 captures
+// the event-trace IR — and every later round replays that trace with
+// the accumulated finish scopes injected virtually; the AST is
+// rewritten once on exit. Options.ReExecute selects the legacy loop
+// that re-executes and rewrites on every iteration.
 func Repair(prog *ast.Program, opts Options) (*Report, error) {
 	opts.fill()
+	if opts.ReExecute {
+		return repairReExecute(prog, opts)
+	}
+	return repairReplay(prog, opts)
+}
+
+// repairReExecute is the legacy loop: every iteration re-runs the
+// instrumented program on the rewritten AST.
+func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 	rep := &Report{}
 	root := opts.ParentSpan.Child("repair")
 	if opts.ParentSpan == nil {
@@ -390,6 +416,436 @@ func Repair(prog *ast.Program, opts Options) (*Report, error) {
 			SetInt("finishes_inserted", int64(inserted)).
 			End()
 	}
+}
+
+// repairReplay is the capture-once/analyze-many loop. Iteration 0
+// semantics-checks the program and records the event-trace IR from one
+// instrumented execution; every detection round (including the first)
+// replays that trace into a detector engine, with the finish scopes
+// accumulated so far injected virtually. The program text is only
+// touched once, on exit, when the accumulated scope set is applied.
+func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
+	rep := &Report{}
+	root := opts.ParentSpan.Child("repair")
+	if opts.ParentSpan == nil {
+		root = opts.Tracer.Start("repair")
+	}
+	defer func() {
+		root.SetInt("iterations", int64(len(rep.Iterations))).
+			SetInt("races_total", int64(rep.TotalRaces())).
+			SetInt("finishes_inserted", int64(rep.Inserted)).
+			End()
+	}()
+
+	var (
+		captured *interp.Result
+		tr       *trace.Trace
+		info     *sem.Info
+		// virtual is the accumulated finish-scope set, kept canonical
+		// (deduplicated, partial overlaps merged) in the coordinates of
+		// the original program.
+		virtual []trace.FinishRange
+	)
+
+	// finish materializes the accumulated virtual scopes as real finish
+	// statements and records the applied insertions on the last
+	// iteration, so Replay can re-apply them to a fresh parse.
+	finish := func() error {
+		rep.Inserted = 0
+		if len(virtual) == 0 {
+			return nil
+		}
+		placements, err := virtualPlacements(prog, virtual)
+		if err != nil {
+			return err
+		}
+		applied, err := applyPlacements(prog, placements)
+		if err != nil {
+			return err
+		}
+		mInserted.Add(int64(len(applied)))
+		rep.Inserted = len(applied)
+		if n := len(rep.Iterations); n > 0 {
+			rep.Iterations[n-1].Applied = applied
+		}
+		return nil
+	}
+
+	for iter := 0; ; iter++ {
+		if iter >= opts.MaxIterations {
+			remaining := 0
+			if n := len(rep.Iterations); n > 0 {
+				remaining = rep.Iterations[n-1].Races
+			}
+			// Mirror the legacy loop, which leaves partial repairs
+			// applied when the bound trips.
+			if err := finish(); err != nil {
+				return rep, err
+			}
+			return rep, &MaxIterationsError{Iterations: iter, RemainingRaces: remaining}
+		}
+		opts.Meter.SetPhase("repair")
+		if err := opts.Meter.Check(); err != nil {
+			_ = finish()
+			return rep, err
+		}
+		mIterations.Inc()
+		iterSpan := root.Child("iteration").SetInt("n", int64(iter))
+		iterErr := func(err error) (*Report, error) {
+			// Keep prog in the same state the legacy loop would leave it:
+			// scopes committed by completed iterations are applied.
+			_ = finish()
+			iterSpan.SetStr("error", err.Error()).End()
+			return rep, err
+		}
+
+		if iter == 0 {
+			semSpan := iterSpan.Child("sem-check")
+			var err error
+			info, err = sem.Check(prog)
+			semSpan.End()
+			if err != nil {
+				return iterErr(fmt.Errorf("repair: program invalid: %w", err))
+			}
+		}
+
+		detSpan := iterSpan.Child("detect").
+			SetStr("variant", opts.Variant.String()).
+			SetStr("engine", opts.Engine.String())
+		t0 := time.Now()
+		if iter == 0 {
+			capSpan := detSpan.Child("trace-capture")
+			err := guard.Protect("detect", func() error {
+				var cerr error
+				captured, tr, cerr = race.Capture(info, opts.Meter)
+				return cerr
+			})
+			if tr != nil {
+				capSpan.SetInt("events", int64(tr.Len()))
+			}
+			capSpan.End()
+			if err != nil {
+				detSpan.End()
+				return iterErr(fmt.Errorf("repair: execution failed: %w", err))
+			}
+		}
+
+		eng := newRepairEngine(opts)
+		analyzeParent := detSpan
+		var replaySpan *obs.Span
+		if iter > 0 {
+			// Later rounds never re-execute: the captured trace is
+			// replayed with the updated scope set.
+			replaySpan = detSpan.Child("trace-replay")
+			mTraceReplays.Inc()
+			analyzeParent = replaySpan
+		}
+		engSpan := analyzeParent.Child("detect/" + eng.Name())
+		var rr *trace.Result
+		err := guard.Protect("detect", func() error {
+			var aerr error
+			rr, aerr = race.Analyze(tr, info.Prog, virtual, eng, opts.Meter, false)
+			return aerr
+		})
+		engSpan.End()
+		if replaySpan != nil {
+			replaySpan.End()
+		}
+		if err != nil {
+			detSpan.End()
+			return iterErr(fmt.Errorf("repair: execution failed: %w", err))
+		}
+		if d, ok := eng.(*race.Differential); ok {
+			if cerr := d.Check(); cerr != nil {
+				detSpan.End()
+				return iterErr(fmt.Errorf("repair: %w", cerr))
+			}
+		}
+		detectTime := time.Since(t0)
+		races := eng.Races()
+		if len(races) == 0 {
+			detSpan.Rename("verify")
+		}
+		detSpan.SetInt("races", int64(len(races))).
+			SetInt("sdpst_nodes", int64(rr.Tree.NumNodes())).
+			End()
+
+		t1 := time.Now()
+		mRacesFound.Add(int64(len(races)))
+		if opts.UseTraceFiles {
+			ioSpan := iterSpan.Child("trace-io")
+			var buf bytes.Buffer
+			err = guard.Protect("trace-io", func() error {
+				opts.Meter.SetPhase("trace-io")
+				if err := faults.Inject(faults.TraceIO); err != nil {
+					return err
+				}
+				if err := race.WriteTrace(&buf, races); err != nil {
+					return err
+				}
+				rep.TraceBytes += buf.Len()
+				var rerr error
+				races, rerr = race.ReadTrace(&buf, rr.Tree)
+				return rerr
+			})
+			ioSpan.SetInt("trace_bytes", int64(buf.Len())).End()
+			if err != nil {
+				return iterErr(err)
+			}
+		}
+
+		it := Iteration{
+			Races:      len(races),
+			SDPSTNodes: rr.Tree.NumNodes(),
+			DetectTime: detectTime,
+		}
+		if len(races) == 0 {
+			// Finishes are free in the cost model, so the capture run's
+			// output is the repaired program's output.
+			rep.Output = captured.Output
+			tRewrite := time.Now()
+			rewriteSpan := iterSpan.Child("rewrite")
+			rep.Iterations = append(rep.Iterations, it)
+			err = guard.Protect("rewrite", func() error { return finish() })
+			rewriteSpan.SetInt("finishes_inserted", int64(rep.Inserted)).End()
+			last := &rep.Iterations[len(rep.Iterations)-1]
+			last.RewriteTime = time.Since(tRewrite)
+			last.RepairTime = time.Since(t1)
+			if err != nil {
+				iterSpan.SetStr("error", err.Error()).End()
+				return rep, err
+			}
+			iterSpan.SetInt("races", 0).End()
+			return rep, nil
+		}
+
+		tPlace := time.Now()
+		groupSpan := iterSpan.Child("group-nslca")
+		var groups []*group
+		err = guard.Protect("group-nslca", func() error {
+			opts.Meter.SetPhase("group-nslca")
+			if err := faults.Inject(faults.GroupNSLCA); err != nil {
+				return err
+			}
+			groups = groupByNSLCA(races)
+			return nil
+		})
+		groupSpan.SetInt("groups", int64(len(groups))).End()
+		if err != nil {
+			return iterErr(err)
+		}
+		it.NSLCAs = len(groups)
+		placeSpan := iterSpan.Child("dp-place")
+		var placements []Placement
+		err = guard.Protect("dp-place", func() error {
+			opts.Meter.SetPhase("dp-place")
+			if err := faults.Inject(faults.DPPlace); err != nil {
+				return err
+			}
+			chosen := make(map[Placement]bool)
+			overlaps := func(p Placement) bool {
+				for c := range chosen {
+					if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
+						return true
+					}
+				}
+				return false
+			}
+			degraded := false
+			for _, g := range groups {
+				var ps []Placement
+				var err error
+				if degraded {
+					ps, err = degradeGroup(g)
+				} else {
+					var states int64
+					ps, states, err = placeGroup(g, opts.MaxGraph, opts.Meter)
+					it.DPStates += states
+					var bx *guard.BudgetExceededError
+					if errors.As(err, &bx) &&
+						(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
+						mDegraded.Inc()
+						rep.Degraded = true
+						if rep.DegradedReason == "" {
+							rep.DegradedReason = bx.Error()
+						}
+						if bx.Resource == guard.ResourceDeadline {
+							opts.Meter.Lift(guard.ResourceDeadline)
+						}
+						degraded = true
+						ps, err = degradeGroup(g)
+					}
+				}
+				if err != nil {
+					return err
+				}
+				conflict := false
+				for _, p := range ps {
+					if !chosen[p] && overlaps(p) {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+				for _, p := range ps {
+					if !chosen[p] {
+						chosen[p] = true
+						placements = append(placements, p)
+					}
+				}
+			}
+			return nil
+		})
+		placeSpan.SetInt("dp_states", it.DPStates).
+			SetInt("placements", int64(len(placements))).
+			End()
+		if err != nil {
+			return iterErr(err)
+		}
+		it.PlaceTime = time.Since(tPlace)
+		if len(placements) == 0 {
+			return iterErr(fmt.Errorf("repair: %d races but no placements computed", len(races)))
+		}
+
+		// The "rewrite" of this loop never touches the AST mid-flight: it
+		// folds the round's placements into the virtual scope set that
+		// the next replay will inject.
+		tRewrite := time.Now()
+		rewriteSpan := iterSpan.Child("rewrite")
+		var added int
+		err = guard.Protect("rewrite", func() error {
+			opts.Meter.SetPhase("rewrite")
+			if err := faults.Inject(faults.Rewrite); err != nil {
+				return err
+			}
+			virtual, added = mergeVirtual(virtual, placements)
+			return nil
+		})
+		if err != nil {
+			rewriteSpan.End()
+			return iterErr(err)
+		}
+		rewriteSpan.SetInt("finishes_inserted", int64(added)).End()
+		it.RewriteTime = time.Since(tRewrite)
+		it.Placements = added
+		it.RepairTime = time.Since(t1)
+		rep.Iterations = append(rep.Iterations, it)
+		iterSpan.SetInt("races", int64(it.Races)).
+			SetInt("finishes_inserted", int64(added)).
+			End()
+	}
+}
+
+// newRepairEngine builds the detector engine for one analysis round,
+// honoring a custom Oracle for the ESP-Bags side.
+func newRepairEngine(opts Options) race.Engine {
+	switch opts.Engine {
+	case race.EngineVC:
+		return race.NewEngine(race.EngineVC, opts.Variant)
+	case race.EngineBoth:
+		return race.NewDifferential(
+			race.WithName(race.New(opts.Variant, opts.Oracle()), "espbags"),
+			race.NewEngine(race.EngineVC, opts.Variant),
+		)
+	default:
+		return race.WithName(race.New(opts.Variant, opts.Oracle()), "espbags")
+	}
+}
+
+// virtualPlacements resolves a virtual scope set back to AST blocks.
+func virtualPlacements(prog *ast.Program, virtual []trace.FinishRange) ([]Placement, error) {
+	var ps []Placement
+	for _, f := range virtual {
+		b := ast.FindBlock(prog, f.BlockID)
+		if b == nil {
+			return nil, fmt.Errorf("repair: no block with ID %d", f.BlockID)
+		}
+		ps = append(ps, Placement{Block: b, Lo: f.Lo, Hi: f.Hi})
+	}
+	return ps, nil
+}
+
+// mergeVirtual folds newly computed placements into the accumulated
+// virtual scope set and re-canonicalizes per block: exact duplicates
+// are dropped and partially overlapping ranges are merged, since
+// trace.Replay nests scopes and cannot represent improper overlap.
+// It returns the new set and the number of ranges not present before.
+func mergeVirtual(virtual []trace.FinishRange, placements []Placement) ([]trace.FinishRange, int) {
+	byBlock := map[int][][2]int{}
+	var order []int
+	add := func(id int, r [2]int) {
+		if _, ok := byBlock[id]; !ok {
+			order = append(order, id)
+		}
+		byBlock[id] = append(byBlock[id], r)
+	}
+	for _, f := range virtual {
+		add(f.BlockID, [2]int{f.Lo, f.Hi})
+	}
+	for _, p := range placements {
+		add(p.Block.ID, [2]int{p.Lo, p.Hi})
+	}
+	prev := map[trace.FinishRange]bool{}
+	for _, f := range virtual {
+		prev[f] = true
+	}
+	sort.Ints(order)
+	var out []trace.FinishRange
+	added := 0
+	for _, id := range order {
+		for _, r := range canonicalRanges(byBlock[id]) {
+			f := trace.FinishRange{BlockID: id, Lo: r[0], Hi: r[1]}
+			out = append(out, f)
+			if !prev[f] {
+				added++
+			}
+		}
+	}
+	return out, added
+}
+
+// canonicalRanges deduplicates ranges and merges partial overlaps until
+// only disjoint or strictly nested ranges remain.
+func canonicalRanges(ranges [][2]int) [][2]int {
+	uniq := make(map[[2]int]bool)
+	var rs [][2]int
+	for _, r := range ranges {
+		if !uniq[r] {
+			uniq[r] = true
+			rs = append(rs, r)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(rs) && !changed; i++ {
+			for j := i + 1; j < len(rs) && !changed; j++ {
+				a, c := rs[i], rs[j]
+				if a[0] > c[0] {
+					a, c = c, a
+				}
+				overlap := c[0] <= a[1]
+				nested := overlap && c[1] <= a[1]
+				if overlap && !nested && a != c {
+					rs[i] = [2]int{a[0], max(a[1], c[1])}
+					rs = append(rs[:j], rs[j+1:]...)
+					changed = true
+				}
+			}
+		}
+	}
+	// A merge can produce a duplicate of a surviving range; drop the
+	// exact duplicates left behind.
+	out := rs[:0]
+	seen := make(map[[2]int]bool, len(rs))
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // applyPlacements rewrites the program, wrapping each placement's

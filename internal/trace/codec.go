@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("HJTR"): a versioned, varint-packed encoding of
+// the event stream so a capture can be persisted and analyzed by later
+// processes. Layout:
+//
+//	magic   "HJTR"
+//	version uvarint (currently 1)
+//	labels  uvarint count, then per label uvarint length + bytes
+//	events  uvarint count
+//	tail    uvarint trailing work
+//	stream  per event: kind byte, kind-specific varint fields, W uvarint
+var traceMagic = [4]byte{'H', 'J', 'T', 'R'}
+
+// codecVersion is bumped on any incompatible stream change.
+const codecVersion = 1
+
+// WriteTo encodes the trace to w in the versioned binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.w.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	cw.n += 4
+	cw.uvarint(codecVersion)
+	cw.uvarint(uint64(len(t.labels)))
+	for _, s := range t.labels {
+		cw.uvarint(uint64(len(s)))
+		nn, err := cw.w.WriteString(s)
+		cw.n += int64(nn)
+		if err != nil {
+			return cw.n, err
+		}
+	}
+	cw.uvarint(uint64(t.n))
+	cw.uvarint(uint64(t.TailWork))
+	t.Events(func(_ int, e *Event) bool {
+		cw.byte(e.Kind)
+		switch Kind(e.Kind) {
+		case EvPush:
+			cw.byte(e.NKind)
+			cw.byte(e.Class)
+			cw.uvarint(uint64(e.Label))
+			cw.varint(int64(e.Block))
+			cw.varint(int64(e.Stmt))
+			cw.varint(int64(e.Body))
+		case EvStep:
+			cw.varint(int64(e.Block))
+			cw.varint(int64(e.Stmt))
+		case EvRead, EvWrite:
+			cw.uvarint(e.Loc)
+		}
+		cw.uvarint(uint64(e.W))
+		return cw.err == nil
+	})
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	if err := cw.w.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read decodes a trace previously encoded with WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	cr := &countReader{r: br}
+	if v := cr.uvarint(); cr.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nl := cr.uvarint()
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	if nl > 1<<16 {
+		return nil, fmt.Errorf("trace: label table too large (%d)", nl)
+	}
+	t := &Trace{labels: make([]string, 0, nl)}
+	buf := make([]byte, 0, 64)
+	for i := uint64(0); i < nl; i++ {
+		ln := cr.uvarint()
+		if cr.err != nil {
+			return nil, cr.err
+		}
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("trace: label too long (%d)", ln)
+		}
+		if uint64(cap(buf)) < ln {
+			buf = make([]byte, ln)
+		}
+		buf = buf[:ln]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		t.labels = append(t.labels, string(buf))
+	}
+	ne := cr.uvarint()
+	t.TailWork = int64(cr.uvarint())
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	rec := Recorder{t: *t}
+	for i := uint64(0); i < ne; i++ {
+		var e Event
+		e.Kind = cr.byte()
+		switch Kind(e.Kind) {
+		case EvPush:
+			e.NKind = cr.byte()
+			e.Class = cr.byte()
+			e.Label = uint16(cr.uvarint())
+			e.Block = int32(cr.varint())
+			e.Stmt = int32(cr.varint())
+			e.Body = int32(cr.varint())
+		case EvPop, EvEnd:
+			// no payload
+		case EvStep:
+			e.Block = int32(cr.varint())
+			e.Stmt = int32(cr.varint())
+		case EvRead, EvWrite:
+			e.Loc = cr.uvarint()
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %d at %d", e.Kind, i)
+		}
+		e.W = uint32(cr.uvarint())
+		if cr.err != nil {
+			return nil, fmt.Errorf("trace: truncated stream at event %d: %w", i, cr.err)
+		}
+		rec.append(e)
+		// append clears pending into W; restore the decoded value.
+		last := rec.t.chunks[len(rec.t.chunks)-1]
+		last[len(last)-1].W = e.W
+	}
+	out := rec.t
+	return &out, nil
+}
+
+type countWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (c *countWriter) byte(b byte) {
+	if c.err != nil {
+		return
+	}
+	c.err = c.w.WriteByte(b)
+	c.n++
+}
+
+func (c *countWriter) uvarint(v uint64) {
+	if c.err != nil {
+		return
+	}
+	k := binary.PutUvarint(c.buf[:], v)
+	_, c.err = c.w.Write(c.buf[:k])
+	c.n += int64(k)
+}
+
+func (c *countWriter) varint(v int64) {
+	if c.err != nil {
+		return
+	}
+	k := binary.PutVarint(c.buf[:], v)
+	_, c.err = c.w.Write(c.buf[:k])
+	c.n += int64(k)
+}
+
+type countReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (c *countReader) byte() byte {
+	if c.err != nil {
+		return 0
+	}
+	b, err := c.r.ReadByte()
+	c.err = err
+	return b
+}
+
+func (c *countReader) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(c.r)
+	c.err = err
+	return v
+}
+
+func (c *countReader) varint() int64 {
+	if c.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(c.r)
+	c.err = err
+	return v
+}

@@ -1,0 +1,28 @@
+# Converts `go test -bench BenchmarkDetectEngines -benchmem` output into
+# the BENCH_detect.json records: one object per benchmark/stage with
+# time, allocation, and event-count metrics. Used by `make bench-detect`.
+BEGIN { print "["; first = 1 }
+/^BenchmarkDetectEngines\// {
+    name = $1
+    sub(/^BenchmarkDetectEngines\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    n = split(name, parts, "/")
+    bench = parts[1]
+    stage = parts[n]
+    iters = $2
+    ns = $3
+    bytes = ""; allocs = ""; events = ""
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "events") events = $i
+    }
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"benchmark\": \"%s\", \"stage\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", bench, stage, iters, ns)
+    if (events != "") printf(", \"events\": %s", events)
+    if (bytes != "") printf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    printf("}")
+}
+END { print "\n]" }

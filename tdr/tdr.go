@@ -118,6 +118,58 @@ const (
 	SRW                 // single reader-writer: classic ESP-Bags subset
 )
 
+// Engine selects the race-detector backend that analyzes the captured
+// event trace.
+type Engine int
+
+// Detector engines.
+const (
+	// ESPBags is the paper's ESP-Bags detector (default).
+	ESPBags Engine = iota
+	// VC is the vector-clock detector (after Kumar et al.).
+	VC
+	// Both runs ESP-Bags and VC over the same replayed execution and
+	// cross-checks their race sets; any divergence surfaces as a
+	// *DisagreementError.
+	Both
+)
+
+// DisagreementError reports that two detector engines run over the same
+// execution produced different race sets (Engine Both). Test with
+// errors.As.
+type DisagreementError = race.DisagreementError
+
+// ParseDetector maps a -detector flag value to a variant and engine:
+// the legacy values "mrw" and "srw" select the detector variant (with
+// the ESP-Bags engine), while "espbags", "vc", and "both" select the
+// engine (with the MRW variant).
+func ParseDetector(s string) (Detector, Engine, bool) {
+	switch s {
+	case "mrw":
+		return MRW, ESPBags, true
+	case "srw":
+		return SRW, ESPBags, true
+	case "espbags":
+		return MRW, ESPBags, true
+	case "vc":
+		return MRW, VC, true
+	case "both":
+		return MRW, Both, true
+	}
+	return MRW, ESPBags, false
+}
+
+func engineKind(e Engine) race.EngineKind {
+	switch e {
+	case VC:
+		return race.EngineVC
+	case Both:
+		return race.EngineBoth
+	default:
+		return race.EngineESPBags
+	}
+}
+
 // RaceInfo describes one detected data race.
 type RaceInfo struct {
 	// Kind is "W->W", "R->W", or "W->R" (source access -> sink access).
@@ -146,25 +198,48 @@ func (p *Program) Detect(d Detector) (*RaceReport, error) {
 // execution charges against b's op and S-DPST-node limits and aborts
 // with a typed error when ctx is canceled or a limit trips.
 func (p *Program) DetectCtx(ctx context.Context, d Detector, b Budget) (*RaceReport, error) {
+	return p.DetectEngineCtx(ctx, d, ESPBags, b)
+}
+
+// DetectEngineCtx is DetectCtx with an explicit detector engine: the
+// program is captured once as an event trace and the trace is analyzed
+// by the chosen backend. Engine Both cross-checks ESP-Bags against the
+// vector-clock detector and fails with a *DisagreementError on any
+// race-set divergence.
+func (p *Program) DetectEngineCtx(ctx context.Context, d Detector, e Engine, b Budget) (*RaceReport, error) {
 	m := guard.NewMeter(ctx, b)
 	v := raceVariant(d)
+	eng := race.NewEngine(engineKind(e), v)
 	var rep *RaceReport
 	err := guard.Protect("detect", func() error {
 		info, err := sem.Check(p.prog)
 		if err != nil {
 			return err
 		}
-		sp := p.tracer.Start("detect").SetStr("variant", v.String())
-		res, det, err := race.DetectWith(info, v, race.NewBagsOracle(), m)
+		sp := p.tracer.Start("detect").
+			SetStr("variant", v.String()).
+			SetStr("engine", eng.Name())
+		res, tr, err := race.Capture(info, m)
 		if err != nil {
 			sp.End()
 			return err
 		}
-		sp.SetInt("races", int64(len(det.Races()))).
-			SetInt("sdpst_nodes", int64(res.Tree.NumNodes())).
+		rr, err := race.Analyze(tr, info.Prog, nil, eng, m, false)
+		if err != nil {
+			sp.End()
+			return err
+		}
+		if diff, ok := eng.(*race.Differential); ok {
+			if cerr := diff.Check(); cerr != nil {
+				sp.End()
+				return cerr
+			}
+		}
+		sp.SetInt("races", int64(len(eng.Races()))).
+			SetInt("sdpst_nodes", int64(rr.Tree.NumNodes())).
 			End()
-		rep = &RaceReport{SDPSTNodes: res.Tree.NumNodes(), Output: res.Output}
-		for _, r := range det.Races() {
+		rep = &RaceReport{SDPSTNodes: rr.Tree.NumNodes(), Output: res.Output}
+		for _, r := range eng.Races() {
 			rep.Races = append(rep.Races, RaceInfo{
 				Kind:    r.Kind.String(),
 				SrcStep: r.Src.ID,
@@ -211,7 +286,11 @@ func (p *Program) SDPSTDot() (string, error) {
 
 // RepairOptions configures Repair.
 type RepairOptions struct {
-	Detector      Detector
+	Detector Detector
+	// Engine selects the detector backend (default ESPBags). Both
+	// cross-checks every detection round and fails the repair with a
+	// *DisagreementError if the engines ever diverge.
+	Engine        Engine
 	MaxIterations int
 	// Budget bounds the run's resources (wall clock, interpreter ops, DP
 	// states, S-DPST nodes, iterations). Zero value = defaults. A nonzero
@@ -312,6 +391,7 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 		var rerr error
 		rep, rerr = repair.Repair(p.prog, repair.Options{
 			Variant:       v,
+			Engine:        engineKind(opts.Engine),
 			MaxIterations: maxIter,
 			UseTraceFiles: true,
 			Tracer:        tr,
