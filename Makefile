@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-detect eval fuzz ci clean
+.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz ci clean
 
 all: build test
 
@@ -24,6 +24,14 @@ bench:
 bench-detect:
 	$(GO) test -run '^$$' -bench BenchmarkDetectEngines -benchmem -benchtime 3x . \
 		| awk -f scripts/benchjson.awk > BENCH_detect.json
+
+# Regression gate: re-run the detect-engine benchmarks into a scratch
+# file and fail if any benchmark/stage regressed more than 20% in ns/op
+# against the committed BENCH_detect.json baseline.
+bench-diff:
+	$(GO) test -run '^$$' -bench BenchmarkDetectEngines -benchmem -benchtime 3x . \
+		| awk -f scripts/benchjson.awk > BENCH_detect.new.json
+	$(GO) run ./scripts/benchdiff BENCH_detect.json BENCH_detect.new.json
 
 # Regenerate the archived evaluation output (all paper tables, figures,
 # and studies). The full figure-16 inputs take a few minutes; lower

@@ -11,6 +11,8 @@
 package main_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"finishrepair/internal/bench"
@@ -165,10 +167,19 @@ func BenchmarkHomeworkGrading(b *testing.B) {
 
 // BenchmarkDetectEngines splits detection into its capture-once /
 // analyze-many halves and compares the pluggable engines: "capture" is
-// the one instrumented execution that records the event-trace IR, and
-// "espbags" / "vc" are pure trace replays through each detector
-// backend. Regenerate BENCH_detect.json with `make bench-detect`.
+// the one instrumented execution that records the event-trace IR,
+// "espbags" / "vc" are pure trace replays through each detector backend,
+// and "both" / "both-j2" run the differential pair serially and with
+// engine-level parallelism (one goroutine per engine). Engines are
+// released back to the shadow-memory reuse pool between iterations,
+// as the repair loop does. Regenerate BENCH_detect.json with
+// `make bench-detect`; gate regressions with `make bench-diff`.
 func BenchmarkDetectEngines(b *testing.B) {
+	release := func(eng race.Engine) {
+		if r, ok := eng.(race.Releaser); ok {
+			r.Release()
+		}
+	}
 	for _, bm := range bench.All() {
 		bm := bm
 		prog := parser.MustParse(bm.Src(bm.RepairSize))
@@ -180,6 +191,8 @@ func BenchmarkDetectEngines(b *testing.B) {
 		}
 		b.Run(bm.Name+"/capture", func(b *testing.B) {
 			b.ReportAllocs()
+			runtime.GC() // pay the previous stage's GC debt outside the timer
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := race.Capture(info, nil); err != nil {
 					b.Fatal(err)
@@ -191,11 +204,45 @@ func BenchmarkDetectEngines(b *testing.B) {
 			kind := kind
 			b.Run(bm.Name+"/"+kind.String(), func(b *testing.B) {
 				b.ReportAllocs()
+				// Warm the detector pools so B/op reflects the
+				// steady state, not one-time slab growth.
+				eng := race.NewEngine(kind, race.VariantMRW)
+				if _, err := race.Analyze(tr, info.Prog, nil, eng, nil, false); err != nil {
+					b.Fatal(err)
+				}
+				release(eng)
+				runtime.GC()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					eng := race.NewEngine(kind, race.VariantMRW)
 					if _, err := race.Analyze(tr, info.Prog, nil, eng, nil, false); err != nil {
 						b.Fatal(err)
 					}
+					release(eng)
+				}
+			})
+		}
+		for _, workers := range []int{1, 2} {
+			workers := workers
+			stage := "both"
+			if workers > 1 {
+				stage = "both-j2"
+			}
+			b.Run(bm.Name+"/"+stage, func(b *testing.B) {
+				b.ReportAllocs()
+				eng := race.NewEngine(race.EngineBoth, race.VariantMRW)
+				if _, err := race.AnalyzeParallel(tr, info.Prog, nil, eng, nil, false, workers); err != nil {
+					b.Fatal(err)
+				}
+				release(eng)
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng := race.NewEngine(race.EngineBoth, race.VariantMRW)
+					if _, err := race.AnalyzeParallel(tr, info.Prog, nil, eng, nil, false, workers); err != nil {
+						b.Fatal(err)
+					}
+					release(eng)
 				}
 			})
 		}
@@ -250,6 +297,69 @@ func BenchmarkDPSolver(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSolveParallel measures the per-NS-LCA DP worker pool: a
+// batch of independent placement problems solved sequentially vs on 4
+// workers (repair rounds with many race groups take this path).
+func BenchmarkSolveParallel(b *testing.B) {
+	const n, batch = 128, 16
+	mkProbs := func() []*repair.Problem {
+		probs := make([]*repair.Problem, batch)
+		for k := range probs {
+			p := &repair.Problem{N: n, T: make([]int64, n), Async: make([]bool, n)}
+			for i := 0; i < n; i++ {
+				p.T[i] = int64((i+k)%13 + 1)
+				p.Async[i] = i%2 == 0
+			}
+			for i := 0; i+3 < n; i += 4 {
+				p.Edges = append(p.Edges, [2]int{i, i + 3})
+			}
+			probs[k] = p
+		}
+		return probs
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			probs := mkProbs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := repair.SolveAll(probs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShadowEpoch measures the epoch-frontier MRW shadow memory on
+// the Mergesort detection workload: "fresh" allocates a new detector
+// per replay, "pooled" releases it back to the reuse pool between
+// replays (the repair loop's analyze-many pattern).
+func BenchmarkShadowEpoch(b *testing.B) {
+	bm := bench.Get("Mergesort")
+	prog := parser.MustParse(bm.Src(bm.RepairSize))
+	ast.StripFinishes(prog)
+	info := sem.MustCheck(prog)
+	_, tr, err := race.Capture(info, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, pooled bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det := race.NewMRW(race.NewBagsOracle())
+			if _, err := race.Analyze(tr, info.Prog, nil, det, nil, false); err != nil {
+				b.Fatal(err)
+			}
+			if pooled {
+				det.Release()
+			}
+		}
+	}
+	b.Run("fresh", func(b *testing.B) { run(b, false) })
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
 }
 
 func benchName(n int) string {

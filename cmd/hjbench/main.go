@@ -43,6 +43,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit table 2 as JSON with stage-level breakdowns")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the harness phases to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per benchmark repair (0 = none)")
+	workers := flag.Int("j", 1, "analysis parallelism for harness repairs: concurrent detector engines and per-NS-LCA DP workers (results are identical for any value)")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
 	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -62,6 +63,9 @@ func main() {
 	}
 	if *timeout > 0 {
 		bench.SetBudget(tdr.Budget{Timeout: *timeout})
+	}
+	if *workers > 1 {
+		bench.SetWorkers(*workers)
 	}
 
 	w := os.Stdout

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	hjrepair [-detector mrw|srw|espbags|vc|both] [-o out.hj] [-quiet]
-//	         [-max-iter N] [-timeout D] [-max-dp-states N]
+//	hjrepair [-detector mrw|srw|espbags|vc|both] [-j N] [-o out.hj]
+//	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // -detector picks the detector: "mrw" (default) and "srw" select the
@@ -15,6 +15,11 @@
 // engine replayed over the captured event trace — ESP-Bags, the
 // vector-clock detector, or both in lockstep. With "both" any race-set
 // disagreement between the engines aborts the repair with exit code 5.
+//
+// -j N parallelizes the analysis: with "-detector both" the two engines
+// analyze the captured trace concurrently, and the independent
+// per-NS-LCA finish-placement problems are solved on a worker pool of N
+// goroutines. The repaired program is byte-identical for any N.
 //
 // Robustness: -timeout bounds the wall-clock time of the whole pipeline
 // and -max-dp-states bounds the dynamic-programming states explored by
@@ -60,6 +65,7 @@ const (
 
 func main() {
 	detector := flag.String("detector", "mrw", "race detector: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
+	workers := flag.Int("j", 1, "analysis parallelism: concurrent detector engines and per-NS-LCA DP workers (output is identical for any value)")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
 	maxIter := flag.Int("max-iter", 0, "bound on detect/repair rounds (0 = default 10)")
@@ -118,6 +124,7 @@ func main() {
 		Engine:        eng,
 		MaxIterations: *maxIter,
 		Budget:        tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
+		Workers:       *workers,
 	})
 	if err != nil {
 		var de *tdr.DisagreementError

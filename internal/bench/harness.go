@@ -34,6 +34,15 @@ var budget guard.Budget
 // Budget restores the defaults.
 func SetBudget(b guard.Budget) { budget = b }
 
+// workers bounds the analysis parallelism (engine-level concurrency and
+// the per-NS-LCA DP pool) of subsequent harness repairs when set via
+// SetWorkers (hjbench -j). Results are independent of the value.
+var workers int
+
+// SetWorkers applies w to all subsequent harness repairs; 0 or 1 is
+// sequential.
+func SetWorkers(w int) { workers = w }
+
 // newMeter builds the per-run meter, or nil when no budget is set.
 func newMeter() *guard.Meter {
 	if budget == (guard.Budget{}) {
@@ -163,7 +172,7 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 		return nil, err
 	}
 	ast.StripFinishes(buggy)
-	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true, ParentSpan: bsp, Meter: newMeter()})
+	rep, err := repair.Repair(buggy, repair.Options{Variant: variant, UseTraceFiles: true, ParentSpan: bsp, Meter: newMeter(), Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("%s repair: %w", b.Name, err)
 	}

@@ -22,7 +22,7 @@ func RepairedSource(b *Benchmark, renderSize int) (string, error) {
 		return "", err
 	}
 	ast.StripFinishes(small)
-	rep, err := repair.Repair(small, repair.Options{})
+	rep, err := repair.Repair(small, repair.Options{Workers: workers})
 	if err != nil {
 		return "", fmt.Errorf("%s: %w", b.Name, err)
 	}

@@ -115,6 +115,22 @@ type Tree struct {
 	Root   *Node
 	nextID int
 	count  int
+	// chunk is the tail of the node arena: nodes are handed out from
+	// fixed-capacity chunks so construction costs one allocation per
+	// nodeChunk nodes instead of one per node. Full chunks are abandoned
+	// to their nodes (never re-appended), so node pointers stay stable.
+	chunk []Node
+}
+
+// nodeChunk is the arena chunk size.
+const nodeChunk = 512
+
+func (t *Tree) alloc() *Node {
+	if len(t.chunk) == cap(t.chunk) {
+		t.chunk = make([]Node, 0, nodeChunk)
+	}
+	t.chunk = append(t.chunk, Node{})
+	return &t.chunk[len(t.chunk)-1]
 }
 
 // NewTree creates a tree whose root is the implicit finish enclosing the
@@ -198,16 +214,15 @@ func (t *Tree) CollapseScope(n *Node) bool {
 // NewChild appends a new node under parent and returns it. Children must
 // be created in left-to-right (depth-first execution) order.
 func (t *Tree) NewChild(parent *Node, kind Kind, class ScopeClass, label string) *Node {
-	n := &Node{
-		ID:     t.nextID,
-		Kind:   kind,
-		Class:  class,
-		Label:  label,
-		Parent: parent,
-		Depth:  parent.Depth + 1,
-		StmtLo: -2,
-		StmtHi: -2,
-	}
+	n := t.alloc()
+	n.ID = t.nextID
+	n.Kind = kind
+	n.Class = class
+	n.Label = label
+	n.Parent = parent
+	n.Depth = parent.Depth + 1
+	n.StmtLo = -2
+	n.StmtHi = -2
 	t.nextID++
 	t.count++
 	parent.Children = append(parent.Children, n)

@@ -74,6 +74,9 @@ func Capture(info *sem.Info, m *guard.Meter) (*interp.Result, *trace.Trace, erro
 // races det holds afterwards reference the returned replayed tree.
 func Analyze(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det Detector, m *guard.Meter, noCollapse bool) (*trace.Result, error) {
 	m.SetPhase("detect")
+	if p, ok := det.(Presizer); ok {
+		p.Presize(tr.Len())
+	}
 	rr, err := trace.Replay(tr, trace.ReplayOptions{
 		Prog:       prog,
 		Finishes:   fins,

@@ -58,6 +58,20 @@ type namedEngine struct {
 
 func (e namedEngine) Name() string { return e.name }
 
+// Presize forwards to the wrapped detector when it supports pre-sizing.
+func (e namedEngine) Presize(events int) {
+	if p, ok := e.Detector.(Presizer); ok {
+		p.Presize(events)
+	}
+}
+
+// Release forwards to the wrapped detector when it is poolable.
+func (e namedEngine) Release() {
+	if r, ok := e.Detector.(Releaser); ok {
+		r.Release()
+	}
+}
+
 // WithName wraps a detector as a named engine (for callers composing
 // custom oracles with the engine plumbing).
 func WithName(d Detector, name string) Engine { return namedEngine{d, name} }
@@ -133,6 +147,26 @@ func (d *Differential) FinishEnd(n *dpst.Node) {
 
 // Races returns the primary engine's races.
 func (d *Differential) Races() []*Race { return d.primary.Races() }
+
+// Presize forwards to both engines.
+func (d *Differential) Presize(events int) {
+	if p, ok := d.primary.(Presizer); ok {
+		p.Presize(events)
+	}
+	if p, ok := d.secondary.(Presizer); ok {
+		p.Presize(events)
+	}
+}
+
+// Release forwards to both engines.
+func (d *Differential) Release() {
+	if r, ok := d.primary.(Releaser); ok {
+		r.Release()
+	}
+	if r, ok := d.secondary.(Releaser); ok {
+		r.Release()
+	}
+}
 
 // DisagreementError reports a divergence between two detector engines
 // run over the same execution: a differential-testing failure, never an

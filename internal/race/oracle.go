@@ -1,6 +1,8 @@
 package race
 
 import (
+	"sync"
+
 	"finishrepair/internal/dpst"
 )
 
@@ -27,11 +29,11 @@ func (*DPSTOracle) FinishStart(*dpst.Node) {}
 // FinishEnd is a no-op.
 func (*DPSTOracle) FinishEnd(*dpst.Node) {}
 
-// Tag returns nil; the DPST oracle needs no per-access bookkeeping.
-func (*DPSTOracle) Tag() any { return nil }
+// Tag returns 0; the DPST oracle needs no per-access bookkeeping.
+func (*DPSTOracle) Tag() uint64 { return 0 }
 
 // Ordered reports whether prevStep is ordered before curStep.
-func (*DPSTOracle) Ordered(_ any, prevStep, curStep *dpst.Node) bool {
+func (*DPSTOracle) Ordered(_ uint64, prevStep, curStep *dpst.Node) bool {
 	return !dpst.Parallel(prevStep, curStep)
 }
 
@@ -64,10 +66,13 @@ type BagsOracle struct {
 	finishStack []*dpst.Node
 }
 
+var bagsPool = sync.Pool{New: func() any { return new(BagsOracle) }}
+
 // NewBagsOracle returns an empty ESP-Bags oracle. The first TaskStart
 // (on the tree root) initializes the root task, which also serves as the
-// outermost implicit finish.
-func NewBagsOracle() *BagsOracle { return &BagsOracle{} }
+// outermost implicit finish. The oracle may come from the reuse pool;
+// Release (optional, usually via the owning detector) recycles it.
+func NewBagsOracle() *BagsOracle { return bagsPool.Get().(*BagsOracle) }
 
 func sBag(n *dpst.Node) int32 { return int32(2 * n.ID) }
 func pBag(n *dpst.Node) int32 { return int32(2*n.ID + 1) }
@@ -140,14 +145,30 @@ func (b *BagsOracle) FinishEnd(n *dpst.Node) {
 	b.union(sBag(cur), pBag(n), false)
 }
 
-// Tag returns the current task node.
-func (b *BagsOracle) Tag() any {
-	return b.taskStack[len(b.taskStack)-1]
+// Tag returns the current task's node ID (its S-bag is element 2*ID).
+func (b *BagsOracle) Tag() uint64 {
+	return uint64(b.taskStack[len(b.taskStack)-1].ID)
 }
 
 // Ordered reports whether the earlier access by prevTag's task is ordered
 // before the current step: true iff the set holding the task is S-marked.
-func (b *BagsOracle) Ordered(prevTag any, _, _ *dpst.Node) bool {
-	t := prevTag.(*dpst.Node)
-	return !b.isP[b.find(sBag(t))]
+func (b *BagsOracle) Ordered(prevTag uint64, _, _ *dpst.Node) bool {
+	return !b.isP[b.find(int32(2*prevTag))]
+}
+
+// OrderedByTagOnly reports that bags queries depend only on the recorded
+// task, so scans may memoize per-tag answers.
+func (b *BagsOracle) OrderedByTagOnly() bool { return true }
+
+// Release resets the oracle and returns its union-find arrays and stacks
+// to the reuse pool; the oracle must not be used afterwards.
+func (b *BagsOracle) Release() {
+	b.parent = b.parent[:0]
+	b.size = b.size[:0]
+	b.isP = b.isP[:0]
+	clear(b.taskStack)
+	b.taskStack = b.taskStack[:0]
+	clear(b.finishStack)
+	b.finishStack = b.finishStack[:0]
+	bagsPool.Put(b)
 }

@@ -15,10 +15,20 @@
 // (the ESP-Bags union-find structure of Raman et al., driven by task
 // structure events) and DPSTOracle (Theorem 1 queries on the S-DPST).
 // They are interchangeable and must agree; tests cross-validate them.
+//
+// The MRW shadow memory keeps an epoch-style frontier per access list
+// (after FastTrack's adaptive representation): entries proven ordered
+// before a per-list scan point are partitioned into a prefix that later
+// accesses skip wholesale, because happens-before is transitive. Full
+// O(list) rescans happen only when the scan point itself is not ordered
+// before the current step. Shadow cells live in a slab, access records
+// are unboxed 16-byte structs, and detector state is recycled through a
+// sync.Pool across replay iterations (see Releaser).
 package race
 
 import (
 	"fmt"
+	"sync"
 
 	"finishrepair/internal/dpst"
 )
@@ -67,11 +77,43 @@ type Oracle interface {
 	FinishStart(n *dpst.Node)
 	FinishEnd(n *dpst.Node)
 	// Tag returns the bookkeeping value to record alongside an access by
-	// the current step (the current task for ESP-Bags).
-	Tag() any
+	// the current step, packed into a uint64 so the shadow memory stores
+	// accesses without interface boxing: the task node ID for ESP-Bags,
+	// a (task, count) epoch for vector clocks, 0 for the stateless S-DPST
+	// oracle.
+	Tag() uint64
 	// Ordered reports whether the earlier access (prevTag, prevStep) is
 	// ordered before the current step, i.e. cannot race with it.
-	Ordered(prevTag any, prevStep, curStep *dpst.Node) bool
+	Ordered(prevTag uint64, prevStep, curStep *dpst.Node) bool
+}
+
+// TagKeyed is implemented by oracles whose Ordered answer is a function
+// of the recorded tag and the current execution point only (the recorded
+// step is ignored). Detectors then memoize repeated queries for the same
+// tag within one shadow-memory scan — e.g. all accesses by one task
+// answer alike under ESP-Bags.
+type TagKeyed interface {
+	OrderedByTagOnly() bool
+}
+
+func isTagKeyed(o Oracle) bool {
+	tk, ok := o.(TagKeyed)
+	return ok && tk.OrderedByTagOnly()
+}
+
+// Presizer is implemented by detectors that can pre-size their shadow
+// structures from the expected number of trace events before analysis
+// begins. Analyze calls it with the trace length.
+type Presizer interface {
+	Presize(events int)
+}
+
+// Releaser is implemented by detectors that can return their internal
+// shadow structures to a reuse pool once the caller is done with them.
+// Slices previously returned by Races() stay valid after Release, but
+// the detector itself must not be used again.
+type Releaser interface {
+	Release()
 }
 
 // Detector is the common interface of SRW and MRW.
@@ -86,49 +128,80 @@ type Detector interface {
 	Races() []*Race
 }
 
+// access is one recorded shadow-memory entry: 16 bytes, no boxing.
 type access struct {
 	step *dpst.Node
-	tag  any
+	tag  uint64
 }
 
 type raceKey struct {
-	src, dst int
 	loc      uint64
+	src, dst int32
 	kind     Kind
 }
 
-// recorder deduplicates and stores races.
+// recorder stores raw race reports and deduplicates them lazily: report
+// is a plain arena append (the scan watermarks in mrwList already keep
+// the raw stream near-distinct), and the one dedupe map is built per
+// resolved() call, whose result is cached until the next report.
 type recorder struct {
-	seen  map[raceKey]bool
-	races []*Race
+	races []Race
+	cache []*Race
+	seen  map[raceKey]int32 // scratch for resolved(), reused across runs
 }
 
-func newRecorder() recorder { return recorder{seen: make(map[raceKey]bool)} }
+func newRecorder() recorder { return recorder{} }
+
+func (rc *recorder) reset() {
+	clear(rc.races) // drop S-DPST node references before pooling
+	rc.races = rc.races[:0]
+	rc.cache = nil
+}
 
 func (rc *recorder) report(src, dst *dpst.Node, loc uint64, kind Kind) {
-	k := raceKey{src: src.ID, dst: dst.ID, loc: loc, kind: kind}
-	if rc.seen[k] {
-		return
-	}
-	rc.seen[k] = true
-	rc.races = append(rc.races, &Race{Src: src, Dst: dst, Loc: loc, Kind: kind})
+	rc.races = append(rc.races, Race{Src: src, Dst: dst, Loc: loc, Kind: kind})
+	rc.cache = nil
 }
 
 // resolved returns the races with their endpoints resolved to live
 // S-DPST steps (fine-grained steps may have been collapsed into maximal
-// steps during construction), deduplicated after resolution.
+// steps during construction), deduplicated after resolution. The result
+// is cached until the next report and owns its backing storage, so it
+// stays valid after the recorder is reset for reuse.
 func (rc *recorder) resolved() []*Race {
-	seen := make(map[raceKey]bool, len(rc.races))
-	out := make([]*Race, 0, len(rc.races))
-	for _, r := range rc.races {
+	if rc.cache != nil {
+		return rc.cache
+	}
+	if rc.seen == nil {
+		rc.seen = make(map[raceKey]int32, len(rc.races))
+	} else {
+		clear(rc.seen)
+	}
+	// Count the distinct set first so the arena is sized exactly: raw
+	// reports can outnumber distinct races many times over, and a
+	// raw-count-capacity arena per analysis is what the pooling is
+	// there to avoid.
+	for i := range rc.races {
+		r := &rc.races[i]
+		k := raceKey{loc: r.Loc, src: int32(r.Src.Resolve().ID), dst: int32(r.Dst.Resolve().ID), kind: r.Kind}
+		rc.seen[k] = -1
+	}
+	arena := make([]Race, 0, len(rc.seen))
+	for i := range rc.races {
+		r := &rc.races[i]
 		src, dst := r.Src.Resolve(), r.Dst.Resolve()
-		k := raceKey{src: src.ID, dst: dst.ID, loc: r.Loc, kind: r.Kind}
-		if seen[k] {
+		k := raceKey{loc: r.Loc, src: int32(src.ID), dst: int32(dst.ID), kind: r.Kind}
+		if rc.seen[k] >= 0 {
 			continue
 		}
-		seen[k] = true
-		out = append(out, &Race{Src: src, Dst: dst, Loc: r.Loc, Kind: r.Kind})
+		rc.seen[k] = int32(len(arena))
+		arena = append(arena, Race{Src: src, Dst: dst, Loc: r.Loc, Kind: r.Kind})
 	}
+	out := make([]*Race, len(arena))
+	for i := range arena {
+		out[i] = &arena[i]
+	}
+	rc.cache = out
 	return out
 }
 
@@ -143,22 +216,30 @@ type srwCell struct {
 // SRW is the single reader-writer detector.
 type SRW struct {
 	oracle Oracle
-	cells  map[uint64]*srwCell
+	cells  map[uint64]int32
+	slab   []srwCell
 	rec    recorder
 }
 
 // NewSRW returns an SRW detector using the given oracle.
 func NewSRW(o Oracle) *SRW {
-	return &SRW{oracle: o, cells: make(map[uint64]*srwCell), rec: newRecorder()}
+	return &SRW{oracle: o, cells: make(map[uint64]int32), rec: newRecorder()}
+}
+
+// Presize pre-sizes the shadow map from the expected event count.
+func (d *SRW) Presize(events int) {
+	if len(d.cells) == 0 && events > 0 {
+		d.cells = make(map[uint64]int32, events/32)
+	}
 }
 
 func (d *SRW) cell(loc uint64) *srwCell {
-	c := d.cells[loc]
-	if c == nil {
-		c = &srwCell{}
-		d.cells[loc] = c
+	if i, ok := d.cells[loc]; ok {
+		return &d.slab[i]
 	}
-	return c
+	d.cells[loc] = int32(len(d.slab))
+	d.slab = append(d.slab, srwCell{})
+	return &d.slab[len(d.slab)-1]
 }
 
 // Read handles a read of loc by step.
@@ -208,64 +289,183 @@ func (d *SRW) Races() []*Race { return d.rec.resolved() }
 // ----------------------------------------------------------------------
 // MRW ESP-Bags
 
+// mrwList is one direction (readers or writers) of a shadow cell's
+// access history, with an epoch-style frontier: accs[:ord] are proven
+// ordered before the scan point (scanStep, scanTag). A later access that
+// the scan point is ordered before inherits the whole prefix by
+// transitivity and rescans only accs[ord:]; otherwise the frontier is
+// stale and the list is repartitioned against the current step.
+type mrwList struct {
+	accs     []access
+	ord      int
+	scanned  int // how far scanStep itself has already examined the list
+	scanStep *dpst.Node
+	scanKind Kind // race kind the watermark scan reported under
+	scanTag  uint64
+	last     *dpst.Node // most recently appended step, for dedupe
+}
+
+func (l *mrwList) reset() {
+	clear(l.accs) // drop S-DPST node references before pooling
+	l.accs = l.accs[:0]
+	l.ord = 0
+	l.scanned = 0
+	l.scanStep = nil
+	l.scanTag = 0
+	l.last = nil
+}
+
 type mrwCell struct {
-	readers []access
-	writers []access
+	readers mrwList
+	writers mrwList
 }
 
 // MRW is the multiple reader-writer detector: it keeps every reader and
 // writer of each location so that all races are reported in one run.
 type MRW struct {
-	oracle Oracle
-	cells  map[uint64]*mrwCell
-	rec    recorder
+	oracle   Oracle
+	tagKeyed bool
+	cells    map[uint64]int32
+	slab     []mrwCell
+	used     int
+	rec      recorder
 }
 
-// NewMRW returns an MRW detector using the given oracle.
+var mrwPool = sync.Pool{New: func() any { return new(MRW) }}
+
+// NewMRW returns an MRW detector using the given oracle. The detector
+// may come from the package's reuse pool; calling Release when done
+// (optional) returns its shadow structures for later detections.
 func NewMRW(o Oracle) *MRW {
-	return &MRW{oracle: o, cells: make(map[uint64]*mrwCell), rec: newRecorder()}
+	d := mrwPool.Get().(*MRW)
+	if d.cells == nil {
+		d.cells = make(map[uint64]int32)
+	}
+	d.oracle = o
+	d.tagKeyed = isTagKeyed(o)
+	return d
+}
+
+// Presize pre-sizes the shadow map and race records from the expected
+// event count.
+func (d *MRW) Presize(events int) {
+	if events <= 0 {
+		return
+	}
+	if len(d.cells) == 0 && d.used == 0 && len(d.slab) == 0 {
+		d.cells = make(map[uint64]int32, events/32)
+		d.slab = make([]mrwCell, 0, events/32)
+	}
+}
+
+// Release resets the detector and returns its shadow structures (cell
+// slab, access lists, dedupe tables) to the reuse pool. Race slices
+// already returned by Races() remain valid; the detector must not be
+// used afterwards. If the oracle is itself a Releaser it is released
+// too.
+func (d *MRW) Release() {
+	for i := range d.slab[:d.used] {
+		c := &d.slab[i]
+		c.readers.reset()
+		c.writers.reset()
+	}
+	d.used = 0
+	clear(d.cells)
+	d.rec.reset()
+	if r, ok := d.oracle.(Releaser); ok {
+		r.Release()
+	}
+	d.oracle = nil
+	mrwPool.Put(d)
 }
 
 func (d *MRW) cell(loc uint64) *mrwCell {
-	c := d.cells[loc]
-	if c == nil {
-		c = &mrwCell{}
-		d.cells[loc] = c
+	if i, ok := d.cells[loc]; ok {
+		return &d.slab[i]
 	}
-	return c
+	i := d.used
+	if i == len(d.slab) {
+		d.slab = append(d.slab, mrwCell{})
+	}
+	d.used++
+	d.cells[loc] = int32(i)
+	return &d.slab[i]
+}
+
+// scan checks the current access by step against the recorded accesses
+// in l, reporting races of the given kind, and advances l's frontier:
+// every entry proven ordered before step is swapped into the accs[:ord]
+// prefix and the scan point becomes step, so the next access that step
+// is ordered before skips the prefix entirely.
+func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind) {
+	i := 0
+	switch {
+	case l.scanStep == step && l.scanKind == kind:
+		// Same step scanning under the same race kind: everything up to
+		// the watermark was already examined against this very step
+		// (ordered entries moved into the prefix, races reported); only
+		// entries appended since remain.
+		i = l.scanned
+	case l.scanStep == step:
+		// Same step but a different kind (a step that read loc now writes
+		// it): the ordered prefix still holds, but racing entries in
+		// accs[ord:] must be re-reported under the new kind.
+		i = l.ord
+	case l.scanStep != nil && d.oracle.Ordered(l.scanTag, l.scanStep, step):
+		i = l.ord
+	default:
+		// Stale frontier: repartition the whole list against step.
+		l.ord = 0
+	}
+	var memoTag uint64
+	var memoOrd, memoValid bool
+	for ; i < len(l.accs); i++ {
+		a := l.accs[i]
+		if a.step == step {
+			continue
+		}
+		var ord bool
+		if d.tagKeyed && memoValid && a.tag == memoTag {
+			ord = memoOrd
+		} else {
+			ord = d.oracle.Ordered(a.tag, a.step, step)
+			memoTag, memoOrd, memoValid = a.tag, ord, true
+		}
+		if ord {
+			l.accs[i] = l.accs[l.ord]
+			l.accs[l.ord] = a
+			l.ord++
+		} else {
+			d.rec.report(a.step, step, loc, kind)
+		}
+	}
+	l.scanStep = step
+	l.scanKind = kind
+	l.scanTag = d.oracle.Tag()
+	l.scanned = len(l.accs)
 }
 
 // Read handles a read of loc by step.
 func (d *MRW) Read(loc uint64, step *dpst.Node) {
 	c := d.cell(loc)
-	for _, w := range c.writers {
-		if w.step != step && !d.oracle.Ordered(w.tag, w.step, step) {
-			d.rec.report(w.step, step, loc, WriteRead)
-		}
-	}
-	if n := len(c.readers); n > 0 && c.readers[n-1].step == step {
+	d.scan(&c.writers, step, loc, WriteRead)
+	if c.readers.last == step {
 		return // same step re-reading
 	}
-	c.readers = append(c.readers, access{step: step, tag: d.oracle.Tag()})
+	c.readers.last = step
+	c.readers.accs = append(c.readers.accs, access{step: step, tag: d.oracle.Tag()})
 }
 
 // Write handles a write of loc by step.
 func (d *MRW) Write(loc uint64, step *dpst.Node) {
 	c := d.cell(loc)
-	for _, w := range c.writers {
-		if w.step != step && !d.oracle.Ordered(w.tag, w.step, step) {
-			d.rec.report(w.step, step, loc, WriteWrite)
-		}
-	}
-	for _, r := range c.readers {
-		if r.step != step && !d.oracle.Ordered(r.tag, r.step, step) {
-			d.rec.report(r.step, step, loc, ReadWrite)
-		}
-	}
-	if n := len(c.writers); n > 0 && c.writers[n-1].step == step {
+	d.scan(&c.writers, step, loc, WriteWrite)
+	d.scan(&c.readers, step, loc, ReadWrite)
+	if c.writers.last == step {
 		return
 	}
-	c.writers = append(c.writers, access{step: step, tag: d.oracle.Tag()})
+	c.writers.last = step
+	c.writers.accs = append(c.writers.accs, access{step: step, tag: d.oracle.Tag()})
 }
 
 // TaskStart forwards to the oracle.

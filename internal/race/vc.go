@@ -99,17 +99,20 @@ func (o *VCOracle) FinishEnd(n *dpst.Node) {
 
 // Tag returns the current task's epoch packed into a uint64:
 // task ID in the high half, own-component count in the low half.
-func (o *VCOracle) Tag() any {
+func (o *VCOracle) Tag() uint64 {
 	cur := &o.tasks[len(o.tasks)-1]
 	return uint64(uint32(cur.id))<<32 | uint64(cur.clock[cur.id])
 }
 
 // Ordered reports whether the earlier access with epoch prevTag
 // happens-before the current execution point.
-func (o *VCOracle) Ordered(prevTag any, _, _ *dpst.Node) bool {
-	e := prevTag.(uint64)
-	u := int32(e >> 32)
-	c := uint32(e)
+func (o *VCOracle) Ordered(prevTag uint64, _, _ *dpst.Node) bool {
+	u := int32(prevTag >> 32)
+	c := uint32(prevTag)
 	cur := &o.tasks[len(o.tasks)-1]
 	return cur.clock[u] >= c
 }
+
+// OrderedByTagOnly reports that vector-clock queries depend only on the
+// recorded epoch, so scans may memoize per-tag answers.
+func (o *VCOracle) OrderedByTagOnly() bool { return true }

@@ -1,0 +1,196 @@
+package repair
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"finishrepair/internal/guard"
+	"finishrepair/internal/obs"
+)
+
+// runIndexed executes fn(worker, i) for every i in [0, n) on at most
+// workers goroutines, handing out indices through a shared atomic
+// counter. workers <= 1 (or n <= 1) degenerates to a plain loop on the
+// calling goroutine, so the sequential path pays nothing for the
+// abstraction and parallel/serial runs share one code path.
+func runIndexed(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// SolveAll solves independent placement problems on a bounded worker
+// pool and returns the solutions indexed like probs. The problems must
+// be independent (per-NS-LCA DP instances are: each owns its tables and
+// only the shared meter, whose counters are atomic, is touched
+// concurrently). On error the first failing problem in index order
+// wins, so the result does not depend on scheduling.
+func SolveAll(probs []*Problem, workers int) ([]*Solution, error) {
+	sols := make([]*Solution, len(probs))
+	errs := make([]error, len(probs))
+	runIndexed(len(probs), workers, func(_, i int) {
+		sols[i], errs[i] = Solve(probs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return sols, err
+		}
+	}
+	return sols, nil
+}
+
+// placeGroups computes the finish placements for every NS-LCA group of
+// one repair round. The per-group placement problems are independent, so
+// they run on a worker pool (workers <= 1 is sequential); the results
+// are then accumulated strictly in group order — NS-LCA DFS number —
+// so the chosen placement set, and therefore the rewritten source, is
+// identical for any worker count.
+//
+// Budget semantics mirror the sequential loop: the first DP-state or
+// deadline trip flips a shared degraded flag (groups solved after it
+// skip the DP and take the coarse sound placement directly), lifts a
+// tripped deadline so the mandatory verification run can still finish,
+// and its message is reported as degradedReason — first in group order
+// when several workers trip concurrently. User cancellation is not
+// degraded; it propagates as err. Which groups still get exact DP
+// placements around a trip depends on timing, exactly as it does
+// sequentially.
+//
+// span, when non-nil and the pool is actually parallel, gets one
+// "dp-worker" child per worker recording how many groups it solved.
+func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, span *obs.Span) (placements []Placement, states int64, degradedReason string, err error) {
+	type result struct {
+		ps      []Placement
+		states  int64
+		err     error
+		tripped *guard.BudgetExceededError
+	}
+	results := make([]result, len(groups))
+	var degraded atomic.Bool
+
+	solve := func(i int) {
+		g := groups[i]
+		r := &results[i]
+		if degraded.Load() {
+			r.ps, r.err = degradeGroup(g)
+			return
+		}
+		ps, st, serr := placeGroup(g, maxGraph, m)
+		r.states = st
+		var bx *guard.BudgetExceededError
+		if errors.As(serr, &bx) &&
+			(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
+			// Graceful degradation: commit the sound coarse-but-valid
+			// placement instead of failing mid-repair. A tripped deadline
+			// is lifted so the verification run can complete (the op
+			// budget keeps it bounded).
+			r.tripped = bx
+			if bx.Resource == guard.ResourceDeadline {
+				m.Lift(guard.ResourceDeadline)
+			}
+			degraded.Store(true)
+			r.ps, r.err = degradeGroup(g)
+			return
+		}
+		r.ps, r.err = ps, serr
+	}
+
+	nw := workers
+	if nw > len(groups) {
+		nw = len(groups)
+	}
+	var wspans []*obs.Span
+	var wcounts []int64
+	if nw > 1 {
+		wspans = make([]*obs.Span, nw)
+		wcounts = make([]int64, nw)
+		for w := range wspans {
+			wspans[w] = span.Child("dp-worker").SetInt("worker", int64(w))
+		}
+	}
+	runIndexed(len(groups), nw, func(w, i int) {
+		if wcounts != nil {
+			wcounts[w]++
+		}
+		// Protect inside the worker: a contained panic must surface as
+		// this group's error, not crash the process.
+		if perr := guard.Protect("dp-place", func() error { solve(i); return nil }); perr != nil {
+			results[i].err = perr
+		}
+	})
+	for w, ws := range wspans {
+		ws.SetInt("groups", wcounts[w]).End()
+	}
+
+	// Deterministic accumulation in group order. Paper §6 steps 3(d)-(f):
+	// placements inserted for an earlier NS-LCA can fix later groups'
+	// races, so a group's placements are accepted only when identical to
+	// or disjoint from those already chosen; skipped groups are
+	// re-examined by the next detection round.
+	chosen := make(map[Placement]bool)
+	overlaps := func(p Placement) bool {
+		for c := range chosen {
+			if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range results {
+		r := &results[i]
+		states += r.states
+		if r.tripped != nil && degradedReason == "" {
+			mDegraded.Inc()
+			degradedReason = r.tripped.Error()
+		}
+		if r.err != nil {
+			if err == nil {
+				err = r.err
+			}
+			continue
+		}
+		conflict := false
+		for _, p := range r.ps {
+			if !chosen[p] && overlaps(p) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for _, p := range r.ps {
+			if !chosen[p] {
+				chosen[p] = true
+				placements = append(placements, p)
+			}
+		}
+	}
+	if err != nil {
+		return nil, states, degradedReason, err
+	}
+	return placements, states, degradedReason, nil
+}

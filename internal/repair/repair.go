@@ -2,7 +2,6 @@ package repair
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -65,6 +64,13 @@ type Options struct {
 	// once and replaying it with virtual finish scopes. It exists for
 	// differential testing of the two paths and ignores Engine.
 	ReExecute bool
+	// Workers bounds the analysis parallelism: with Engine Both the two
+	// detector engines analyze the captured trace concurrently, and the
+	// independent per-NS-LCA placement problems are solved on a worker
+	// pool of this size. Results are accumulated in deterministic NS-LCA
+	// order, so the repaired program is byte-identical for any worker
+	// count. 0 or 1 is fully sequential.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -311,70 +317,16 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			if err := faults.Inject(faults.DPPlace); err != nil {
 				return err
 			}
-			chosen := make(map[Placement]bool)
-			overlaps := func(p Placement) bool {
-				for c := range chosen {
-					if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
-						return true
-					}
-				}
-				return false
-			}
-			degraded := false
-			for _, g := range groups {
-				var ps []Placement
-				var err error
-				if degraded {
-					// An earlier group tripped the budget; skip the DP for
-					// the remaining groups and go straight to the coarse
-					// placement.
-					ps, err = degradeGroup(g)
-				} else {
-					var states int64
-					ps, states, err = placeGroup(g, opts.MaxGraph, opts.Meter)
-					it.DPStates += states
-					var bx *guard.BudgetExceededError
-					if errors.As(err, &bx) &&
-						(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
-						// Graceful degradation: commit the sound
-						// coarse-but-valid placement instead of failing
-						// mid-repair. A tripped deadline is lifted so the
-						// mandatory verification run can still complete (the
-						// op budget keeps it bounded). User cancellation is
-						// NOT degraded — it propagates below.
-						mDegraded.Inc()
-						rep.Degraded = true
-						if rep.DegradedReason == "" {
-							rep.DegradedReason = bx.Error()
-						}
-						if bx.Resource == guard.ResourceDeadline {
-							opts.Meter.Lift(guard.ResourceDeadline)
-						}
-						degraded = true
-						ps, err = degradeGroup(g)
-					}
-				}
-				if err != nil {
-					return err
-				}
-				conflict := false
-				for _, p := range ps {
-					if !chosen[p] && overlaps(p) {
-						conflict = true
-						break
-					}
-				}
-				if conflict {
-					continue
-				}
-				for _, p := range ps {
-					if !chosen[p] {
-						chosen[p] = true
-						placements = append(placements, p)
-					}
+			var reason string
+			var perr error
+			placements, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			if reason != "" {
+				rep.Degraded = true
+				if rep.DegradedReason == "" {
+					rep.DegradedReason = reason
 				}
 			}
-			return nil
+			return perr
 		})
 		placeSpan.SetInt("dp_states", it.DPStates).
 			SetInt("placements", int64(len(placements))).
@@ -541,10 +493,13 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			analyzeParent = replaySpan
 		}
 		engSpan := analyzeParent.Child("detect/" + eng.Name())
+		if opts.Workers > 1 && opts.Engine == race.EngineBoth {
+			engSpan.SetInt("workers", 2)
+		}
 		var rr *trace.Result
 		err := guard.Protect("detect", func() error {
 			var aerr error
-			rr, aerr = race.Analyze(tr, info.Prog, virtual, eng, opts.Meter, false)
+			rr, aerr = race.AnalyzeParallel(tr, info.Prog, virtual, eng, opts.Meter, false, opts.Workers)
 			return aerr
 		})
 		engSpan.End()
@@ -563,6 +518,12 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		}
 		detectTime := time.Since(t0)
 		races := eng.Races()
+		if rel, ok := eng.(race.Releaser); ok {
+			// The resolved race slice owns its storage and stays valid; the
+			// engine's shadow structures go back to the reuse pool for the
+			// next round's detector.
+			rel.Release()
+		}
 		if len(races) == 0 {
 			detSpan.Rename("verify")
 		}
@@ -642,61 +603,16 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			if err := faults.Inject(faults.DPPlace); err != nil {
 				return err
 			}
-			chosen := make(map[Placement]bool)
-			overlaps := func(p Placement) bool {
-				for c := range chosen {
-					if c.Block == p.Block && p.Lo <= c.Hi && c.Lo <= p.Hi && c != p {
-						return true
-					}
-				}
-				return false
-			}
-			degraded := false
-			for _, g := range groups {
-				var ps []Placement
-				var err error
-				if degraded {
-					ps, err = degradeGroup(g)
-				} else {
-					var states int64
-					ps, states, err = placeGroup(g, opts.MaxGraph, opts.Meter)
-					it.DPStates += states
-					var bx *guard.BudgetExceededError
-					if errors.As(err, &bx) &&
-						(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
-						mDegraded.Inc()
-						rep.Degraded = true
-						if rep.DegradedReason == "" {
-							rep.DegradedReason = bx.Error()
-						}
-						if bx.Resource == guard.ResourceDeadline {
-							opts.Meter.Lift(guard.ResourceDeadline)
-						}
-						degraded = true
-						ps, err = degradeGroup(g)
-					}
-				}
-				if err != nil {
-					return err
-				}
-				conflict := false
-				for _, p := range ps {
-					if !chosen[p] && overlaps(p) {
-						conflict = true
-						break
-					}
-				}
-				if conflict {
-					continue
-				}
-				for _, p := range ps {
-					if !chosen[p] {
-						chosen[p] = true
-						placements = append(placements, p)
-					}
+			var reason string
+			var perr error
+			placements, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			if reason != "" {
+				rep.Degraded = true
+				if rep.DegradedReason == "" {
+					rep.DegradedReason = reason
 				}
 			}
-			return nil
+			return perr
 		})
 		placeSpan.SetInt("dp_states", it.DPStates).
 			SetInt("placements", int64(len(placements))).

@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_detect.json files (as produced
+// by `make bench-detect` via scripts/benchjson.awk) and fails when any
+// benchmark/stage pair regressed in ns/op beyond the threshold:
+//
+//	benchdiff [-threshold 0.20] [-min-delta-ns 3000000] baseline.json current.json
+//
+// A regression gates only when the absolute slowdown also exceeds
+// -min-delta-ns: millisecond-scale stages jitter past 20% from a
+// single GC cycle at low iteration counts, while any real regression
+// on the stages worth gating is tens of milliseconds. Entries present
+// in only one file are reported but never fail the gate (new stages
+// appear, old ones are retired). Exit codes: 0 no regression, 1 at
+// least one stage regressed, 2 usage or I/O error. `make bench-diff`
+// runs the benchmarks and gates against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Benchmark   string `json:"benchmark"`
+	Stage       string `json:"stage"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Events      int64  `json:"events,omitempty"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+type key struct{ bench, stage string }
+
+func load(path string) (map[key]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[key]record, len(recs))
+	for _, r := range recs {
+		out[key{r.Benchmark, r.Stage}] = r
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression per benchmark/stage")
+	minDelta := flag.Int64("min-delta-ns", 3_000_000, "noise floor: regressions smaller than this in absolute ns/op never gate")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]key, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].stage < keys[j].stage
+	})
+
+	regressions := 0
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("  gone  %s/%s (baseline %d ns/op)\n", k.bench, k.stage, b.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := float64(c.NsPerOp)/float64(b.NsPerOp) - 1
+		switch {
+		case ratio > *threshold && c.NsPerOp-b.NsPerOp >= *minDelta:
+			regressions++
+			fmt.Printf("REGRESS %s/%s: %d -> %d ns/op (%+.1f%%, limit %+.0f%%)\n",
+				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio, 100**threshold)
+		case ratio > *threshold:
+			fmt.Printf("  noise %s/%s: %d -> %d ns/op (%+.1f%%, under %dms floor)\n",
+				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio, *minDelta/1_000_000)
+		case ratio < -*threshold:
+			fmt.Printf("  fast  %s/%s: %d -> %d ns/op (%+.1f%%)\n",
+				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio)
+		default:
+			fmt.Printf("  ok    %s/%s: %d -> %d ns/op (%+.1f%%)\n",
+				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio)
+		}
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("  new   %s/%s: %d ns/op\n", k.bench, k.stage, cur[k].NsPerOp)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no ns/op regression beyond threshold")
+}

@@ -299,6 +299,12 @@ type RepairOptions struct {
 	// Tracer records per-phase spans; when nil, the tracer attached by
 	// LoadTraced (if any) is used.
 	Tracer *obs.Tracer
+	// Workers bounds the analysis parallelism: with Engine Both the two
+	// detector engines analyze the captured trace concurrently, and the
+	// independent per-NS-LCA placement problems are solved on a worker
+	// pool of this size. The repaired program is byte-identical for any
+	// worker count. 0 or 1 is fully sequential.
+	Workers int
 }
 
 // IterationReport details one detect/place/rewrite round.
@@ -396,6 +402,7 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 			UseTraceFiles: true,
 			Tracer:        tr,
 			Meter:         m,
+			Workers:       opts.Workers,
 		})
 		return rerr
 	})
