@@ -10,8 +10,15 @@ build:
 test:
 	$(GO) test ./...
 
+# go vet over the Go sources, then hjvet over the bundled HJ-lite
+# examples: any diagnostic not allowlisted in examples/hj/vet_allow.txt
+# fails the build (hjvet exits 6 when unsuppressed diagnostics fire).
 vet:
 	$(GO) vet ./...
+	@for f in examples/hj/*.hj; do \
+		echo "hjvet $$f"; \
+		$(GO) run ./cmd/hjvet -allow examples/hj/vet_allow.txt $$f || exit 1; \
+	done
 
 race:
 	$(GO) test -race ./...

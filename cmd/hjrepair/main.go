@@ -8,6 +8,7 @@
 //
 //	hjrepair [-detector mrw|srw|espbags|vc|both] [-j N] [-o out.hj]
 //	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
+//	         [-vet] [-static-prune]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // -detector picks the detector: "mrw" (default) and "srw" select the
@@ -26,6 +27,13 @@
 // finish placement. A DP-state or deadline trip mid-placement degrades
 // to the coarse sound placement (reported in the summary) rather than
 // failing; exhausting a budget outright exits 4.
+//
+// Static analysis: -vet runs the static MHP/effect analyzer before the
+// repair and reports on stderr every static race candidate the test
+// input never exercised — the repair guarantee is test-driven, and
+// these pairs are where other inputs could still race. -static-prune
+// uses the same analysis to skip race groups that are statically
+// serial; the repaired program is byte-identical with or without it.
 //
 // Observability: -trace writes a Chrome trace_event JSON covering every
 // pipeline phase (open it in chrome://tracing or ui.perfetto.dev),
@@ -75,6 +83,8 @@ func main() {
 	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr")
 	verbose := flag.Bool("v", false, "print the phase span tree to stderr")
+	vet := flag.Bool("vet", false, "run the static analyzer and report race candidates the test input never exercised (coverage gaps) on stderr")
+	staticPrune := flag.Bool("static-prune", false, "skip NS-LCA race groups the static MHP analysis proves serial (output is identical either way)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hjrepair [flags] program.hj")
@@ -125,6 +135,8 @@ func main() {
 		MaxIterations: *maxIter,
 		Budget:        tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
 		Workers:       *workers,
+		Vet:           *vet,
+		StaticPrune:   *staticPrune,
 	})
 	if err != nil {
 		var de *tdr.DisagreementError
@@ -138,6 +150,7 @@ func main() {
 			if !*quiet {
 				summarize(rep, mi)
 			}
+			vetReport(rep)
 			exportObs()
 			fmt.Fprintln(os.Stderr, "hjrepair:", err)
 			os.Exit(exitMaxIterations)
@@ -156,6 +169,7 @@ func main() {
 	if !*quiet {
 		summarize(rep, nil)
 	}
+	vetReport(rep)
 	exportObs()
 
 	repaired := prog.Source()
@@ -189,6 +203,21 @@ func summarize(rep *tdr.RepairReport, mi *repair.MaxIterationsError) {
 	if rep.Degraded {
 		fmt.Fprintf(os.Stderr, "hjrepair: DEGRADED placement (still race-free, possibly over-synchronized): %s\n",
 			rep.DegradedReason)
+	}
+}
+
+// vetReport prints the -vet coverage-gap report: every static race
+// candidate the dynamic detection rounds never exercised. An empty gap
+// set means the test input drove every statically possible race.
+func vetReport(rep *tdr.RepairReport) {
+	if rep == nil || rep.StaticCandidates == 0 && len(rep.CoverageGaps) == 0 {
+		return
+	}
+	exercised := rep.StaticCandidates - len(rep.CoverageGaps)
+	fmt.Fprintf(os.Stderr, "hjrepair: vet: %d/%d static race candidate(s) exercised by this input\n",
+		exercised, rep.StaticCandidates)
+	for _, g := range rep.CoverageGaps {
+		fmt.Fprintf(os.Stderr, "hjrepair: vet: unexercised: %s\n", g)
 	}
 }
 

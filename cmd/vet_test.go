@@ -1,0 +1,131 @@
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runVetFromRoot runs hjvet with the repository root as working
+// directory so file paths in the output match the committed goldens.
+func runVetFromRoot(t *testing.T, args ...string) (stdout string, code int) {
+	t.Helper()
+	cmd := exec.Command(bins["hjvet"], args...)
+	cmd.Dir = ".."
+	var ob, eb strings.Builder
+	cmd.Stdout, cmd.Stderr = &ob, &eb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("hjvet %v: %v", args, err)
+	}
+	if eb.Len() > 0 && code != 1 && code != 2 {
+		t.Errorf("unexpected stderr: %s", eb.String())
+	}
+	return ob.String(), code
+}
+
+// TestHjvetGolden locks the text and JSON renderings (and exit codes)
+// of every program in testdata/vet against committed golden files.
+func TestHjvetGolden(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "testdata", "vet", "*.hj"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no vet corpus found: %v", err)
+	}
+	for _, m := range matches {
+		rel := filepath.ToSlash(strings.TrimPrefix(m, ".."+string(filepath.Separator)))
+		name := strings.TrimSuffix(filepath.Base(m), ".hj")
+		t.Run(name, func(t *testing.T) {
+			golden := func(ext string) string {
+				b, err := os.ReadFile(strings.TrimSuffix(m, ".hj") + ".golden." + ext)
+				if err != nil {
+					t.Fatalf("golden: %v", err)
+				}
+				return string(b)
+			}
+			wantCode := 0
+			if golden("txt") != "" {
+				wantCode = 6
+			}
+
+			text, code := runVetFromRoot(t, rel)
+			if code != wantCode {
+				t.Errorf("text run exit = %d, want %d", code, wantCode)
+			}
+			if text != golden("txt") {
+				t.Errorf("text output mismatch for %s:\n got:\n%s\nwant:\n%s", rel, text, golden("txt"))
+			}
+
+			jsonOut, code := runVetFromRoot(t, "-json", rel)
+			if code != wantCode {
+				t.Errorf("json run exit = %d, want %d", code, wantCode)
+			}
+			if jsonOut != golden("json") {
+				t.Errorf("json output mismatch for %s:\n got:\n%s\nwant:\n%s", rel, jsonOut, golden("json"))
+			}
+		})
+	}
+}
+
+// TestHjvetChecksFlag restricts the run to one check and verifies only
+// its diagnostics appear.
+func TestHjvetChecksFlag(t *testing.T) {
+	out, code := runVetFromRoot(t, "-checks", "dead-stmt", "testdata/vet/static_race.hj")
+	if code != 0 || out != "" {
+		t.Errorf("dead-stmt on static_race.hj: exit=%d out=%q, want clean", code, out)
+	}
+	out, code = runVetFromRoot(t, "-checks", "static-race", "testdata/vet/static_race.hj")
+	if code != 6 || !strings.Contains(out, "[static-race]") || strings.Contains(out, "[write-after-async]") {
+		t.Errorf("static-race only: exit=%d out:\n%s", code, out)
+	}
+}
+
+// TestHjvetErrors covers the non-6 failure exits.
+func TestHjvetErrors(t *testing.T) {
+	if _, code := runVetFromRoot(t, "no/such/file.hj"); code != 1 {
+		t.Errorf("missing file: exit = %d, want 1", code)
+	}
+	if _, code := runVetFromRoot(t); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if _, code := runVetFromRoot(t, "-checks", "bogus", "testdata/vet/clean.hj"); code != 1 {
+		t.Errorf("unknown check: exit = %d, want 1", code)
+	}
+}
+
+// TestHjvetList verifies the -list output names all five checks.
+func TestHjvetList(t *testing.T) {
+	out, code := runVetFromRoot(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range []string{"static-race", "redundant-finish", "unscoped-async-loop", "write-after-async", "dead-stmt"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestHjvetAllow verifies the allowlist suppresses matched diagnostics
+// and flips the exit code once everything is suppressed.
+func TestHjvetAllow(t *testing.T) {
+	dir := t.TempDir()
+	allow := filepath.Join(dir, "allow.txt")
+	content := `# all redundant-finish findings in the corpus file
+testdata/vet/redundant_finish.hj:10:5 redundant-finish
+`
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code := runVetFromRoot(t, "-allow", abs, "testdata/vet/redundant_finish.hj")
+	if code != 0 || out != "" {
+		t.Errorf("allowlisted run: exit=%d out=%q, want clean", code, out)
+	}
+}

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/lang/token"
+)
+
+// analyze parses, checks, and analyzes an HJ-lite source.
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return Analyze(info, nil)
+}
+
+// stmtAt returns the ID of the first indexed statement on the given
+// source line.
+func stmtAt(t *testing.T, r *Result, line int) int {
+	t.Helper()
+	for id, rec := range r.stmts {
+		if rec.stmt.Pos().Line == line {
+			return id
+		}
+	}
+	t.Fatalf("no statement on line %d", line)
+	return -1
+}
+
+func TestMHPAsyncVsContinuation(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  async { x = 1; }
+  x = 2;
+  finish { }
+  x = 3;
+}`
+	r := analyze(t, src)
+	asyncWrite := stmtAt(t, r, 3) + 1 // the x=1 inside the async body
+	serial := stmtAt(t, r, 4)
+	after := stmtAt(t, r, 6)
+	if !r.mhp[asyncWrite].has(serial) {
+		t.Errorf("async body write and following serial write must be MHP")
+	}
+	// finish { } does NOT join the earlier async (it only joins tasks
+	// spawned inside it), so x = 3 is still parallel with the async.
+	if !r.mhp[asyncWrite].has(after) {
+		t.Errorf("empty finish must not serialize an async spawned before it")
+	}
+	if !r.MayHappenInParallel(r.stmts[asyncWrite].stmt, r.stmts[serial].stmt) {
+		t.Errorf("MayHappenInParallel disagrees with mhp bitset")
+	}
+}
+
+func TestMHPFinishJoins(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  finish {
+    async { x = 1; }
+  }
+  x = 2;
+}`
+	r := analyze(t, src)
+	asyncWrite := stmtAt(t, r, 4) + 1
+	after := stmtAt(t, r, 6)
+	if r.mhp[asyncWrite].has(after) {
+		t.Errorf("write after finish must not be MHP with the joined async")
+	}
+	if len(r.Candidates()) != 0 {
+		t.Errorf("fully synchronized program has candidates: %v", r.Candidates())
+	}
+}
+
+func TestMHPLoopSelfParallel(t *testing.T) {
+	src := `var a = make([]int, 8);
+var x = 0;
+func main() {
+  for (var i = 0; i < 8; i = i + 1) {
+    async { x = x + 1; }
+  }
+}`
+	r := analyze(t, src)
+	w := stmtAt(t, r, 5) + 1 // x = x + 1 inside the async
+	if !r.mhp[w].has(w) {
+		t.Errorf("async body in a loop must be MHP with itself")
+	}
+	found := false
+	for _, c := range r.Candidates() {
+		if c.A == w && c.B == w && c.Kind == "W/W" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-race candidate on x missing; candidates: %v", r.Candidates())
+	}
+}
+
+func TestMHPTwoSerialAsyncs(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  async { x = 1; }
+  async { x = 2; }
+}`
+	r := analyze(t, src)
+	w1 := stmtAt(t, r, 3) + 1
+	w2 := stmtAt(t, r, 4) + 1
+	if !r.mhp[w1].has(w2) {
+		t.Errorf("two sibling asyncs must be MHP")
+	}
+	wantPair := false
+	for _, c := range r.Candidates() {
+		if (c.A == w1 && c.B == w2) || (c.A == w2 && c.B == w1) {
+			wantPair = true
+			if c.Kind != "W/W" {
+				t.Errorf("kind = %s, want W/W", c.Kind)
+			}
+			if c.Loc != "x" {
+				t.Errorf("loc = %s, want x", c.Loc)
+			}
+		}
+	}
+	if !wantPair {
+		t.Errorf("missing candidate for sibling async writes; got %v", r.Candidates())
+	}
+}
+
+func TestMHPThroughCalls(t *testing.T) {
+	src := `var x = 0;
+func spawn() {
+  async { x = x + 1; }
+}
+func main() {
+  spawn();
+  x = 5;
+}`
+	r := analyze(t, src)
+	w := stmtAt(t, r, 3) + 1 // x = x + 1 inside spawn's async
+	serial := stmtAt(t, r, 7)
+	if !r.mhp[w].has(serial) {
+		t.Errorf("async escaping a callee must be MHP with the caller's continuation")
+	}
+}
+
+func TestEffectsDisjointArrays(t *testing.T) {
+	src := `var a = make([]int, 4);
+var b = make([]int, 4);
+func main() {
+  async { a[0] = 1; }
+  b[0] = 2;
+}`
+	r := analyze(t, src)
+	for _, c := range r.Candidates() {
+		if strings.Contains(c.Loc, "[]") {
+			t.Errorf("disjoint makes must be separate classes; candidate %v", c)
+		}
+	}
+}
+
+func TestEffectsAliasThroughCall(t *testing.T) {
+	src := `var a = make([]int, 4);
+func work(p []int) {
+  async { p[0] = 1; }
+}
+func main() {
+  work(a);
+  a[0] = 2;
+}`
+	r := analyze(t, src)
+	found := false
+	for _, c := range r.Candidates() {
+		if c.Loc == "a[]" && c.Kind == "W/W" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("param must alias argument's class; candidates: %v", r.Candidates())
+	}
+}
+
+func TestEffectsLocalsIgnored(t *testing.T) {
+	src := `func main() {
+  var y = 0;
+  async { y = 1; }
+  y = 2;
+  println(y);
+}`
+	r := analyze(t, src)
+	if n := len(r.Candidates()); n != 0 {
+		t.Errorf("locals are task-private (by-value capture); got %d candidates: %v", n, r.Candidates())
+	}
+}
+
+func TestMarkCoveredAndUncovered(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  async { x = 1; }
+  async { x = 2; }
+}`
+	r := analyze(t, src)
+	if len(r.Candidates()) == 0 {
+		t.Fatal("expected candidates")
+	}
+	if got := len(r.UncoveredCandidates()); got != len(r.Candidates()) {
+		t.Fatalf("before marking, all candidates uncovered; got %d of %d", got, len(r.Candidates()))
+	}
+	// Unknown nodes are conservative: Covers says yes, MarkCovered
+	// marks nothing.
+	if !r.Covers(nil, nil) {
+		t.Error("unknown nodes must be conservatively covered")
+	}
+	r.MarkCovered(nil, nil)
+	if got := len(r.UncoveredCandidates()); got != len(r.Candidates()) {
+		t.Errorf("marking unknown nodes must not cover candidates")
+	}
+	if !r.MayRunInParallel(nil, nil) {
+		t.Error("unknown nodes must be conservatively parallel")
+	}
+}
+
+func TestRunChecksUnknownName(t *testing.T) {
+	r := analyze(t, `func main() { }`)
+	if _, err := RunChecks(r, []string{"no-such-check"}); err == nil {
+		t.Error("unknown check name must error")
+	}
+	if ds, err := RunChecks(r, nil); err != nil || len(ds) != 0 {
+		t.Errorf("empty main: diags=%v err=%v", ds, err)
+	}
+}
+
+func TestCheckRedundantFinish(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  finish { x = 1; }
+  finish { async { x = 2; } }
+}`
+	r := analyze(t, src)
+	ds, err := RunChecks(r, []string{"redundant-finish"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Pos.Line != 3 {
+		t.Errorf("want one redundant-finish on line 3, got %v", ds)
+	}
+}
+
+func TestCheckDeadStmt(t *testing.T) {
+	src := `func f() int {
+  return 1;
+  return 2;
+}
+func main() {
+  if (false) {
+    println(0);
+  }
+  println(f());
+}`
+	r := analyze(t, src)
+	ds, err := RunChecks(r, []string{"dead-stmt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("want 2 dead-stmt diags (line 3 unreachable, line 7 dead arm), got %v", ds)
+	}
+	if ds[0].Pos.Line != 3 || ds[1].Pos.Line != 7 {
+		t.Errorf("positions: got %v", ds)
+	}
+}
+
+func TestCheckUnscopedAsyncLoop(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  for (var i = 0; i < 4; i = i + 1) {
+    async { x = x + 1; }
+  }
+  finish {
+    for (var j = 0; j < 4; j = j + 1) {
+      async { x = x + 1; }
+    }
+  }
+}`
+	r := analyze(t, src)
+	ds, err := RunChecks(r, []string{"unscoped-async-loop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first loop's async is unscoped... but note the finish on
+	// line 6 does not join the FIRST loop's asyncs, while the second
+	// loop is properly scoped. Still, the finish-wrapped async races
+	// with the first loop's instances — that is static-race's job, not
+	// this check's.
+	if len(ds) != 1 || ds[0].Pos.Line != 4 {
+		t.Errorf("want one unscoped-async-loop on line 4, got %v", ds)
+	}
+}
+
+func TestCheckWriteAfterAsync(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  async { x = 1; }
+  x = 2;
+}`
+	r := analyze(t, src)
+	ds, err := RunChecks(r, []string{"write-after-async"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Pos.Line != 4 {
+		t.Errorf("want one write-after-async on line 4, got %v", ds)
+	}
+	if len(ds) == 1 && len(ds[0].Related) != 1 {
+		t.Errorf("want related position for the conflicting async access")
+	}
+}
+
+func TestDiagnosticRenderers(t *testing.T) {
+	src := `var x = 0;
+func main() {
+  async { x = 1; }
+  x = 2;
+}`
+	r := analyze(t, src)
+	ds, err := RunChecks(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	var text, jsonOut strings.Builder
+	if err := WriteText(&text, "prog.hj", ds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "prog.hj:") || !strings.Contains(text.String(), "warning: [") {
+		t.Errorf("text format:\n%s", text.String())
+	}
+	if err := WriteJSON(&jsonOut, "prog.hj", ds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut.String(), `"check"`) || !strings.Contains(jsonOut.String(), `"file": "prog.hj"`) {
+		t.Errorf("json format:\n%s", jsonOut.String())
+	}
+}
+
+func TestAllowlist(t *testing.T) {
+	al, err := ParseAllowlist(strings.NewReader(`# comment
+examples/hj/foo.hj:3:3 static-race
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnostic{Pos: pos(3, 3), Check: "static-race"}
+	if !al.Match("examples/hj/foo.hj", d) {
+		t.Error("exact path must match")
+	}
+	if !al.Match("/abs/path/examples/hj/foo.hj", d) {
+		t.Error("suffix path must match")
+	}
+	if al.Match("examples/hj/foo.hj", Diagnostic{Pos: pos(3, 4), Check: "static-race"}) {
+		t.Error("different position must not match")
+	}
+	if _, err := ParseAllowlist(strings.NewReader("garbage line here and more\n")); err == nil {
+		t.Error("malformed line must error")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	src := `var a = make([]int, 8);
+var sum = 0;
+func add(p []int, i int) { sum = sum + p[i]; }
+func main() {
+  finish {
+    for (var i = 0; i < 8; i = i + 1) {
+      async { add(a, i); }
+    }
+  }
+  println(sum);
+}`
+	render := func() string {
+		r := analyze(t, src)
+		ds, err := RunChecks(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteText(&sb, "p.hj", ds); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("analysis output not deterministic:\n%s\n--- vs ---\n%s", a, b)
+	}
+}
+
+func pos(line, col int) token.Pos { return token.Pos{Line: line, Col: col} }

@@ -1,0 +1,77 @@
+package analysis
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers. The
+// MHP relation, effect summaries, and function summaries are all sets
+// over the (small) statement and location universes, so dense words beat
+// maps by a wide margin and make the fixpoint's "did anything change"
+// test a single pass of ORs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// or folds c into b and reports whether b changed.
+func (b bitset) or(c bitset) bool {
+	changed := false
+	for i, w := range c {
+		if nw := b[i] | w; nw != b[i] {
+			b[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) intersects(c bitset) bool {
+	n := len(b)
+	if len(c) < n {
+		n = len(c)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls f for every member, in increasing order.
+func (b bitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/obs"
+)
+
+// A Check inspects an analysis Result and reports diagnostics.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Result) []Diagnostic
+}
+
+// Checks returns the registered lint checks in canonical order.
+func Checks() []Check {
+	return []Check{
+		{"static-race", "statement pairs that may run in parallel with conflicting effects, not covered by any dynamic race", checkStaticRace},
+		{"redundant-finish", "finish whose body cannot transitively spawn an async", checkRedundantFinish},
+		{"unscoped-async-loop", "async spawned in a loop with no enclosing finish inside the loop", checkUnscopedAsyncLoop},
+		{"write-after-async", "serial access conflicting with an async that may still be running", checkWriteAfterAsync},
+		{"dead-stmt", "statement after an infinite loop or return, or a branch arm that can never run", checkDeadStmt},
+	}
+}
+
+// CheckNames returns the canonical check-name list.
+func CheckNames() []string {
+	var out []string
+	for _, c := range Checks() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// RunChecks runs the named checks (all when names is empty) over a
+// Result and returns the combined, position-sorted diagnostics. Unknown
+// names are an error.
+func RunChecks(res *Result, names []string) ([]Diagnostic, error) {
+	all := Checks()
+	var run []Check
+	if len(names) == 0 {
+		run = all
+	} else {
+		byName := make(map[string]Check, len(all))
+		for _, c := range all {
+			byName[c.Name] = c
+		}
+		for _, name := range names {
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return nil, fmt.Errorf("unknown check %q (have %s)", name, strings.Join(CheckNames(), ", "))
+			}
+			run = append(run, c)
+		}
+	}
+	var ds []Diagnostic
+	for _, c := range run {
+		found := c.Run(res)
+		obs.Default().Counter("vet.diag." + c.Name).Add(int64(len(found)))
+		ds = append(ds, found...)
+	}
+	obs.Default().Counter("vet.diagnostics").Add(int64(len(ds)))
+	SortDiagnostics(ds)
+	return ds, nil
+}
+
+// checkStaticRace reports every candidate pair no dynamic race has
+// covered. Run standalone (hjvet) nothing is covered, so this is the
+// whole candidate set; run after repair (hjrepair -vet) it is the
+// coverage-gap report.
+func checkStaticRace(r *Result) []Diagnostic {
+	var ds []Diagnostic
+	for _, c := range r.UncoveredCandidates() {
+		d := Diagnostic{
+			Pos:      c.APos,
+			Severity: Warning,
+			Check:    "static-race",
+			Hint:     "enclose the spawning region in finish { ... } or make the accesses disjoint",
+		}
+		if c.A == c.B {
+			d.Message = fmt.Sprintf("statement may race with other instances of itself on %s (%s)", c.Loc, c.Kind)
+		} else {
+			d.Message = fmt.Sprintf("statement may race on %s (%s)", c.Loc, c.Kind)
+			d.Related = []Related{{Pos: c.BPos, Message: fmt.Sprintf("conflicting access in %s", c.BFunc)}}
+		}
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// checkRedundantFinish reports finishes that cannot join anything: no
+// statement reachable inside the body (including callees) is an async.
+func checkRedundantFinish(r *Result) []Diagnostic {
+	var ds []Diagnostic
+	for id, rec := range r.stmts {
+		if _, ok := rec.stmt.(*ast.FinishStmt); !ok {
+			continue
+		}
+		if r.all[id].intersects(r.asyncs) {
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			Pos:      rec.stmt.Pos(),
+			Severity: Warning,
+			Check:    "redundant-finish",
+			Message:  "finish body spawns no async (directly or through calls)",
+			Hint:     "remove the finish or move it around the spawning code",
+		})
+	}
+	return ds
+}
+
+// checkUnscopedAsyncLoop reports asyncs spawned inside a loop with no
+// finish between the async and the loop, when the async's statements
+// participate in some race candidate (a dependent use exists).
+func checkUnscopedAsyncLoop(r *Result) []Diagnostic {
+	inCand := newBitset(len(r.stmts))
+	for _, c := range r.cands {
+		inCand.set(c.A)
+		inCand.set(c.B)
+	}
+	var ds []Diagnostic
+	var walk func(b *ast.Block, loop ast.Stmt, inFinish bool)
+	walk = func(b *ast.Block, loop ast.Stmt, inFinish bool) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *ast.WhileStmt:
+				walk(st.Body, st, inFinish)
+			case *ast.ForStmt:
+				walk(st.Body, st, inFinish)
+			case *ast.FinishStmt:
+				// A finish anywhere above the async joins it, whether it
+				// wraps the async inside the loop or the whole loop.
+				walk(st.Body, loop, true)
+			case *ast.AsyncStmt:
+				if loop != nil && !inFinish {
+					id := r.byStmt[s]
+					if r.all[id].intersects(inCand) {
+						ds = append(ds, Diagnostic{
+							Pos:      s.Pos(),
+							Severity: Warning,
+							Check:    "unscoped-async-loop",
+							Message:  "async in a loop has no enclosing finish; its instances accumulate unjoined",
+							Hint:     "wrap the loop (or the spawning region) in finish { ... }",
+							Related:  []Related{{Pos: loop.Pos(), Message: "loop spawning the async"}},
+						})
+					}
+				}
+				walk(st.Body, loop, inFinish)
+			default:
+				for _, nb := range ast.StmtBlocks(s) {
+					walk(nb, loop, inFinish)
+				}
+			}
+		}
+	}
+	for _, fn := range r.info.Prog.Funcs {
+		walk(fn.Body, nil, false)
+	}
+	return ds
+}
+
+// checkWriteAfterAsync reports statements whose writes conflict with
+// the effects of asyncs that may still be running when the statement
+// executes (the live set of the MHP walk).
+func checkWriteAfterAsync(r *Result) []Diagnostic {
+	var ds []Diagnostic
+	for id, rec := range r.stmts {
+		if r.eff[id].writes.empty() || r.liveAt[id].empty() {
+			continue
+		}
+		if _, ok := rec.stmt.(*ast.AsyncStmt); ok {
+			continue
+		}
+		conflictID := -1
+		var loc int
+		r.liveAt[id].forEach(func(j int) {
+			if conflictID >= 0 {
+				return
+			}
+			l, _ := conflict(effect{reads: r.eff[j].reads, writes: r.eff[j].writes},
+				effect{reads: newBitset(r.locs.n), writes: r.eff[id].writes})
+			if l >= 0 {
+				conflictID, loc = j, l
+			}
+		})
+		if conflictID < 0 {
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			Pos:      rec.stmt.Pos(),
+			Severity: Warning,
+			Check:    "write-after-async",
+			Message:  fmt.Sprintf("write to %s may race with an earlier async still running", r.LocationName(loc)),
+			Hint:     "join the async with finish before this statement",
+			Related:  []Related{{Pos: r.stmts[conflictID].stmt.Pos(), Message: "conflicting access possibly still running"}},
+		})
+	}
+	return ds
+}
+
+// checkDeadStmt reports unreachable statements: code after a return or
+// an infinite loop (while(true), for without condition, if whose arms
+// both terminate), and branch arms guarded by a constant condition.
+// Only the first dead statement of each block is reported.
+func checkDeadStmt(r *Result) []Diagnostic {
+	var ds []Diagnostic
+	var blockDead func(b *ast.Block)
+	var terminal func(s ast.Stmt) bool
+	blockTerminal := func(b *ast.Block) bool {
+		if b == nil {
+			return false
+		}
+		for _, s := range b.Stmts {
+			if terminal(s) {
+				return true
+			}
+		}
+		return false
+	}
+	terminal = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.WhileStmt:
+			lit, ok := st.Cond.(*ast.BoolLit)
+			return ok && lit.Value
+		case *ast.ForStmt:
+			return st.Cond == nil
+		case *ast.IfStmt:
+			return st.Else != nil && blockTerminal(st.Then) && blockTerminal(st.Else)
+		case *ast.BlockStmt:
+			return blockTerminal(st.Body)
+		case *ast.FinishStmt:
+			return blockTerminal(st.Body)
+		}
+		return false
+	}
+	deadArm := func(b *ast.Block, why string) {
+		if b == nil || len(b.Stmts) == 0 {
+			return
+		}
+		ds = append(ds, Diagnostic{
+			Pos:      b.Stmts[0].Pos(),
+			Severity: Warning,
+			Check:    "dead-stmt",
+			Message:  "unreachable branch: " + why,
+			Hint:     "remove the dead code or fix the condition",
+		})
+	}
+	blockDead = func(b *ast.Block) {
+		if b == nil {
+			return
+		}
+		reported := false
+		dead := false
+		for _, s := range b.Stmts {
+			if dead && !reported {
+				reported = true
+				ds = append(ds, Diagnostic{
+					Pos:      s.Pos(),
+					Severity: Warning,
+					Check:    "dead-stmt",
+					Message:  "unreachable statement",
+					Hint:     "remove the dead code",
+				})
+			}
+			if ifs, ok := s.(*ast.IfStmt); ok {
+				if lit, isLit := ifs.Cond.(*ast.BoolLit); isLit {
+					if lit.Value {
+						deadArm(ifs.Else, "condition is always true")
+					} else {
+						deadArm(ifs.Then, "condition is always false")
+					}
+				}
+			}
+			for _, nb := range ast.StmtBlocks(s) {
+				blockDead(nb)
+			}
+			if !dead && terminal(s) {
+				dead = true
+			}
+		}
+	}
+	for _, fn := range r.info.Prog.Funcs {
+		blockDead(fn.Body)
+	}
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Pos.Line != ds[j].Pos.Line {
+			return ds[i].Pos.Line < ds[j].Pos.Line
+		}
+		return ds[i].Pos.Col < ds[j].Pos.Col
+	})
+	return ds
+}

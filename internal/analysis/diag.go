@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"finishrepair/internal/lang/token"
+)
+
+// Severity grades diagnostics.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Error:
+		return "error"
+	default:
+		return "warning"
+	}
+}
+
+// Related is a secondary position attached to a diagnostic (the other
+// end of a race pair, the conflicting async, ...).
+type Related struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Diagnostic is one finding of a lint check: a position, a severity, a
+// stable check name, the message, an optional fix hint, and related
+// positions.
+type Diagnostic struct {
+	Pos      token.Pos
+	Severity Severity
+	Check    string
+	Message  string
+	Hint     string
+	Related  []Related
+}
+
+// SortDiagnostics orders diagnostics by position then check name, so
+// renderers and golden files are deterministic.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// WriteText renders diagnostics in the classic compiler format:
+//
+//	file:line:col: warning: [check] message
+//	        file:line:col: related message
+//	        hint: fix hint
+func WriteText(w io.Writer, file string, ds []Diagnostic) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range ds {
+		fmt.Fprintf(bw, "%s:%s: %s: [%s] %s\n", file, d.Pos, d.Severity, d.Check, d.Message)
+		for _, rel := range d.Related {
+			fmt.Fprintf(bw, "\t%s:%s: %s\n", file, rel.Pos, rel.Message)
+		}
+		if d.Hint != "" {
+			fmt.Fprintf(bw, "\thint: %s\n", d.Hint)
+		}
+	}
+	return bw.Flush()
+}
+
+// JSON DTOs: explicit types so the wire format is stable independent of
+// internal struct shape.
+
+type jsonRelated struct {
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+type jsonDiagnostic struct {
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Severity string        `json:"severity"`
+	Check    string        `json:"check"`
+	Message  string        `json:"message"`
+	Hint     string        `json:"hint,omitempty"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonReport struct {
+	File        string           `json:"file"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// WriteJSON renders diagnostics as a single JSON document.
+func WriteJSON(w io.Writer, file string, ds []Diagnostic) error {
+	rep := jsonReport{File: file, Diagnostics: []jsonDiagnostic{}}
+	for _, d := range ds {
+		jd := jsonDiagnostic{
+			Line: d.Pos.Line, Col: d.Pos.Col,
+			Severity: d.Severity.String(), Check: d.Check,
+			Message: d.Message, Hint: d.Hint,
+		}
+		for _, rel := range d.Related {
+			jd.Related = append(jd.Related, jsonRelated{Line: rel.Pos.Line, Col: rel.Pos.Col, Message: rel.Message})
+		}
+		rep.Diagnostics = append(rep.Diagnostics, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Allowlist suppresses known-acceptable diagnostics, keyed by file
+// suffix, position, and check name. The format is line-oriented:
+//
+//	# comment
+//	path/to/file.hj:12:3 static-race
+//
+// Path matching is by suffix so the allowlist works from any working
+// directory.
+type Allowlist struct {
+	entries []allowEntry
+}
+
+type allowEntry struct {
+	path  string
+	line  int
+	col   int
+	check string
+}
+
+// ParseAllowlist reads the allowlist format. Malformed lines are
+// errors, so stale entries cannot silently rot.
+func ParseAllowlist(r io.Reader) (*Allowlist, error) {
+	al := &Allowlist{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("allowlist line %d: want \"path:line:col check\", got %q", lineNo, line)
+		}
+		loc := fields[0]
+		i := strings.LastIndex(loc, ":")
+		j := strings.LastIndex(loc[:i], ":")
+		if i < 0 || j < 0 {
+			return nil, fmt.Errorf("allowlist line %d: bad location %q", lineNo, loc)
+		}
+		ln, err1 := strconv.Atoi(loc[j+1 : i])
+		col, err2 := strconv.Atoi(loc[i+1:])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("allowlist line %d: bad location %q", lineNo, loc)
+		}
+		al.entries = append(al.entries, allowEntry{path: loc[:j], line: ln, col: col, check: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Match reports whether the diagnostic at file is allowlisted.
+func (al *Allowlist) Match(file string, d Diagnostic) bool {
+	if al == nil {
+		return false
+	}
+	for _, e := range al.entries {
+		if e.line == d.Pos.Line && e.col == d.Pos.Col && e.check == d.Check &&
+			(file == e.path || strings.HasSuffix(file, "/"+e.path) || strings.HasSuffix(e.path, "/"+file) || e.path == file) {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns the diagnostics not matched by the allowlist.
+func (al *Allowlist) Filter(file string, ds []Diagnostic) []Diagnostic {
+	if al == nil {
+		return ds
+	}
+	out := ds[:0:0]
+	for _, d := range ds {
+		if !al.Match(file, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

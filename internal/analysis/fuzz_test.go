@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+)
+
+// FuzzVet asserts the analyzer never panics on any program the parser
+// and checker accept, and that its output is deterministic (two runs
+// over the same program render identically — the property the hjvet
+// exit code and the golden files depend on). Seeds come from the repair
+// round-trip and parser corpora.
+func FuzzVet(f *testing.F) {
+	f.Add("var x = 0; func main() { async { x = 1; } x = 2; }")
+	f.Add("func main() { finish { } }")
+	f.Add("var a = make([]int, 4); func main() { for (var i = 0; i < 4; i = i + 1) { async { a[i] = i; } } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			return
+		}
+		render := func() string {
+			res := Analyze(info, nil)
+			ds, err := RunChecks(res, nil)
+			if err != nil {
+				t.Fatalf("RunChecks: %v", err)
+			}
+			var sb strings.Builder
+			if err := WriteText(&sb, "fuzz.hj", ds); err != nil {
+				t.Fatalf("WriteText: %v", err)
+			}
+			var jb strings.Builder
+			if err := WriteJSON(&jb, "fuzz.hj", ds); err != nil {
+				t.Fatalf("WriteJSON: %v", err)
+			}
+			return sb.String() + "\x00" + jb.String()
+		}
+		a, b := render(), render()
+		if a != b {
+			t.Errorf("analysis not deterministic:\n%q\nvs\n%q", a, b)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package analysis
+
+import "finishrepair/internal/lang/ast"
+
+// This file computes the static may-happen-in-parallel relation.
+//
+// Two layers:
+//
+//  1. Per-statement summaries all(s) and esc(s), with per-function
+//     summaries contains(f)/escape(f) resolved by a fixpoint over the
+//     (possibly recursive) call graph. all(s) is every statement that
+//     may execute while s runs; esc(s) is every statement that may
+//     still be running after s completes — the asyncs s spawned (or its
+//     callees spawned) that no enclosing finish has joined. finish is
+//     the only construct that kills escapes: esc(finish S) = ∅.
+//
+//  2. A forward walk of main (preceded by the global initializers)
+//     threading a "live" set of possibly-still-running statements.
+//     Sequencing s after live set L records L × all(s) as MHP pairs
+//     and flows L ∪ esc(s) onward. Loops additionally record
+//     escBody × all(loop): an async escaping iteration k runs in
+//     parallel with everything in iteration k+1 — this is how an async
+//     body becomes MHP with itself (unbounded instances).
+//
+// Function bodies other than main are also walked with an empty
+// incoming live set so intra-callee pairs are recorded once,
+// context-insensitively; call-site context is covered by L × all(call).
+func (r *Result) summaries() {
+	n := len(r.stmts)
+	r.all = make([]bitset, n)
+	r.esc = make([]bitset, n)
+	for i := range r.all {
+		r.all[i] = newBitset(n)
+		r.esc[i] = newBitset(n)
+	}
+	for _, fn := range r.info.Prog.Funcs {
+		r.contains[fn] = newBitset(n)
+		r.escapes[fn] = newBitset(n)
+	}
+
+	// Fixpoint: statement summaries depend on callee summaries which
+	// depend on statement summaries; iterate until no bitset grows.
+	// Everything is monotone over finite sets, so this terminates.
+	for {
+		changed := false
+		for i, rec := range r.stmts {
+			if r.updateStmt(i, rec.stmt) {
+				changed = true
+			}
+		}
+		for _, fn := range r.info.Prog.Funcs {
+			cont, esc := r.contains[fn], r.escapes[fn]
+			for _, s := range fn.Body.Stmts {
+				id := r.byStmt[s]
+				if cont.or(r.all[id]) {
+					changed = true
+				}
+				if esc.or(r.esc[id]) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// updateStmt folds one round of the all/esc equations for statement i
+// and reports whether either set grew.
+func (r *Result) updateStmt(i int, s ast.Stmt) bool {
+	all, esc := r.all[i], r.esc[i]
+	changed := false
+	if !all.has(i) {
+		all.set(i)
+		changed = true
+	}
+	for _, fn := range r.stmtCallees(s) {
+		if all.or(r.contains[fn]) {
+			changed = true
+		}
+		if esc.or(r.escapes[fn]) {
+			changed = true
+		}
+	}
+	child := func(cs ast.Stmt, escapes bool) {
+		id := r.byStmt[cs]
+		if all.or(r.all[id]) {
+			changed = true
+		}
+		if escapes && esc.or(r.esc[id]) {
+			changed = true
+		}
+	}
+	switch st := s.(type) {
+	case *ast.AsyncStmt:
+		// The whole body may still be running after the spawn returns.
+		for _, cs := range st.Body.Stmts {
+			child(cs, false)
+			if esc.or(r.all[r.byStmt[cs]]) {
+				changed = true
+			}
+		}
+	case *ast.FinishStmt:
+		// finish joins everything spawned inside: nothing escapes.
+		for _, cs := range st.Body.Stmts {
+			child(cs, false)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			child(st.Init, true)
+		}
+		if st.Post != nil {
+			child(st.Post, true)
+		}
+		for _, cs := range st.Body.Stmts {
+			child(cs, true)
+		}
+	default:
+		for _, b := range ast.StmtBlocks(s) {
+			for _, cs := range b.Stmts {
+				child(cs, true)
+			}
+		}
+	}
+	return changed
+}
+
+// walkMHP runs the forward live-set walk and fills r.mhp and r.liveAt.
+func (r *Result) walkMHP() {
+	n := len(r.stmts)
+	r.mhp = make([]bitset, n)
+	r.liveAt = make([]bitset, n)
+	for i := range r.mhp {
+		r.mhp[i] = newBitset(n)
+		r.liveAt[i] = newBitset(n)
+	}
+
+	// The real program: globals initialize serially, then main runs.
+	live := newBitset(n)
+	for _, g := range r.info.Prog.Globals {
+		live = r.seqStep(r.byStmt[g], live)
+	}
+	if main := r.info.Prog.Func("main"); main != nil {
+		r.walkBlock(main.Body, live)
+	}
+	// Other functions: record their internal structure once with an
+	// empty live set (call-site parallelism is covered through all()).
+	for _, fn := range r.info.Prog.Funcs {
+		if fn.Name == "main" {
+			continue
+		}
+		r.walkBlock(fn.Body, newBitset(n))
+	}
+
+	for _, row := range r.mhp {
+		r.mhpPairs += row.count()
+	}
+}
+
+// walkBlock sequences the statements of b under the incoming live set
+// and returns the live set after the block.
+func (r *Result) walkBlock(b *ast.Block, live bitset) bitset {
+	if b == nil {
+		return live
+	}
+	for _, s := range b.Stmts {
+		live = r.seqStep(r.byStmt[s], live)
+	}
+	return live
+}
+
+// seqStep records the MHP pairs for executing statement id while the
+// statements in live may still be running, descends into nested blocks,
+// and returns the live set after the statement.
+func (r *Result) seqStep(id int, live bitset) bitset {
+	r.liveAt[id].or(live)
+	r.addPairs(live, r.all[id])
+
+	switch st := r.stmts[id].stmt.(type) {
+	case *ast.IfStmt:
+		r.walkBlock(st.Then, live)
+		r.walkBlock(st.Else, live)
+	case *ast.WhileStmt:
+		r.loopWalk(id, nil, st.Body, nil, live)
+	case *ast.ForStmt:
+		r.loopWalk(id, st.Init, st.Body, st.Post, live)
+	case *ast.AsyncStmt, *ast.FinishStmt:
+		for _, b := range ast.StmtBlocks(st) {
+			r.walkBlock(b, live)
+		}
+	case *ast.BlockStmt:
+		r.walkBlock(st.Body, live)
+	}
+
+	out := live.clone()
+	out.or(r.esc[id])
+	return out
+}
+
+// loopWalk handles the cross-iteration parallelism of a loop statement:
+// anything escaping one iteration may run in parallel with everything
+// in the next (asyncs in loops are unbounded instances).
+func (r *Result) loopWalk(loopID int, init ast.Stmt, body *ast.Block, post ast.Stmt, live bitset) {
+	if init != nil {
+		live = r.seqStep(r.byStmt[init], live)
+	}
+	// esc[loop] is everything escaping an iteration (body, post, and
+	// condition-callee escapes); init escapes ride along harmlessly.
+	loopEsc := r.esc[loopID].clone()
+	r.addPairs(loopEsc, r.all[loopID])
+	r.liveAt[loopID].or(loopEsc)
+
+	bodyLive := live.clone()
+	bodyLive.or(loopEsc)
+	bodyLive = r.walkBlock(body, bodyLive)
+	if post != nil {
+		r.seqStep(r.byStmt[post], bodyLive)
+	}
+}
+
+// addPairs records a × b (both directions) in the MHP relation.
+func (r *Result) addPairs(a, b bitset) {
+	if a.empty() || b.empty() {
+		return
+	}
+	a.forEach(func(i int) { r.mhp[i].or(b) })
+	b.forEach(func(j int) { r.mhp[j].or(a) })
+}
+
+// MayHappenInParallel reports whether the two statements may execute
+// concurrently according to the static relation. Statements not in the
+// analyzed program are conservatively parallel.
+func (r *Result) MayHappenInParallel(a, b ast.Stmt) bool {
+	ia, oka := r.byStmt[a]
+	ib, okb := r.byStmt[b]
+	if !oka || !okb {
+		return true
+	}
+	return r.mhp[ia].has(ib)
+}

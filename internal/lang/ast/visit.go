@@ -1,0 +1,93 @@
+package ast
+
+// This file holds the fine-grained visitor helpers used by static
+// analysis (internal/analysis): expression traversal and direct-child
+// accessors that let a walker distinguish "what a statement evaluates
+// itself" from "what runs inside its nested blocks".
+
+// StmtExprs returns the expressions a statement evaluates directly: the
+// condition of an if/while/for, the sides of an assignment, a
+// declaration's initializer, a return value, or an expression
+// statement's expression. Nested statements (loop init/post, block
+// bodies) are NOT descended into; callers walk those as statements.
+func StmtExprs(s Stmt) []Expr {
+	switch st := s.(type) {
+	case *VarDeclStmt:
+		if st.Init != nil {
+			return []Expr{st.Init}
+		}
+	case *AssignStmt:
+		return []Expr{st.LHS, st.RHS}
+	case *IfStmt:
+		return []Expr{st.Cond}
+	case *WhileStmt:
+		return []Expr{st.Cond}
+	case *ForStmt:
+		if st.Cond != nil {
+			return []Expr{st.Cond}
+		}
+	case *ReturnStmt:
+		if st.Value != nil {
+			return []Expr{st.Value}
+		}
+	case *ExprStmt:
+		return []Expr{st.X}
+	}
+	return nil
+}
+
+// StmtBlocks returns the blocks nested directly under a statement (both
+// branches of an if, the body of a loop, async, finish, or block
+// statement). A for statement's Init and Post are statements, not
+// blocks; walkers handle them separately.
+func StmtBlocks(s Stmt) []*Block {
+	switch st := s.(type) {
+	case *IfStmt:
+		if st.Else != nil {
+			return []*Block{st.Then, st.Else}
+		}
+		return []*Block{st.Then}
+	case *WhileStmt:
+		return []*Block{st.Body}
+	case *ForStmt:
+		return []*Block{st.Body}
+	case *AsyncStmt:
+		return []*Block{st.Body}
+	case *FinishStmt:
+		return []*Block{st.Body}
+	case *BlockStmt:
+		return []*Block{st.Body}
+	}
+	return nil
+}
+
+// InspectExpr traverses the expression tree rooted at e in pre-order,
+// calling f for every expression node. A nil e is a no-op.
+func InspectExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch ex := e.(type) {
+	case *BinaryExpr:
+		InspectExpr(ex.X, f)
+		InspectExpr(ex.Y, f)
+	case *UnaryExpr:
+		InspectExpr(ex.X, f)
+	case *CallExpr:
+		for _, a := range ex.Args {
+			InspectExpr(a, f)
+		}
+	case *IndexExpr:
+		InspectExpr(ex.X, f)
+		InspectExpr(ex.Index, f)
+	case *MakeExpr:
+		InspectExpr(ex.Len, f)
+	}
+}
+
+// InspectStmts visits s and every statement nested beneath it, in
+// pre-order (the single-statement form of Inspect).
+func InspectStmts(s Stmt, f func(Stmt)) {
+	inspectStmt(s, f)
+}

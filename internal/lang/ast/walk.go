@@ -21,26 +21,16 @@ func inspectBlock(b *Block, f func(Stmt)) {
 
 func inspectStmt(s Stmt, f func(Stmt)) {
 	f(s)
-	switch st := s.(type) {
-	case *IfStmt:
-		inspectBlock(st.Then, f)
-		inspectBlock(st.Else, f)
-	case *WhileStmt:
-		inspectBlock(st.Body, f)
-	case *ForStmt:
-		if st.Init != nil {
-			inspectStmt(st.Init, f)
+	if fs, ok := s.(*ForStmt); ok {
+		if fs.Init != nil {
+			inspectStmt(fs.Init, f)
 		}
-		if st.Post != nil {
-			inspectStmt(st.Post, f)
+		if fs.Post != nil {
+			inspectStmt(fs.Post, f)
 		}
-		inspectBlock(st.Body, f)
-	case *AsyncStmt:
-		inspectBlock(st.Body, f)
-	case *FinishStmt:
-		inspectBlock(st.Body, f)
-	case *BlockStmt:
-		inspectBlock(st.Body, f)
+	}
+	for _, b := range StmtBlocks(s) {
+		inspectBlock(b, f)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"finishrepair/internal/dpst"
 	"finishrepair/internal/faults"
 	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
@@ -23,6 +24,7 @@ var (
 	mInserted     = obs.Default().Counter("repair.finishes_inserted")
 	mDegraded     = obs.Default().Counter("repair.degraded_placements")
 	mTraceReplays = obs.Default().Counter("repair.trace_replays")
+	mPrunedSerial = obs.Default().Counter("repair.groups_pruned_serial")
 )
 
 // Options configures the repair loop.
@@ -71,6 +73,19 @@ type Options struct {
 	// order, so the repaired program is byte-identical for any worker
 	// count. 0 or 1 is fully sequential.
 	Workers int
+	// OnRaces, when set, observes every detection round's race list
+	// before any grouping or rewriting. The static-analysis integration
+	// uses it to mark which static race candidates the test execution
+	// actually exercised (the coverage-gap report of hjrepair -vet).
+	OnRaces func([]*race.Race)
+	// MHP, when set, is a conservative may-happen-in-parallel oracle
+	// over S-DPST nodes. NS-LCA groups none of whose race pairs may run
+	// in parallel statically are skipped before placement. Because a
+	// sound oracle can never rule out a dynamically detected race, the
+	// filter is a provable no-op on outputs; it exists to skip placement
+	// work when a sound-but-incomplete oracle is supplied, and is
+	// exercised as a cross-check of the static analysis.
+	MHP func(src, dst *dpst.Node) bool
 }
 
 func (o *Options) fill() {
@@ -273,6 +288,9 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			}
 		}
 
+		if opts.OnRaces != nil {
+			opts.OnRaces(races)
+		}
 		it := Iteration{
 			Races:      len(races),
 			SDPSTNodes: res.Tree.NumNodes(),
@@ -295,6 +313,9 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 				return err
 			}
 			groups = groupByNSLCA(races)
+			if opts.MHP != nil {
+				groups = pruneSerialGroups(groups, opts.MHP)
+			}
 			return nil
 		})
 		groupSpan.SetInt("groups", int64(len(groups))).End()
@@ -555,6 +576,9 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			}
 		}
 
+		if opts.OnRaces != nil {
+			opts.OnRaces(races)
+		}
 		it := Iteration{
 			Races:      len(races),
 			SDPSTNodes: rr.Tree.NumNodes(),
@@ -589,6 +613,9 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 				return err
 			}
 			groups = groupByNSLCA(races)
+			if opts.MHP != nil {
+				groups = pruneSerialGroups(groups, opts.MHP)
+			}
 			return nil
 		})
 		groupSpan.SetInt("groups", int64(len(groups))).End()
@@ -652,6 +679,30 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			SetInt("finishes_inserted", int64(added)).
 			End()
 	}
+}
+
+// pruneSerialGroups drops NS-LCA groups in which no race pair may run
+// in parallel according to the static oracle. With a sound oracle this
+// never drops anything (a dynamic race implies static MHP), so the
+// repaired output is unchanged; the counter records how often the
+// cross-check fired anyway.
+func pruneSerialGroups(groups []*group, mhp func(src, dst *dpst.Node) bool) []*group {
+	out := groups[:0]
+	for _, g := range groups {
+		parallel := false
+		for _, rc := range g.races {
+			if mhp(rc.Src, rc.Dst) {
+				parallel = true
+				break
+			}
+		}
+		if parallel {
+			out = append(out, g)
+		} else {
+			mPrunedSerial.Inc()
+		}
+	}
+	return out
 }
 
 // newRepairEngine builds the detector engine for one analysis round,

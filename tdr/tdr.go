@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"finishrepair/internal/analysis"
 	"finishrepair/internal/cpl"
 	"finishrepair/internal/dpst"
 	"finishrepair/internal/faults"
@@ -305,6 +306,19 @@ type RepairOptions struct {
 	// pool of this size. The repaired program is byte-identical for any
 	// worker count. 0 or 1 is fully sequential.
 	Workers int
+	// Vet runs the static analyzer over the program before the repair
+	// and cross-references the static race-candidate set against the
+	// dynamic races of every detection round. Candidates the test input
+	// never exercised land in RepairReport.CoverageGaps — the repair is
+	// only test-driven, and these are the pairs its guarantee does not
+	// reach.
+	Vet bool
+	// StaticPrune supplies the repair loop with the static
+	// may-happen-in-parallel oracle so NS-LCA groups that are statically
+	// serial are skipped before placement. Because the static relation
+	// over-approximates every dynamic race, the pruning provably never
+	// changes the repaired program.
+	StaticPrune bool
 }
 
 // IterationReport details one detect/place/rewrite round.
@@ -347,6 +361,33 @@ type RepairReport struct {
 	// still verified race-free, just possibly over-synchronized.
 	Degraded       bool
 	DegradedReason string
+	// StaticCandidates is the size of the static race-candidate set
+	// (RepairOptions.Vet only).
+	StaticCandidates int
+	// CoverageGaps lists the static race candidates that no dynamic race
+	// of the repair's detection rounds exercised (RepairOptions.Vet
+	// only). The repaired program is race-free for the tested input;
+	// these pairs are where other inputs could still race.
+	CoverageGaps []CoverageGap
+}
+
+// CoverageGap is one static race candidate the test input never
+// exercised: a statement pair that may run in parallel with conflicting
+// effects, with no dynamic race covering it.
+type CoverageGap struct {
+	// APos and BPos are the "line:col" positions of the two statements;
+	// AFunc and BFunc their enclosing functions.
+	APos, BPos   string
+	AFunc, BFunc string
+	// Loc is the conflicting abstract location ("x", "a[]"); Kind is
+	// "W/W" or "R/W".
+	Loc  string
+	Kind string
+}
+
+// String renders the gap for reports.
+func (g CoverageGap) String() string {
+	return fmt.Sprintf("%s (%s) and %s (%s) on %s [%s]", g.APos, g.AFunc, g.BPos, g.BFunc, g.Loc, g.Kind)
 }
 
 // RacesPerIteration lists each round's race count, in order.
@@ -392,23 +433,62 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 	if maxIter == 0 {
 		maxIter = opts.Budget.Iterations()
 	}
+
+	// The static pass runs over the pre-repair AST: the replay loop only
+	// mutates the tree when it finishes, and candidate lookups key on
+	// statement identity, so the results stay valid across rounds.
+	var res *analysis.Result
+	if opts.Vet || opts.StaticPrune {
+		info, err := sem.Check(p.prog)
+		if err != nil {
+			return nil, fmt.Errorf("tdr: vet: %w", err)
+		}
+		vsp := tr.Start("vet")
+		res = analysis.Analyze(info, vsp)
+		vsp.SetInt("candidates", int64(len(res.Candidates()))).End()
+	}
+	ropts := repair.Options{
+		Variant:       v,
+		Engine:        engineKind(opts.Engine),
+		MaxIterations: maxIter,
+		UseTraceFiles: true,
+		Tracer:        tr,
+		Meter:         m,
+		Workers:       opts.Workers,
+	}
+	if opts.Vet {
+		ropts.OnRaces = func(races []*race.Race) {
+			for _, r := range races {
+				res.MarkCovered(r.Src, r.Dst)
+			}
+		}
+	}
+	if opts.StaticPrune {
+		ropts.MHP = res.MayRunInParallel
+	}
+
 	var rep *repair.Report
 	err := guard.Protect("repair", func() error {
 		var rerr error
-		rep, rerr = repair.Repair(p.prog, repair.Options{
-			Variant:       v,
-			Engine:        engineKind(opts.Engine),
-			MaxIterations: maxIter,
-			UseTraceFiles: true,
-			Tracer:        tr,
-			Meter:         m,
-			Workers:       opts.Workers,
-		})
+		rep, rerr = repair.Repair(p.prog, ropts)
 		return rerr
 	})
 	var report *RepairReport
 	if rep != nil {
 		report = convertReport(rep)
+		if opts.Vet {
+			report.StaticCandidates = len(res.Candidates())
+			for _, c := range res.UncoveredCandidates() {
+				report.CoverageGaps = append(report.CoverageGaps, CoverageGap{
+					APos:  c.APos.String(),
+					BPos:  c.BPos.String(),
+					AFunc: c.AFunc,
+					BFunc: c.BFunc,
+					Loc:   c.Loc,
+					Kind:  c.Kind,
+				})
+			}
+		}
 	}
 	if err != nil {
 		return report, fmt.Errorf("tdr: %w", err)

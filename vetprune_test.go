@@ -1,0 +1,56 @@
+package main_test
+
+import (
+	"fmt"
+	"testing"
+
+	"finishrepair/internal/bench"
+	"finishrepair/tdr"
+)
+
+// repairWithPrune strips every benchmark finish and repairs through the
+// tdr facade with static pruning toggled, returning the rewritten
+// source and insertion count.
+func repairWithPrune(t *testing.T, src string, workers int, prune bool) (string, int) {
+	t.Helper()
+	prog, err := tdr.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.StripFinishes()
+	rep, err := prog.Repair(tdr.RepairOptions{
+		Detector:    tdr.MRW,
+		Workers:     workers,
+		StaticPrune: prune,
+	})
+	if err != nil {
+		t.Fatalf("repair (workers=%d prune=%v): %v", workers, prune, err)
+	}
+	return prog.Source(), rep.FinishesInserted
+}
+
+// TestStaticPruneIdenticalOutput proves the static MHP pruning is a
+// no-op on results: because the static analysis over-approximates every
+// dynamic race, an NS-LCA group it prunes as serial can never contain a
+// repair-relevant race, so the repaired source must be byte-identical
+// with and without -static-prune — for every benchmark, sequentially
+// and at the CI matrix worker count.
+func TestStaticPruneIdenticalOutput(t *testing.T) {
+	for _, workers := range []int{1, testWorkers(t)} {
+		for _, b := range bench.All() {
+			b, workers := b, workers
+			t.Run(fmt.Sprintf("%s-j%d", b.Name, workers), func(t *testing.T) {
+				t.Parallel()
+				src := b.Src(b.RepairSize)
+				plain, plainIns := repairWithPrune(t, src, workers, false)
+				pruned, prunedIns := repairWithPrune(t, src, workers, true)
+				if plain != pruned {
+					t.Fatalf("repaired source differs with -static-prune (workers=%d)", workers)
+				}
+				if plainIns != prunedIns {
+					t.Fatalf("insertions differ with -static-prune: %d vs %d", plainIns, prunedIns)
+				}
+			})
+		}
+	}
+}
