@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz ci clean
+.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz report ci clean
 
 all: build test
 
@@ -45,6 +45,21 @@ bench-diff:
 # -runs/-scale for a quick spin.
 eval:
 	$(GO) run ./cmd/hjbench -all -runs 3 > testdata/evaluation_output.txt
+
+# Repair every bundled example with provenance (-explain) and event-log
+# (-jsonl) capture, then render each run as a self-contained HTML report
+# under reports/. CI runs this as the report smoke job and uploads the
+# HTML as an artifact.
+report:
+	@mkdir -p reports
+	@for f in examples/hj/*.hj; do \
+		n=$$(basename $$f .hj); \
+		echo "report $$f -> reports/$$n.html"; \
+		$(GO) run ./cmd/hjrepair -quiet -vet -explain reports/$$n.explain.json \
+			-jsonl reports/$$n.jsonl -o reports/$$n.fixed.hj $$f || exit 1; \
+		$(GO) run ./cmd/hjreport -explain reports/$$n.explain.json \
+			-jsonl reports/$$n.jsonl -o reports/$$n.html || exit 1; \
+	done
 
 # Short fuzz smoke: the CI budget; raise -fuzztime locally for real hunts.
 fuzz:

@@ -13,7 +13,9 @@ package main_test
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"finishrepair/internal/bench"
 	"finishrepair/internal/homework"
@@ -180,6 +182,21 @@ func BenchmarkDetectEngines(b *testing.B) {
 			r.Release()
 		}
 	}
+	// reportQuantiles attaches the per-iteration latency quantiles to
+	// the result (p50-ns/op etc.); scripts/benchdiff gates on p95 so a
+	// tail regression can't hide behind a stable mean.
+	reportQuantiles := func(b *testing.B, durs []time.Duration) {
+		if len(durs) == 0 {
+			return
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		q := func(p float64) float64 {
+			return float64(durs[int(p*float64(len(durs)-1)+0.5)])
+		}
+		b.ReportMetric(q(0.50), "p50-ns/op")
+		b.ReportMetric(q(0.95), "p95-ns/op")
+		b.ReportMetric(q(0.99), "p99-ns/op")
+	}
 	for _, bm := range bench.All() {
 		bm := bm
 		prog := parser.MustParse(bm.Src(bm.RepairSize))
@@ -192,13 +209,17 @@ func BenchmarkDetectEngines(b *testing.B) {
 		b.Run(bm.Name+"/capture", func(b *testing.B) {
 			b.ReportAllocs()
 			runtime.GC() // pay the previous stage's GC debt outside the timer
+			durs := make([]time.Duration, 0, b.N)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
 				if _, _, err := race.Capture(info, nil); err != nil {
 					b.Fatal(err)
 				}
+				durs = append(durs, time.Since(t0))
 			}
 			b.ReportMetric(float64(tr.Len()), "events")
+			reportQuantiles(b, durs)
 		})
 		for _, kind := range []race.EngineKind{race.EngineESPBags, race.EngineVC} {
 			kind := kind
@@ -212,14 +233,18 @@ func BenchmarkDetectEngines(b *testing.B) {
 				}
 				release(eng)
 				runtime.GC()
+				durs := make([]time.Duration, 0, b.N)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
 					eng := race.NewEngine(kind, race.VariantMRW)
 					if _, err := race.Analyze(tr, info.Prog, nil, eng, nil, false); err != nil {
 						b.Fatal(err)
 					}
 					release(eng)
+					durs = append(durs, time.Since(t0))
 				}
+				reportQuantiles(b, durs)
 			})
 		}
 		for _, workers := range []int{1, 2} {
@@ -236,14 +261,18 @@ func BenchmarkDetectEngines(b *testing.B) {
 				}
 				release(eng)
 				runtime.GC()
+				durs := make([]time.Duration, 0, b.N)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
 					eng := race.NewEngine(race.EngineBoth, race.VariantMRW)
 					if _, err := race.AnalyzeParallel(tr, info.Prog, nil, eng, nil, false, workers); err != nil {
 						b.Fatal(err)
 					}
 					release(eng)
+					durs = append(durs, time.Since(t0))
 				}
+				reportQuantiles(b, durs)
 			})
 		}
 	}

@@ -20,7 +20,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	for _, tool := range []string{"hjrepair", "hjrun", "hjbench", "hjvet"} {
+	for _, tool := range []string{"hjrepair", "hjrun", "hjbench", "hjvet", "hjreport"} {
 		bin := filepath.Join(dir, tool)
 		out, err := exec.Command("go", "build", "-o", bin, "./"+tool).CombinedOutput()
 		if err != nil {

@@ -15,15 +15,19 @@
 // harness phase (per-benchmark repair iterations with detect / dp-place
 // / rewrite breakdowns), -metrics prints the metrics registry to stderr
 // after the run, and -debug-addr HOST:PORT serves expvar
-// (/debug/vars), a metrics text endpoint (/debug/metrics), and
-// net/http/pprof (/debug/pprof/) for live inspection while long
-// benchmark runs execute.
+// (/debug/vars), a metrics text endpoint (/debug/metrics), Prometheus
+// exposition (/debug/prom), and net/http/pprof (/debug/pprof/) for
+// live inspection while long benchmark runs execute; the server drains
+// in-flight scrapes gracefully on exit. -sample FILE appends a
+// metrics-registry snapshot to FILE as one JSONL line every
+// -sample-interval, giving a coarse time series over a long run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"finishrepair/internal/bench"
 	"finishrepair/internal/homework"
@@ -45,16 +49,44 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per benchmark repair (0 = none)")
 	workers := flag.Int("j", 1, "analysis parallelism for harness repairs: concurrent detector engines and per-NS-LCA DP workers (results are identical for any value)")
 	metrics := flag.Bool("metrics", false, "print the metrics snapshot to stderr after the run")
-	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof debug endpoints on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar + pprof + Prometheus debug endpoints on this address (e.g. localhost:6060)")
+	sampleFile := flag.String("sample", "", "append periodic metrics-registry snapshots to this JSONL file")
+	sampleEvery := flag.Duration("sample-interval", time.Second, "interval between -sample snapshots")
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, _, err := obs.ServeDebug(*debugAddr)
+		addr, srv, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hjbench: debug server: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "hjbench: debug endpoints at http://%s/debug/{vars,metrics,pprof}\n", addr)
+		fmt.Fprintf(os.Stderr, "hjbench: debug endpoints at http://%s/debug/{vars,metrics,prom,pprof}\n", addr)
+		// Drain in-flight scrapes before the process exits; a hung
+		// client only delays us by the shutdown timeout.
+		defer func() {
+			if err := obs.ShutdownDebug(srv, 2*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "hjbench: debug shutdown: %v\n", err)
+			}
+		}()
+	}
+	if *sampleFile != "" {
+		f, err := os.Create(*sampleFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hjbench: %v\n", err)
+			os.Exit(1)
+		}
+		s := obs.StartSampler(f, *sampleEvery, nil)
+		defer func() {
+			if err := s.Stop(); err == nil {
+				err = f.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hjbench: sample: %v\n", err)
+				}
+			} else {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "hjbench: sample: %v\n", err)
+			}
+		}()
 	}
 	var tracer *obs.Tracer
 	if *traceFile != "" {

@@ -8,7 +8,7 @@
 //
 //	hjrepair [-detector mrw|srw|espbags|vc|both] [-j N] [-o out.hj]
 //	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
-//	         [-vet] [-static-prune]
+//	         [-vet] [-static-prune] [-explain out.json]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // -detector picks the detector: "mrw" (default) and "srw" select the
@@ -40,6 +40,13 @@
 // -jsonl writes the same spans plus the metrics registry as a JSONL
 // event log, -metrics prints the metrics snapshot to stderr, and -v
 // prints the span tree to stderr.
+//
+// Provenance: -explain out.json records WHY each finish landed where it
+// did — per repair iteration, the detected race pairs, their NS-LCA
+// groups, the DP placement decisions (candidates, chosen range, states
+// explored), and the critical-path length before/after — as a JSON
+// document hjreport can render. With -v the same record is also
+// summarized as human-readable "why this finish" text on stderr.
 //
 // Exit codes: 0 repaired (or already race-free), 1 error, 2 usage,
 // 3 the iteration bound was exhausted with races remaining, 4 a
@@ -85,6 +92,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print the phase span tree to stderr")
 	vet := flag.Bool("vet", false, "run the static analyzer and report race candidates the test input never exercised (coverage gaps) on stderr")
 	staticPrune := flag.Bool("static-prune", false, "skip NS-LCA race groups the static MHP analysis proves serial (output is identical either way)")
+	explainFile := flag.String("explain", "", "write the repair-provenance record (race pairs, NS-LCA groups, DP decisions, CPL before/after) as JSON to this file; with -v also summarize it on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hjrepair [flags] program.hj")
@@ -129,6 +137,33 @@ func main() {
 		fatal(fmt.Errorf("unknown detector %q", *detector))
 	}
 
+	// Like exportObs, the explain record is written on every exit path
+	// where a (possibly partial) report exists, so aborted repairs stay
+	// explainable.
+	writeExplain := func(rep *tdr.RepairReport) {
+		if *explainFile == "" || rep == nil || rep.Explain == nil {
+			return
+		}
+		rep.Explain.Program = flag.Arg(0)
+		f, err := os.Create(*explainFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			exportFailed = true
+			return
+		}
+		werr := rep.Explain.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "hjrepair:", werr)
+			exportFailed = true
+		}
+		if *verbose {
+			rep.Explain.WriteText(os.Stderr)
+		}
+	}
+
 	rep, err := prog.Repair(tdr.RepairOptions{
 		Detector:      d,
 		Engine:        eng,
@@ -137,6 +172,7 @@ func main() {
 		Workers:       *workers,
 		Vet:           *vet,
 		StaticPrune:   *staticPrune,
+		Explain:       *explainFile != "",
 	})
 	if err != nil {
 		var de *tdr.DisagreementError
@@ -151,6 +187,7 @@ func main() {
 				summarize(rep, mi)
 			}
 			vetReport(rep)
+			writeExplain(rep)
 			exportObs()
 			fmt.Fprintln(os.Stderr, "hjrepair:", err)
 			os.Exit(exitMaxIterations)
@@ -159,6 +196,7 @@ func main() {
 			if !*quiet {
 				summarize(rep, nil)
 			}
+			writeExplain(rep)
 			exportObs()
 			fmt.Fprintln(os.Stderr, "hjrepair:", err)
 			os.Exit(exitBudgetExceeded)
@@ -170,6 +208,7 @@ func main() {
 		summarize(rep, nil)
 	}
 	vetReport(rep)
+	writeExplain(rep)
 	exportObs()
 
 	repaired := prog.Source()

@@ -1,0 +1,161 @@
+package cmd_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"finishrepair/internal/obs/provenance"
+)
+
+// TestExplainProvenance runs hjrepair -explain end to end and checks
+// the acceptance criterion: one provenance entry per placed finish,
+// each carrying the race pairs, the NS-LCA node, the DP states
+// explored, and the CPL before/after.
+func TestExplainProvenance(t *testing.T) {
+	dir := t.TempDir()
+	explain := filepath.Join(dir, "explain.json")
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-explain", explain,
+		"-o", filepath.Join(dir, "fixed.hj"), "../examples/hj/counter.hj")
+	if code != 0 {
+		t.Fatalf("hjrepair -explain failed (%d): %s", code, stderr)
+	}
+	f, err := os.Open(explain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ex, err := provenance.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Program != "../examples/hj/counter.hj" {
+		t.Errorf("Program = %q", ex.Program)
+	}
+	if !ex.Converged {
+		t.Error("repair did not converge")
+	}
+	if len(ex.Finishes) == 0 {
+		t.Fatal("no finish entries in explain record")
+	}
+	for i, fe := range ex.Finishes {
+		if len(fe.Races) == 0 {
+			t.Errorf("finish %d: no race pairs", i)
+		}
+		if fe.LCA.Kind == "" {
+			t.Errorf("finish %d: no NS-LCA node", i)
+		}
+		if fe.DPStates == 0 && !fe.Fallback {
+			t.Errorf("finish %d: no DP states and not a fallback", i)
+		}
+		if fe.CPLBefore.Work == 0 || fe.CPLAfter.Work == 0 {
+			t.Errorf("finish %d: missing CPL before/after: %+v", i, fe)
+		}
+		if fe.Finish.Pos == "" {
+			t.Errorf("finish %d: no source position", i)
+		}
+	}
+	if ex.CPLBefore.Span == 0 || ex.CPLAfter.Span == 0 {
+		t.Errorf("run-level CPL missing: before %+v after %+v", ex.CPLBefore, ex.CPLAfter)
+	}
+}
+
+// TestExplainVerboseText checks the -explain -v human-readable "why
+// this finish" summary on stderr.
+func TestExplainVerboseText(t *testing.T) {
+	dir := t.TempDir()
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-v",
+		"-explain", filepath.Join(dir, "explain.json"),
+		"-o", filepath.Join(dir, "fixed.hj"), "../examples/hj/counter.hj")
+	if code != 0 {
+		t.Fatalf("hjrepair failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{"critical path:", "why:", "share NS-LCA", "how:", "wrap statements"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("explain text missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestHjreportEndToEnd runs the full pipeline — hjrepair -explain
+// -jsonl, then hjreport — and checks the HTML is self-contained: every
+// report section present, zero external fetches.
+func TestHjreportEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	explain := filepath.Join(dir, "explain.json")
+	jsonl := filepath.Join(dir, "run.jsonl")
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-vet",
+		"-explain", explain, "-jsonl", jsonl,
+		"-o", filepath.Join(dir, "fixed.hj"), "../examples/hj/counter.hj")
+	if code != 0 {
+		t.Fatalf("hjrepair failed (%d): %s", code, stderr)
+	}
+
+	html := filepath.Join(dir, "report.html")
+	_, stderr, code = runTool(t, "hjreport", "-explain", explain, "-jsonl", jsonl, "-o", html)
+	if code != 0 {
+		t.Fatalf("hjreport failed (%d): %s", code, stderr)
+	}
+	raw, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(raw)
+
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Finish-placement timeline",
+		"Races by NS-LCA group",
+		"Pipeline flame chart",
+		"Latency &amp; size distributions",
+		"Counters &amp; gauges",
+		"repair.stage_detect_ns", // a per-stage latency histogram card
+		"p95",                    // quantiles on the cards
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// Self-contained: no external URLs, scripts, or stylesheet links.
+	if m := regexp.MustCompile(`https?://[^"'\s<]+`).FindString(page); m != "" {
+		t.Errorf("report references an external URL: %s", m)
+	}
+	for _, banned := range []string{"<script src", "<link rel=\"stylesheet\"", "@import", "url("} {
+		if strings.Contains(page, banned) {
+			t.Errorf("report not self-contained: found %q", banned)
+		}
+	}
+}
+
+// TestHjreportExplainOnly checks hjreport degrades gracefully with only
+// the explain input: provenance sections render, span/metric ones are
+// omitted rather than broken.
+func TestHjreportExplainOnly(t *testing.T) {
+	dir := t.TempDir()
+	explain := filepath.Join(dir, "explain.json")
+	if _, stderr, code := runTool(t, "hjrepair", "-quiet", "-explain", explain,
+		"-o", filepath.Join(dir, "fixed.hj"), "../examples/hj/counter.hj"); code != 0 {
+		t.Fatalf("hjrepair failed (%d): %s", code, stderr)
+	}
+	stdout, stderr, code := runTool(t, "hjreport", "-explain", explain)
+	if code != 0 {
+		t.Fatalf("hjreport failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Finish-placement timeline") {
+		t.Error("explain-only report missing the finish timeline")
+	}
+	if strings.Contains(stdout, "Pipeline flame chart") {
+		t.Error("explain-only report claims a flame chart with no span input")
+	}
+}
+
+// TestHjreportUsage checks the no-input usage error.
+func TestHjreportUsage(t *testing.T) {
+	_, _, code := runTool(t, "hjreport")
+	if code != 2 {
+		t.Errorf("hjreport with no inputs: exit %d, want 2", code)
+	}
+}

@@ -60,7 +60,9 @@ func RunChecks(res *Result, names []string) ([]Diagnostic, error) {
 	var ds []Diagnostic
 	for _, c := range run {
 		found := c.Run(res)
-		obs.Default().Counter("vet.diag." + c.Name).Add(int64(len(found)))
+		// Check names use dashes ("static-race"); metric names use the
+		// pkg.noun_verb convention, so translate.
+		obs.Default().Counter("vet.diag." + strings.ReplaceAll(c.Name, "-", "_")).Add(int64(len(found)))
 		ds = append(ds, found...)
 	}
 	obs.Default().Counter("vet.diagnostics").Add(int64(len(ds)))

@@ -99,6 +99,14 @@ func TestRepairAllBenchmarks(t *testing.T) {
 			if st.SpanRepaired > slack {
 				t.Errorf("repair lost parallelism: span %d vs expert %d", st.SpanRepaired, st.SpanOriginal)
 			}
+			if len(st.Stages) == 0 {
+				t.Error("no stage latency distributions in RepairStats")
+			}
+			for _, sl := range st.Stages {
+				if sl.Count == 0 || sl.P95Ns < sl.P50Ns || sl.P99Ns < sl.P95Ns {
+					t.Errorf("stage %s: bad quantiles %+v", sl.Stage, sl)
+				}
+			}
 			t.Logf("races=%d inserted=%d iters=%d span: expert=%d repaired=%d (work %d)",
 				st.Races, st.Inserted, st.Iterations, st.SpanOriginal, st.SpanRepaired, st.WorkOriginal)
 		})

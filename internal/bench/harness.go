@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"time"
 
 	"finishrepair/internal/cpl"
@@ -93,6 +95,38 @@ type RepairStats struct {
 	// benchmark's run: detector, placement, scheduler, and taskpar
 	// counters (stage-level breakdown for BENCH_*.json entries).
 	Metrics []obs.Sample `json:"metrics,omitempty"`
+	// Stages summarizes the per-call latency distribution of each
+	// pipeline stage over this run (from the *_ns histogram deltas in
+	// Metrics): p50/p95/p99 expose tail behavior the per-run totals
+	// above average away.
+	Stages []StageLatency `json:"stages,omitempty"`
+}
+
+// StageLatency is the distribution of one pipeline stage's per-call
+// latency across a benchmark run, derived from the obs histograms.
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// stageLatencies extracts the latency histograms from a metrics delta.
+func stageLatencies(samples []obs.Sample) []StageLatency {
+	var out []StageLatency
+	for _, s := range samples {
+		if s.Kind != "histogram" || !strings.HasSuffix(s.Name, "_ns") || s.Count == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage: s.Name, Count: s.Count, MeanNs: s.Mean,
+			P50Ns: s.P50, P95Ns: s.P95, P99Ns: s.P99,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
 }
 
 // loadChecked parses and checks src.
@@ -214,6 +248,7 @@ func RunRepair(b *Benchmark, variant race.Variant, size int) (*RepairStats, erro
 	st.SpanOriginal, st.SpanRepaired = om.Span, rm.Span
 	st.WorkOriginal, st.WorkRepaired = om.Work, rm.Work
 	st.Metrics = obs.Default().Delta(before)
+	st.Stages = stageLatencies(st.Metrics)
 	return st, nil
 }
 

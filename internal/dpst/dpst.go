@@ -110,6 +110,16 @@ func (n *Node) Resolve() *Node {
 // IsScope reports whether the node is a scope node.
 func (n *Node) IsScope() bool { return n.Kind == Scope }
 
+// StmtPos renders the source position ("line:col") of the first
+// statement the node covers, or "" when unknown (the root, loop-header
+// pseudo-steps).
+func (n *Node) StmtPos() string {
+	if n.OwnerBlock == nil || n.StmtLo < 0 || n.StmtLo >= len(n.OwnerBlock.Stmts) {
+		return ""
+	}
+	return n.OwnerBlock.Stmts[n.StmtLo].Pos().String()
+}
+
 // Tree is an S-DPST under construction or completed.
 type Tree struct {
 	Root   *Node

@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"expvar"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugHandler returns an http.Handler exposing the standard debug
@@ -12,6 +16,7 @@ import (
 //
 //	/debug/vars     expvar JSON (includes the obs_metrics registry)
 //	/debug/metrics  the default registry as aligned text
+//	/debug/prom     the default registry in Prometheus text exposition
 //	/debug/pprof/*  net/http/pprof profiles
 func DebugHandler() http.Handler {
 	PublishExpvar()
@@ -20,6 +25,10 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteText(w, Default().Snapshot())
+	})
+	mux.HandleFunc("/debug/prom", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, Default().Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -32,12 +41,34 @@ func DebugHandler() http.Handler {
 // ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060")
 // in a background goroutine and returns the bound listener address and
 // the server for shutdown. Pass addr with port 0 to pick a free port.
+// Serve errors other than http.ErrServerClosed are logged rather than
+// dropped.
 func ServeDebug(addr string) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: DebugHandler()}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("obs: debug server on %s: %v", ln.Addr(), err)
+		}
+	}()
 	return ln.Addr().String(), srv, nil
+}
+
+// ShutdownDebug gracefully stops a server started by ServeDebug, waiting
+// up to timeout for in-flight requests (a scrape mid-read, a pprof
+// profile being written) before forcing the close.
+func ShutdownDebug(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
 }

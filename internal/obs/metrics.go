@@ -70,6 +70,81 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// Buckets returns the per-bucket observation counts, trimmed of trailing
+// zero buckets (bucket 0 holds zero, bucket i holds [2^(i-1), 2^i-1]).
+func (h *Histogram) Buckets() []int64 {
+	last := -1
+	var raw [histBuckets]int64
+	for i := range h.buckets {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]int64, last+1)
+	copy(out, raw[:last+1])
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by linear interpolation inside the log bucket holding the
+// rank. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return BucketQuantile(h.Buckets(), q)
+}
+
+// BucketRange returns the value range [lo, hi] a power-of-two bucket
+// index covers: bucket 0 is exactly zero, bucket i holds 2^(i-1)..2^i-1.
+func BucketRange(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	hi = lo<<1 - 1
+	return lo, hi
+}
+
+// BucketQuantile estimates the q-quantile of a power-of-two bucket count
+// vector as produced by Histogram.Buckets (and by Registry.Delta for
+// interval distributions).
+func BucketQuantile(buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(q*float64(total-1)) + 1
+	var cum int64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketRange(i)
+			if c == 1 || lo == hi {
+				return float64(lo)
+			}
+			frac := float64(rank-cum-1) / float64(c-1)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	lo, _ := BucketRange(len(buckets) - 1)
+	return float64(lo)
+}
+
 // Registry holds named metrics. Registration takes a write lock once per
 // metric name; subsequent lookups are read-locked and updates lock-free.
 type Registry struct {
@@ -157,6 +232,31 @@ type Sample struct {
 	// Count and Mean are set for histograms.
 	Count int64   `json:"count,omitempty"`
 	Mean  float64 `json:"mean,omitempty"`
+	// Buckets are the histogram's power-of-two bucket counts (bucket 0
+	// holds zero, bucket i holds [2^(i-1), 2^i-1]), trimmed of trailing
+	// zeros. P50/P95/P99 are quantile estimates interpolated from them.
+	Buckets []int64 `json:"buckets,omitempty"`
+	P50     float64 `json:"p50,omitempty"`
+	P95     float64 `json:"p95,omitempty"`
+	P99     float64 `json:"p99,omitempty"`
+}
+
+// fillQuantiles recomputes the quantile estimates from Buckets.
+func (s *Sample) fillQuantiles() {
+	s.P50 = BucketQuantile(s.Buckets, 0.50)
+	s.P95 = BucketQuantile(s.Buckets, 0.95)
+	s.P99 = BucketQuantile(s.Buckets, 0.99)
+}
+
+// histogramSample builds the snapshot form of one histogram.
+func histogramSample(name string, h *Histogram) Sample {
+	s := Sample{
+		Name: name, Kind: "histogram",
+		Value: h.Sum(), Count: h.Count(), Mean: h.Mean(),
+		Buckets: h.Buckets(),
+	}
+	s.fillQuantiles()
+	return s
 }
 
 // Snapshot returns all metrics, sorted by name.
@@ -171,15 +271,16 @@ func (r *Registry) Snapshot() []Sample {
 		out = append(out, Sample{Name: name, Kind: "gauge", Value: g.Value()})
 	}
 	for name, h := range r.histograms {
-		out = append(out, Sample{Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count(), Mean: h.Mean()})
+		out = append(out, histogramSample(name, h))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Delta returns the current snapshot minus a previous one: counters and
-// histogram sums/counts are differenced, gauges keep their latest value.
-// Metrics absent from prev appear with their full current value.
+// histogram sums/counts/buckets are differenced (so histogram quantiles
+// describe only the interval's observations), gauges keep their latest
+// value. Metrics absent from prev appear with their full current value.
 func (r *Registry) Delta(prev []Sample) []Sample {
 	base := make(map[string]Sample, len(prev))
 	for _, s := range prev {
@@ -198,8 +299,35 @@ func (r *Registry) Delta(prev []Sample) []Sample {
 		} else {
 			cur[i].Mean = 0
 		}
+		if s.Kind == "histogram" {
+			cur[i].Buckets = diffBuckets(s.Buckets, b.Buckets)
+			cur[i].fillQuantiles()
+		}
 	}
 	return cur
+}
+
+// diffBuckets subtracts prev bucket counts from cur, trimming trailing
+// zeros. Negative cells (a registry reset between snapshots) clamp to 0.
+func diffBuckets(cur, prev []int64) []int64 {
+	out := make([]int64, len(cur))
+	last := -1
+	for i, c := range cur {
+		if i < len(prev) {
+			c -= prev[i]
+		}
+		if c < 0 {
+			c = 0
+		}
+		out[i] = c
+		if c != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	return out[:last+1]
 }
 
 // WriteText renders the snapshot in aligned human-readable lines.
@@ -214,7 +342,8 @@ func WriteText(w io.Writer, samples []Sample) error {
 		var err error
 		switch s.Kind {
 		case "histogram":
-			_, err = fmt.Fprintf(w, "%-*s  %d (n=%d, mean=%.1f)\n", width, s.Name, s.Value, s.Count, s.Mean)
+			_, err = fmt.Fprintf(w, "%-*s  %d (n=%d, mean=%.1f, p50=%.0f, p95=%.0f, p99=%.0f)\n",
+				width, s.Name, s.Value, s.Count, s.Mean, s.P50, s.P95, s.P99)
 		default:
 			_, err = fmt.Fprintf(w, "%-*s  %d\n", width, s.Name, s.Value)
 		}

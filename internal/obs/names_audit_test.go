@@ -1,0 +1,78 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"finishrepair/internal/obs"
+
+	// Blank-import every package that registers metrics in the default
+	// registry so their package-level metric vars run before the audit.
+	_ "finishrepair/internal/analysis"
+	_ "finishrepair/internal/faults"
+	_ "finishrepair/internal/guard"
+	_ "finishrepair/internal/race"
+	_ "finishrepair/internal/repair"
+	_ "finishrepair/internal/sched"
+	_ "finishrepair/taskpar"
+)
+
+// TestRegisteredMetricsAreKnown audits the live default registry: every
+// metric any production package registers must appear in the
+// obs.KnownMetrics manifest under its declared kind, and its name must
+// follow the pkg.noun_verb convention. This is the drift gate — adding
+// a metric without updating the manifest (or with a misnamed or
+// mistyped registration) fails here, not in a dashboard three weeks
+// later. Names under the reserved "test." prefix (registered by other
+// tests sharing the process) are skipped.
+func TestRegisteredMetricsAreKnown(t *testing.T) {
+	samples := obs.Default().Snapshot()
+	if len(samples) == 0 {
+		t.Fatal("default registry is empty; blank imports broken?")
+	}
+	seen := 0
+	for _, s := range samples {
+		if strings.HasPrefix(s.Name, "test.") {
+			continue
+		}
+		seen++
+		if !obs.MetricNameRE.MatchString(s.Name) {
+			t.Errorf("metric %q violates the pkg.noun_verb convention (%s)", s.Name, obs.MetricNameRE)
+		}
+		kind, ok := obs.KnownMetrics[s.Name]
+		if !ok {
+			t.Errorf("metric %q (kind %s) is not in obs.KnownMetrics — add it to the manifest", s.Name, s.Kind)
+			continue
+		}
+		if kind != s.Kind {
+			t.Errorf("metric %q registered as %s but the manifest declares %s", s.Name, s.Kind, kind)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no production metrics registered")
+	}
+}
+
+// TestKnownMetricsManifestHonest checks the reverse direction loosely:
+// the manifest only names metrics some package actually registers at
+// init time or on first use. Metrics registered lazily (on first
+// observation) may legitimately be absent from a fresh registry, so
+// missing entries are reported for information, not failed — but a
+// manifest entry whose kind clashes with a live registration always
+// fails (covered above).
+func TestKnownMetricsManifestHonest(t *testing.T) {
+	live := map[string]bool{}
+	for _, s := range obs.Default().Snapshot() {
+		live[s.Name] = true
+	}
+	absent := 0
+	for name := range obs.KnownMetrics {
+		if !live[name] {
+			absent++
+			t.Logf("manifest metric %q not live in this process (lazily registered?)", name)
+		}
+	}
+	if absent == len(obs.KnownMetrics) {
+		t.Error("no manifest metric is live — the manifest and the code have fully diverged")
+	}
+}

@@ -3,8 +3,10 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -123,7 +125,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 		t.Fatalf("%d samples round-tripped, want %d", len(gotSamples), len(samples))
 	}
 	for i, s := range samples {
-		if gotSamples[i] != s {
+		if !reflect.DeepEqual(gotSamples[i], s) {
 			t.Errorf("sample %d: got %+v, want %+v", i, gotSamples[i], s)
 		}
 	}
@@ -193,34 +195,235 @@ func TestDeltaAndText(t *testing.T) {
 
 func TestDisabledTracerZeroAllocs(t *testing.T) {
 	var tr *Tracer
+	h := Default().Histogram("test.zero_alloc_ns")
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := tr.Start("detect").SetInt("races", 3).SetStr("variant", "MRW")
 		child := sp.Child("dp-place")
 		child.Rename("verify").End()
 		sp.End()
+		h.Observe(17)
 	})
 	if allocs != 0 {
-		t.Errorf("disabled tracer: %v allocs/op, want 0", allocs)
+		t.Errorf("disabled tracer + histogram: %v allocs/op, want 0", allocs)
 	}
 	if tr.Records() != nil || tr.OpenSpans() != 0 || tr.Enabled() {
 		t.Error("nil tracer leaked state")
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Buckets() != nil {
+		t.Error("empty histogram should report zero quantiles and nil buckets")
+	}
+	// Uniform 1..1000: quantile estimates should land within one power-of
+	// -two bucket of the exact rank.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("count = %d, want 1000", got)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 500}, {0.95, 950}, {0.99, 990}, {1, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.2f = %.1f, want within a bucket of %.0f", tc.q, got, tc.want)
+		}
+	}
+	// Quantiles must be monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q%.2f=%.1f < %.1f", q, cur, prev)
+		}
+		prev = cur
+	}
+	// All mass in one value: every quantile is exact.
+	var h2 Histogram
+	for i := 0; i < 10; i++ {
+		h2.Observe(64)
+	}
+	if got := h2.Quantile(0.99); got < 64 || got > 127 {
+		t.Errorf("single-bucket q99 = %.1f, want in [64,127]", got)
+	}
+	if got := h2.Mean(); got != 64 {
+		t.Errorf("mean = %v, want 64", got)
+	}
+}
+
+func TestSnapshotHistogramSample(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test.lat_ns")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("%d samples, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Kind != "histogram" || s.Count != 100 || s.Value != 5050 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if len(s.Buckets) == 0 || s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Errorf("quantiles not filled or not ordered: %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+}
+
+func TestDeltaHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test.lat_ns")
+	for i := 0; i < 50; i++ {
+		h.Observe(1000) // slow before-phase
+	}
+	before := reg.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(2) // fast after-phase
+	}
+	d := reg.Delta(before)
+	if len(d) != 1 {
+		t.Fatalf("%d delta samples, want 1", len(d))
+	}
+	s := d[0]
+	if s.Count != 50 || s.Value != 100 {
+		t.Fatalf("delta sample = %+v, want count=50 sum=100", s)
+	}
+	// The interval quantiles must describe only the fast phase.
+	if s.P99 > 3 {
+		t.Errorf("interval p99 = %v includes pre-interval observations", s.P99)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("repair.iterations").Add(3)
+	reg.Gauge("race.sdpst_nodes").Set(42)
+	h := reg.Histogram("repair.stage_detect_ns")
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(100)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE repair_iterations counter",
+		"repair_iterations 3",
+		"# TYPE race_sdpst_nodes gauge",
+		"race_sdpst_nodes 42",
+		"# TYPE repair_stage_detect_ns histogram",
+		`repair_stage_detect_ns_bucket{le="0"} 1`,
+		`repair_stage_detect_ns_bucket{le="7"} 2`,
+		`repair_stage_detect_ns_bucket{le="127"} 3`,
+		`repair_stage_detect_ns_bucket{le="+Inf"} 3`,
+		"repair_stage_detect_ns_sum 105",
+		"repair_stage_detect_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	lastCum := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "repair_stage_detect_ns_bucket") {
+			continue
+		}
+		var cum int64
+		fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum)
+		if cum < lastCum {
+			t.Errorf("bucket counts decrease at %q", line)
+		}
+		lastCum = cum
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"repair.dp_states": "repair_dp_states",
+		"vet.diag.static":  "vet_diag_static",
+		"9lives":           "_9lives",
+		"ok_name:with":     "ok_name:with",
+		"spaced out":       "spaced_out",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.ticks").Add(1)
+	var buf bytes.Buffer
+	s := StartSampler(&buf, 10*time.Millisecond, reg)
+	time.Sleep(35 * time.Millisecond)
+	reg.Counter("test.ticks").Add(1)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed, series, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 2 {
+		t.Fatalf("%d samples, want >= 2 (ticks plus final flush)", len(series))
+	}
+	for i := 1; i < len(elapsed); i++ {
+		if elapsed[i] < elapsed[i-1] {
+			t.Errorf("elapsed not monotone at %d: %v", i, elapsed)
+		}
+	}
+	last := series[len(series)-1]
+	if len(last) != 1 || last[0].Name != "test.ticks" || last[0].Value != 2 {
+		t.Errorf("final sample = %+v, want test.ticks=2", last)
+	}
+}
+
+func TestMetricNameConvention(t *testing.T) {
+	for name := range KnownMetrics {
+		if !MetricNameRE.MatchString(name) {
+			t.Errorf("manifest name %q violates convention %s", name, MetricNameRE)
+		}
+	}
+	for _, bad := range []string{"vet.diag.static-race", "Repair.iterations", "repair", "repair..x"} {
+		if MetricNameRE.MatchString(bad) {
+			t.Errorf("convention accepted %q", bad)
+		}
+	}
+}
+
 func TestDebugEndpoint(t *testing.T) {
 	Default().Counter("test.debug_endpoint").Inc()
+	Default().Histogram("test.debug_endpoint_ns").Observe(250)
 	addr, srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/debug/vars", "/debug/metrics", "/debug/pprof/"} {
+	wantType := map[string]string{
+		"/debug/vars":    "application/json",
+		"/debug/metrics": "text/plain; charset=utf-8",
+		"/debug/prom":    PromContentType,
+		"/debug/pprof/":  "text/html",
+	}
+	for _, path := range []string{"/debug/vars", "/debug/metrics", "/debug/prom", "/debug/pprof/"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, wantType[path]) {
+			t.Errorf("GET %s: content type %q, want prefix %q", path, ct, wantType[path])
 		}
 		var body bytes.Buffer
 		body.ReadFrom(resp.Body)
@@ -231,6 +434,22 @@ func TestDebugEndpoint(t *testing.T) {
 		if path == "/debug/vars" && !strings.Contains(body.String(), "obs_metrics") {
 			t.Errorf("/debug/vars missing obs_metrics key")
 		}
+		if path == "/debug/prom" {
+			out := body.String()
+			if !strings.Contains(out, "test_debug_endpoint 1") {
+				t.Errorf("/debug/prom missing counter:\n%s", out)
+			}
+			if !strings.Contains(out, `test_debug_endpoint_ns_bucket{le="255"} 1`) ||
+				!strings.Contains(out, `test_debug_endpoint_ns_bucket{le="+Inf"} 1`) {
+				t.Errorf("/debug/prom missing histogram buckets:\n%s", out)
+			}
+		}
+	}
+	if err := ShutdownDebug(srv, time.Second); err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Error("server still serving after ShutdownDebug")
 	}
 }
 
@@ -255,7 +474,7 @@ func BenchmarkTracerEnabled(b *testing.B) {
 }
 
 func BenchmarkCounterAdd(b *testing.B) {
-	c := Default().Counter("bench.counter")
+	c := Default().Counter("test.bench_counter")
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format version the
+// /debug/prom endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName converts a registry metric name to a legal Prometheus metric
+// name: dots and any other character outside [a-zA-Z0-9_:] become
+// underscores, and a leading digit is prefixed.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges become single
+// samples; histograms become cumulative `_bucket{le="..."}` series with
+// exact power-of-two upper bounds (bucket i of the registry histogram
+// holds integer values up to 2^i - 1, so the emitted `le` bounds are
+// 0, 1, 3, 7, 15, ... and the cumulative counts are exact, not
+// interpolated), plus `_sum` and `_count`.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range samples {
+		name := PromName(s.Name)
+		switch s.Kind {
+		case "counter", "gauge":
+			fmt.Fprintf(bw, "# TYPE %s %s\n%s %d\n", name, s.Kind, name, s.Value)
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, c := range s.Buckets {
+				cum += c
+				_, hi := BucketRange(i)
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, hi, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, s.Value)
+			fmt.Fprintf(bw, "%s_count %d\n", name, s.Count)
+		}
+	}
+	return bw.Flush()
+}

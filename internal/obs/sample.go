@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// timeSample is the JSONL wire form of one sampler tick: the elapsed
+// time since the sampler started plus the full registry snapshot at
+// that instant. The "sample" type tag keeps the lines distinguishable
+// from the "span"/"metric" events of WriteJSONL so one file can carry
+// both a trace and a time series.
+type timeSample struct {
+	Type      string   `json:"type"` // "sample"
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Metrics   []Sample `json:"metrics"`
+}
+
+// Sampler periodically appends registry snapshots to a writer as JSON
+// Lines, giving long benchmark and server runs a local time series to
+// plot (and the nightly bench CI something to archive) without a real
+// Prometheus scraping /debug/prom.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	start    time.Time
+
+	mu  sync.Mutex // serializes ticks with the final Stop flush
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSampler begins sampling reg (nil = the default registry) every
+// interval, writing one JSONL line per tick to w. Intervals below 10ms
+// are clamped to 10ms. Call Stop to flush a final sample and halt.
+func StartSampler(w io.Writer, interval time.Duration, reg *Registry) *Sampler {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	bw := bufio.NewWriter(w)
+	s := &Sampler{
+		reg:      reg,
+		interval: interval,
+		start:    time.Now(),
+		bw:       bw,
+		enc:      json.NewEncoder(bw),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample writes one snapshot line.
+func (s *Sampler) sample() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	ts := timeSample{
+		Type:      "sample",
+		ElapsedMS: float64(time.Since(s.start).Microseconds()) / 1e3,
+		Metrics:   s.reg.Snapshot(),
+	}
+	if err := s.enc.Encode(ts); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.bw.Flush()
+}
+
+// Stop halts the sampler, writes one final sample (so short runs always
+// produce at least one line), and returns the first write error seen.
+// Safe to call once.
+func (s *Sampler) Stop() error {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadSamples parses a JSONL stream written by a Sampler, returning the
+// (elapsed-ms, snapshot) series. Lines of other types ("span",
+// "metric") are skipped, so a combined trace+series file reads fine.
+func ReadSamples(r io.Reader) (elapsedMS []float64, series [][]Sample, err error) {
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var ts timeSample
+		if err := dec.Decode(&ts); err != nil {
+			return nil, nil, err
+		}
+		if ts.Type != "sample" {
+			continue
+		}
+		elapsedMS = append(elapsedMS, ts.ElapsedMS)
+		series = append(series, ts.Metrics)
+	}
+	return elapsedMS, series, nil
+}

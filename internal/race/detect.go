@@ -1,6 +1,8 @@
 package race
 
 import (
+	"time"
+
 	"finishrepair/internal/faults"
 	"finishrepair/internal/guard"
 	"finishrepair/internal/interp"
@@ -17,7 +19,16 @@ var (
 	mRacesPerRun   = obs.Default().Histogram("race.races_per_run")
 	mSDPSTNodes    = obs.Default().Gauge("race.sdpst_nodes")
 	mTraceCaptures = obs.Default().Counter("race.trace_captures")
+	mAnalyzeNs     = obs.Default().Histogram("race.analyze_ns")
+	mShadowCells   = obs.Default().Histogram("race.shadow_cells")
 )
+
+// ShadowSizer is implemented by detectors that can report the size of
+// their shadow memory (distinct locations tracked), for the
+// race.shadow_cells distribution.
+type ShadowSizer interface {
+	ShadowCells() int
+}
 
 // Variant selects the detector flavor.
 type Variant int
@@ -77,6 +88,7 @@ func Analyze(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det D
 	if p, ok := det.(Presizer); ok {
 		p.Presize(tr.Len())
 	}
+	t0 := time.Now()
 	rr, err := trace.Replay(tr, trace.ReplayOptions{
 		Prog:       prog,
 		Finishes:   fins,
@@ -86,6 +98,10 @@ func Analyze(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det D
 	})
 	if err != nil {
 		return nil, err
+	}
+	mAnalyzeNs.Observe(time.Since(t0).Nanoseconds())
+	if s, ok := det.(ShadowSizer); ok {
+		mShadowCells.Observe(int64(s.ShadowCells()))
 	}
 	mDetectRuns.Inc()
 	n := int64(len(det.Races()))

@@ -72,6 +72,15 @@ func (e namedEngine) Release() {
 	}
 }
 
+// ShadowCells forwards to the wrapped detector when it can report its
+// shadow-memory size; 0 otherwise.
+func (e namedEngine) ShadowCells() int {
+	if s, ok := e.Detector.(ShadowSizer); ok {
+		return s.ShadowCells()
+	}
+	return 0
+}
+
 // WithName wraps a detector as a named engine (for callers composing
 // custom oracles with the engine plumbing).
 func WithName(d Detector, name string) Engine { return namedEngine{d, name} }
@@ -147,6 +156,14 @@ func (d *Differential) FinishEnd(n *dpst.Node) {
 
 // Races returns the primary engine's races.
 func (d *Differential) Races() []*Race { return d.primary.Races() }
+
+// ShadowCells reports the primary engine's shadow-memory size.
+func (d *Differential) ShadowCells() int {
+	if s, ok := d.primary.(ShadowSizer); ok {
+		return s.ShadowCells()
+	}
+	return 0
+}
 
 // Presize forwards to both engines.
 func (d *Differential) Presize(events int) {

@@ -2,6 +2,7 @@ package race
 
 import (
 	"sync"
+	"time"
 
 	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/ast"
@@ -24,6 +25,7 @@ func AnalyzeParallel(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRang
 		return Analyze(tr, prog, fins, det, m, noCollapse)
 	}
 	m.SetPhase("detect")
+	t0 := time.Now()
 
 	type side struct {
 		eng Engine
@@ -63,6 +65,10 @@ func AnalyzeParallel(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRang
 	}
 	if sides[1].err != nil {
 		return nil, sides[1].err
+	}
+	mAnalyzeNs.Observe(time.Since(t0).Nanoseconds())
+	if s, ok := det.(ShadowSizer); ok {
+		mShadowCells.Observe(int64(s.ShadowCells()))
 	}
 	mDetectRuns.Inc()
 	n := int64(len(det.Races()))

@@ -286,6 +286,9 @@ func (d *SRW) FinishEnd(n *dpst.Node) { d.oracle.FinishEnd(n) }
 // Races returns the distinct races detected.
 func (d *SRW) Races() []*Race { return d.rec.resolved() }
 
+// ShadowCells reports the number of distinct locations tracked.
+func (d *SRW) ShadowCells() int { return len(d.cells) }
+
 // ----------------------------------------------------------------------
 // MRW ESP-Bags
 
@@ -378,6 +381,9 @@ func (d *MRW) Release() {
 	d.oracle = nil
 	mrwPool.Put(d)
 }
+
+// ShadowCells reports the number of distinct locations tracked.
+func (d *MRW) ShadowCells() int { return d.used }
 
 func (d *MRW) cell(loc uint64) *mrwCell {
 	if i, ok := d.cells[loc]; ok {

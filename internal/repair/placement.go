@@ -13,9 +13,10 @@ import (
 
 // Pipeline metrics (registry names are stable; see README Observability).
 var (
-	mDPStates  = obs.Default().Counter("repair.dp_states")
-	mFallbacks = obs.Default().Counter("repair.fallback_placements")
-	mGraphSize = obs.Default().Histogram("repair.graph_size")
+	mDPStates         = obs.Default().Counter("repair.dp_states")
+	mFallbacks        = obs.Default().Counter("repair.fallback_placements")
+	mGraphSize        = obs.Default().Histogram("repair.graph_size")
+	mDPStatesPerGroup = obs.Default().Histogram("repair.dp_states_per_group")
 )
 
 // Placement is a static finish insertion: wrap statements Lo..Hi of Block
@@ -256,25 +257,38 @@ func degradeGroup(g *group) ([]Placement, error) {
 	return fallbackPlacements(nodes, edges)
 }
 
+// placeInfo records how one group's placement went — DP states
+// explored, the dependence-graph size, and whether the sound fallback
+// was taken — for metrics and provenance.
+type placeInfo struct {
+	States   int64
+	Vertices int
+	Edges    int
+	Fallback bool
+}
+
 // placeGroup computes the placements for one NS-LCA group: dependence
 // graph construction (§5.1), the DP (§5.2), and the bottom-up mapping to
 // AST coordinates. maxGraph bounds the DP size; larger graphs use the
 // sound fallback of wrapping each race source child in its own finish.
-// The second result counts DP states explored. Budget trips and
-// cancellations inside the DP surface as the meter's typed errors.
-func placeGroup(g *group, maxGraph int, m *guard.Meter) ([]Placement, int64, error) {
+// Budget trips and cancellations inside the DP surface as the meter's
+// typed errors.
+func placeGroup(g *group, maxGraph int, m *guard.Meter) ([]Placement, placeInfo, error) {
+	var info placeInfo
 	nodes, edges, err := depGraph(g)
 	if err != nil {
-		return nil, 0, err
+		return nil, info, err
 	}
+	info.Vertices, info.Edges = len(nodes), len(edges)
 	if len(edges) == 0 {
-		return nil, 0, nil
+		return nil, info, nil
 	}
 	mGraphSize.Observe(int64(len(nodes)))
 
 	if len(nodes) > maxGraph {
+		info.Fallback = true
 		ps, err := fallbackPlacements(nodes, edges)
-		return ps, 0, err
+		return ps, info, err
 	}
 
 	prob := &Problem{
@@ -296,12 +310,14 @@ func placeGroup(g *group, maxGraph int, m *guard.Meter) ([]Placement, int64, err
 	sol, err := Solve(prob)
 	if err != nil {
 		if _, ok := err.(*UnsatisfiableError); ok {
+			info.Fallback = true
 			ps, ferr := fallbackPlacements(nodes, edges)
-			return ps, 0, ferr
+			return ps, info, ferr
 		}
-		return nil, 0, err
+		return nil, info, err
 	}
 	mDPStates.Add(sol.States)
+	info.States = sol.States
 
 	var out []Placement
 	for i, fb := range sol.Finishes {
@@ -309,12 +325,13 @@ func placeGroup(g *group, maxGraph int, m *guard.Meter) ([]Placement, int64, err
 		if !ok {
 			// The DP only selects valid blocks; tolerate a mismatch by
 			// falling back for this group.
+			info.Fallback = true
 			ps, ferr := fallbackPlacements(nodes, edges)
-			return ps, sol.States, ferr
+			return ps, info, ferr
 		}
 		out = append(out, toPlacement(widen(nodes, sol.Finishes, i, w)))
 	}
-	return out, sol.States, nil
+	return out, info, nil
 }
 
 // widen hoists a finish block to the highest expressible scope when it

@@ -81,10 +81,14 @@ func SolveAll(probs []*Problem, workers int) ([]*Solution, error) {
 //
 // span, when non-nil and the pool is actually parallel, gets one
 // "dp-worker" child per worker recording how many groups it solved.
-func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, span *obs.Span) (placements []Placement, states int64, degradedReason string, err error) {
+//
+// outcomes has one entry per group, in group order, recording that
+// group's computed placements, DP effort, and whether the round applied
+// them — the raw material of the provenance explain record.
+func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, span *obs.Span) (placements []Placement, outcomes []groupOutcome, states int64, degradedReason string, err error) {
 	type result struct {
 		ps      []Placement
-		states  int64
+		info    placeInfo
 		err     error
 		tripped *guard.BudgetExceededError
 	}
@@ -95,11 +99,12 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 		g := groups[i]
 		r := &results[i]
 		if degraded.Load() {
+			r.info.Fallback = true
 			r.ps, r.err = degradeGroup(g)
 			return
 		}
-		ps, st, serr := placeGroup(g, maxGraph, m)
-		r.states = st
+		ps, info, serr := placeGroup(g, maxGraph, m)
+		r.info = info
 		var bx *guard.BudgetExceededError
 		if errors.As(serr, &bx) &&
 			(bx.Resource == guard.ResourceDPStates || bx.Resource == guard.ResourceDeadline) {
@@ -112,6 +117,7 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 				m.Lift(guard.ResourceDeadline)
 			}
 			degraded.Store(true)
+			r.info.Fallback = true
 			r.ps, r.err = degradeGroup(g)
 			return
 		}
@@ -159,9 +165,15 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 		}
 		return false
 	}
+	outcomes = make([]groupOutcome, len(groups))
 	for i := range results {
 		r := &results[i]
-		states += r.states
+		o := &outcomes[i]
+		o.g = groups[i]
+		o.ps = r.ps
+		o.info = r.info
+		states += r.info.States
+		mDPStatesPerGroup.Observe(r.info.States)
 		if r.tripped != nil && degradedReason == "" {
 			mDegraded.Inc()
 			degradedReason = r.tripped.Error()
@@ -170,6 +182,7 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 			if err == nil {
 				err = r.err
 			}
+			o.note = r.err.Error()
 			continue
 		}
 		conflict := false
@@ -180,8 +193,11 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 			}
 		}
 		if conflict {
+			// Paper §6 steps 3(d)-(f): deferred to the next detection round.
+			o.note = "placements overlap an earlier group's; deferred to next round"
 			continue
 		}
+		o.applied = len(r.ps) > 0
 		for _, p := range r.ps {
 			if !chosen[p] {
 				chosen[p] = true
@@ -190,7 +206,7 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 		}
 	}
 	if err != nil {
-		return nil, states, degradedReason, err
+		return nil, outcomes, states, degradedReason, err
 	}
-	return placements, states, degradedReason, nil
+	return placements, outcomes, states, degradedReason, nil
 }

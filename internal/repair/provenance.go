@@ -1,0 +1,113 @@
+package repair
+
+import (
+	"fmt"
+
+	"finishrepair/internal/cpl"
+	"finishrepair/internal/dpst"
+	"finishrepair/internal/obs/provenance"
+	"finishrepair/internal/race"
+)
+
+// groupOutcome is the per-NS-LCA result one call to placeGroups hands
+// back for provenance: the group, its computed placements, the DP
+// effort spent, and whether the round applied the placements (deferred
+// groups are re-examined by the next detection round).
+type groupOutcome struct {
+	g       *group
+	ps      []Placement
+	info    placeInfo
+	applied bool
+	note    string
+}
+
+// provNode converts an S-DPST node to its provenance form.
+func provNode(n *dpst.Node) provenance.Node {
+	if n == nil {
+		return provenance.Node{ID: -1}
+	}
+	kind := "root"
+	if n.Parent != nil {
+		switch n.Kind {
+		case dpst.Step:
+			kind = "step"
+		case dpst.Async:
+			kind = "async"
+		case dpst.Finish:
+			kind = "finish"
+		default:
+			kind = "scope"
+		}
+	}
+	return provenance.Node{ID: n.ID, Kind: kind, Pos: n.StmtPos()}
+}
+
+// provRace converts a detected race to its provenance form.
+func provRace(r *race.Race) provenance.RacePair {
+	return provenance.RacePair{
+		First:  provNode(r.Src),
+		Second: provNode(r.Dst),
+		Loc:    fmt.Sprintf("loc#%d", r.Loc),
+		Kind:   r.Kind.String(),
+	}
+}
+
+func provRaces(races []*race.Race) []provenance.RacePair {
+	out := make([]provenance.RacePair, len(races))
+	for i, r := range races {
+		out[i] = provRace(r)
+	}
+	return out
+}
+
+// provFinish converts a placement to the provenance finish form,
+// resolving the source position of the first wrapped statement.
+func provFinish(p Placement) provenance.Finish {
+	f := provenance.Finish{Lo: p.Lo, Hi: p.Hi}
+	if p.Lo >= 0 && p.Lo < len(p.Block.Stmts) {
+		f.Pos = p.Block.Stmts[p.Lo].Pos().String()
+	}
+	return f
+}
+
+// provGroup converts one placement outcome to its provenance form,
+// including the candidate vertices the DP partitioned.
+func provGroup(o groupOutcome) provenance.Group {
+	g := provenance.Group{
+		LCA:      provNode(o.g.lca),
+		Races:    provRaces(o.g.races),
+		DPStates: o.info.States,
+		Vertices: o.info.Vertices,
+		Edges:    o.info.Edges,
+		Fallback: o.info.Fallback,
+		Applied:  o.applied,
+		Note:     o.note,
+	}
+	for _, n := range dpst.NonScopeChildren(o.g.lca) {
+		g.Candidates = append(g.Candidates, provNode(n))
+	}
+	for _, p := range o.ps {
+		g.Chosen = append(g.Chosen, provFinish(p))
+	}
+	return g
+}
+
+// provPruned converts an NS-LCA group skipped as statically serial.
+func provPruned(g *group) provenance.Group {
+	return provenance.Group{
+		LCA:          provNode(g.lca),
+		Races:        provRaces(g.races),
+		PrunedSerial: true,
+		Note:         "no race pair may run in parallel per the static MHP oracle",
+	}
+}
+
+// provCPL measures the tree's critical path for the explain record.
+// Returns nil when the tree is absent (a failed round).
+func provCPL(t *dpst.Tree) *provenance.CPL {
+	if t == nil {
+		return nil
+	}
+	m := cpl.Analyze(t)
+	return &provenance.CPL{Work: m.Work, Span: m.Span}
+}

@@ -13,6 +13,7 @@ import (
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
+	"finishrepair/internal/obs/provenance"
 	"finishrepair/internal/race"
 	"finishrepair/internal/trace"
 )
@@ -25,6 +26,11 @@ var (
 	mDegraded     = obs.Default().Counter("repair.degraded_placements")
 	mTraceReplays = obs.Default().Counter("repair.trace_replays")
 	mPrunedSerial = obs.Default().Counter("repair.groups_pruned_serial")
+	// Per-iteration stage latency distributions, mirroring the
+	// Iteration.DetectTime/PlaceTime/RewriteTime fields.
+	mStageDetectNs  = obs.Default().Histogram("repair.stage_detect_ns")
+	mStagePlaceNs   = obs.Default().Histogram("repair.stage_place_ns")
+	mStageRewriteNs = obs.Default().Histogram("repair.stage_rewrite_ns")
 )
 
 // Options configures the repair loop.
@@ -86,6 +92,12 @@ type Options struct {
 	// work when a sound-but-incomplete oracle is supplied, and is
 	// exercised as a cross-check of the static analysis.
 	MHP func(src, dst *dpst.Node) bool
+	// Explain, when non-nil, receives the structured provenance of the
+	// repair: per iteration, the detected race pairs, their NS-LCA
+	// groups, the DP placement decisions, and the tree's critical path.
+	// Recording costs one cpl.Analyze per round plus the conversion of
+	// races/groups to their provenance form; leave nil on hot paths.
+	Explain *provenance.Explain
 }
 
 func (o *Options) fill() {
@@ -254,6 +266,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			return iterErr(fmt.Errorf("repair: execution failed: %w", err))
 		}
 		detectTime := time.Since(t0)
+		mStageDetectNs.Observe(detectTime.Nanoseconds())
 		if len(det.Races()) == 0 {
 			// The race-free confirmation round is the paper's "verify"
 			// stage (Fig. 6); rename so traces show it as such.
@@ -300,13 +313,19 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			it.RepairTime = time.Since(t1)
 			rep.Iterations = append(rep.Iterations, it)
 			rep.Output = res.Output
+			if opts.Explain != nil {
+				opts.Explain.Iterations = append(opts.Explain.Iterations,
+					provenance.Iteration{N: iter, CPL: provCPL(res.Tree)})
+				opts.Explain.Converged = true
+				opts.Explain.Degraded = rep.DegradedReason
+			}
 			iterSpan.SetInt("races", 0).End()
 			return rep, nil
 		}
 
 		tPlace := time.Now()
 		groupSpan := iterSpan.Child("group-nslca")
-		var groups []*group
+		var groups, prunedGroups []*group
 		err = guard.Protect("group-nslca", func() error {
 			opts.Meter.SetPhase("group-nslca")
 			if err := faults.Inject(faults.GroupNSLCA); err != nil {
@@ -314,7 +333,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			groups = groupByNSLCA(races)
 			if opts.MHP != nil {
-				groups = pruneSerialGroups(groups, opts.MHP)
+				groups, prunedGroups = pruneSerialGroups(groups, opts.MHP)
 			}
 			return nil
 		})
@@ -333,6 +352,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 		// the updated program.
 		placeSpan := iterSpan.Child("dp-place")
 		var placements []Placement
+		var outcomes []groupOutcome
 		err = guard.Protect("dp-place", func() error {
 			opts.Meter.SetPhase("dp-place")
 			if err := faults.Inject(faults.DPPlace); err != nil {
@@ -340,7 +360,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			var reason string
 			var perr error
-			placements, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
 			if reason != "" {
 				rep.Degraded = true
 				if rep.DegradedReason == "" {
@@ -356,6 +376,17 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			return iterErr(err)
 		}
 		it.PlaceTime = time.Since(tPlace)
+		mStagePlaceNs.Observe(it.PlaceTime.Nanoseconds())
+		if opts.Explain != nil {
+			pit := provenance.Iteration{N: iter, Races: provRaces(races), CPL: provCPL(res.Tree)}
+			for _, o := range outcomes {
+				pit.Groups = append(pit.Groups, provGroup(o))
+			}
+			for _, pg := range prunedGroups {
+				pit.Groups = append(pit.Groups, provPruned(pg))
+			}
+			opts.Explain.Iterations = append(opts.Explain.Iterations, pit)
+		}
 		if len(placements) == 0 {
 			return iterErr(fmt.Errorf("repair: %d races but no placements computed", len(races)))
 		}
@@ -379,6 +410,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 		inserted := len(applied)
 		rewriteSpan.SetInt("finishes_inserted", int64(inserted)).End()
 		it.RewriteTime = time.Since(tRewrite)
+		mStageRewriteNs.Observe(it.RewriteTime.Nanoseconds())
 		mInserted.Add(int64(inserted))
 		it.Placements = inserted
 		it.Applied = applied
@@ -538,6 +570,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			}
 		}
 		detectTime := time.Since(t0)
+		mStageDetectNs.Observe(detectTime.Nanoseconds())
 		races := eng.Races()
 		if rel, ok := eng.(race.Releaser); ok {
 			// The resolved race slice owns its storage and stays valid; the
@@ -588,6 +621,12 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			// Finishes are free in the cost model, so the capture run's
 			// output is the repaired program's output.
 			rep.Output = captured.Output
+			if opts.Explain != nil {
+				opts.Explain.Iterations = append(opts.Explain.Iterations,
+					provenance.Iteration{N: iter, CPL: provCPL(rr.Tree)})
+				opts.Explain.Converged = true
+				opts.Explain.Degraded = rep.DegradedReason
+			}
 			tRewrite := time.Now()
 			rewriteSpan := iterSpan.Child("rewrite")
 			rep.Iterations = append(rep.Iterations, it)
@@ -606,7 +645,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 
 		tPlace := time.Now()
 		groupSpan := iterSpan.Child("group-nslca")
-		var groups []*group
+		var groups, prunedGroups []*group
 		err = guard.Protect("group-nslca", func() error {
 			opts.Meter.SetPhase("group-nslca")
 			if err := faults.Inject(faults.GroupNSLCA); err != nil {
@@ -614,7 +653,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			groups = groupByNSLCA(races)
 			if opts.MHP != nil {
-				groups = pruneSerialGroups(groups, opts.MHP)
+				groups, prunedGroups = pruneSerialGroups(groups, opts.MHP)
 			}
 			return nil
 		})
@@ -625,6 +664,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		it.NSLCAs = len(groups)
 		placeSpan := iterSpan.Child("dp-place")
 		var placements []Placement
+		var outcomes []groupOutcome
 		err = guard.Protect("dp-place", func() error {
 			opts.Meter.SetPhase("dp-place")
 			if err := faults.Inject(faults.DPPlace); err != nil {
@@ -632,7 +672,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			var reason string
 			var perr error
-			placements, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
 			if reason != "" {
 				rep.Degraded = true
 				if rep.DegradedReason == "" {
@@ -648,6 +688,17 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			return iterErr(err)
 		}
 		it.PlaceTime = time.Since(tPlace)
+		mStagePlaceNs.Observe(it.PlaceTime.Nanoseconds())
+		if opts.Explain != nil {
+			pit := provenance.Iteration{N: iter, Races: provRaces(races), CPL: provCPL(rr.Tree)}
+			for _, o := range outcomes {
+				pit.Groups = append(pit.Groups, provGroup(o))
+			}
+			for _, pg := range prunedGroups {
+				pit.Groups = append(pit.Groups, provPruned(pg))
+			}
+			opts.Explain.Iterations = append(opts.Explain.Iterations, pit)
+		}
 		if len(placements) == 0 {
 			return iterErr(fmt.Errorf("repair: %d races but no placements computed", len(races)))
 		}
@@ -672,6 +723,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		}
 		rewriteSpan.SetInt("finishes_inserted", int64(added)).End()
 		it.RewriteTime = time.Since(tRewrite)
+		mStageRewriteNs.Observe(it.RewriteTime.Nanoseconds())
 		it.Placements = added
 		it.RepairTime = time.Since(t1)
 		rep.Iterations = append(rep.Iterations, it)
@@ -681,13 +733,14 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 	}
 }
 
-// pruneSerialGroups drops NS-LCA groups in which no race pair may run
-// in parallel according to the static oracle. With a sound oracle this
-// never drops anything (a dynamic race implies static MHP), so the
-// repaired output is unchanged; the counter records how often the
+// pruneSerialGroups splits NS-LCA groups into those with at least one
+// race pair that may run in parallel according to the static oracle
+// (kept) and those provably serial (pruned). With a sound oracle the
+// pruned list is always empty (a dynamic race implies static MHP), so
+// the repaired output is unchanged; the counter records how often the
 // cross-check fired anyway.
-func pruneSerialGroups(groups []*group, mhp func(src, dst *dpst.Node) bool) []*group {
-	out := groups[:0]
+func pruneSerialGroups(groups []*group, mhp func(src, dst *dpst.Node) bool) (kept, pruned []*group) {
+	kept = groups[:0]
 	for _, g := range groups {
 		parallel := false
 		for _, rc := range g.races {
@@ -697,12 +750,13 @@ func pruneSerialGroups(groups []*group, mhp func(src, dst *dpst.Node) bool) []*g
 			}
 		}
 		if parallel {
-			out = append(out, g)
+			kept = append(kept, g)
 		} else {
 			mPrunedSerial.Inc()
+			pruned = append(pruned, g)
 		}
 	}
-	return out
+	return kept, pruned
 }
 
 // newRepairEngine builds the detector engine for one analysis round,

@@ -1,35 +1,43 @@
 // Command benchdiff compares two BENCH_detect.json files (as produced
 // by `make bench-detect` via scripts/benchjson.awk) and fails when any
-// benchmark/stage pair regressed in ns/op beyond the threshold:
+// benchmark/stage pair regressed beyond the threshold:
 //
 //	benchdiff [-threshold 0.20] [-min-delta-ns 3000000] baseline.json current.json
 //
-// A regression gates only when the absolute slowdown also exceeds
-// -min-delta-ns: millisecond-scale stages jitter past 20% from a
-// single GC cycle at low iteration counts, while any real regression
-// on the stages worth gating is tens of milliseconds. Entries present
-// in only one file are reported but never fail the gate (new stages
-// appear, old ones are retired). Exit codes: 0 no regression, 1 at
-// least one stage regressed, 2 usage or I/O error. `make bench-diff`
-// runs the benchmarks and gates against the committed baseline.
+// The gate metric is the p95 per-op latency when both files carry it
+// (tail regressions can hide behind a stable mean) and the mean ns/op
+// otherwise, so old baselines recorded before the quantile columns
+// existed keep gating. A regression gates only when the absolute
+// slowdown also exceeds -min-delta-ns: millisecond-scale stages jitter
+// past 20% from a single GC cycle at low iteration counts, while any
+// real regression on the stages worth gating is tens of milliseconds.
+// Entries present in only one file are reported but never fail the gate
+// (new stages appear, old ones are retired). Exit codes: 0 no
+// regression, 1 at least one stage regressed, 2 usage or I/O error.
+// `make bench-diff` runs the benchmarks and gates against the committed
+// baseline.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
 
 type record struct {
-	Benchmark   string `json:"benchmark"`
-	Stage       string `json:"stage"`
-	Iterations  int    `json:"iterations"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	Events      int64  `json:"events,omitempty"`
-	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Benchmark   string  `json:"benchmark"`
+	Stage       string  `json:"stage"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Events      int64   `json:"events,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	P50NsPerOp  float64 `json:"p50_ns_per_op,omitempty"`
+	P95NsPerOp  float64 `json:"p95_ns_per_op,omitempty"`
+	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 type key struct{ bench, stage string }
@@ -50,23 +58,40 @@ func load(path string) (map[key]record, error) {
 	return out, nil
 }
 
+// gateMetric picks the value the regression gate compares: p95 when
+// both records carry it, mean ns/op otherwise.
+func gateMetric(b, c record) (base, cur float64, name string) {
+	if b.P95NsPerOp > 0 && c.P95NsPerOp > 0 {
+		return b.P95NsPerOp, c.P95NsPerOp, "p95-ns/op"
+	}
+	return float64(b.NsPerOp), float64(c.NsPerOp), "ns/op"
+}
+
 func main() {
-	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression per benchmark/stage")
-	minDelta := flag.Int64("min-delta-ns", 3_000_000, "noise floor: regressions smaller than this in absolute ns/op never gate")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] baseline.json current.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.20, "allowed fractional regression per benchmark/stage")
+	minDelta := fs.Int64("min-delta-ns", 3_000_000, "noise floor: regressions smaller than this in absolute ns never gate")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	base, err := load(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] baseline.json current.json")
+		return 2
 	}
-	cur, err := load(flag.Arg(1))
+	base, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	keys := make([]key, 0, len(base))
@@ -85,37 +110,39 @@ func main() {
 		b := base[k]
 		c, ok := cur[k]
 		if !ok {
-			fmt.Printf("  gone  %s/%s (baseline %d ns/op)\n", k.bench, k.stage, b.NsPerOp)
+			fmt.Fprintf(stdout, "  gone  %s/%s (baseline %d ns/op)\n", k.bench, k.stage, b.NsPerOp)
 			continue
 		}
-		if b.NsPerOp <= 0 {
+		bv, cv, metric := gateMetric(b, c)
+		if bv <= 0 {
 			continue
 		}
-		ratio := float64(c.NsPerOp)/float64(b.NsPerOp) - 1
+		ratio := cv/bv - 1
 		switch {
-		case ratio > *threshold && c.NsPerOp-b.NsPerOp >= *minDelta:
+		case ratio > *threshold && cv-bv >= float64(*minDelta):
 			regressions++
-			fmt.Printf("REGRESS %s/%s: %d -> %d ns/op (%+.1f%%, limit %+.0f%%)\n",
-				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio, 100**threshold)
+			fmt.Fprintf(stdout, "REGRESS %s/%s: %.0f -> %.0f %s (%+.1f%%, limit %+.0f%%)\n",
+				k.bench, k.stage, bv, cv, metric, 100*ratio, 100**threshold)
 		case ratio > *threshold:
-			fmt.Printf("  noise %s/%s: %d -> %d ns/op (%+.1f%%, under %dms floor)\n",
-				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio, *minDelta/1_000_000)
+			fmt.Fprintf(stdout, "  noise %s/%s: %.0f -> %.0f %s (%+.1f%%, under %dms floor)\n",
+				k.bench, k.stage, bv, cv, metric, 100*ratio, *minDelta/1_000_000)
 		case ratio < -*threshold:
-			fmt.Printf("  fast  %s/%s: %d -> %d ns/op (%+.1f%%)\n",
-				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio)
+			fmt.Fprintf(stdout, "  fast  %s/%s: %.0f -> %.0f %s (%+.1f%%)\n",
+				k.bench, k.stage, bv, cv, metric, 100*ratio)
 		default:
-			fmt.Printf("  ok    %s/%s: %d -> %d ns/op (%+.1f%%)\n",
-				k.bench, k.stage, b.NsPerOp, c.NsPerOp, 100*ratio)
+			fmt.Fprintf(stdout, "  ok    %s/%s: %.0f -> %.0f %s (%+.1f%%)\n",
+				k.bench, k.stage, bv, cv, metric, 100*ratio)
 		}
 	}
 	for k := range cur {
 		if _, ok := base[k]; !ok {
-			fmt.Printf("  new   %s/%s: %d ns/op\n", k.bench, k.stage, cur[k].NsPerOp)
+			fmt.Fprintf(stdout, "  new   %s/%s: %d ns/op\n", k.bench, k.stage, cur[k].NsPerOp)
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", regressions, 100**threshold)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", regressions, 100**threshold)
+		return 1
 	}
-	fmt.Println("benchdiff: no ns/op regression beyond threshold")
+	fmt.Fprintln(stdout, "benchdiff: no regression beyond threshold")
+	return 0
 }

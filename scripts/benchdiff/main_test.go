@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, baseline, current string, args ...string) (out string, code int) {
+	t.Helper()
+	dir := t.TempDir()
+	b := writeJSON(t, dir, "base.json", baseline)
+	c := writeJSON(t, dir, "cur.json", current)
+	var stdout, stderr strings.Builder
+	code = run(append(args, b, c), &stdout, &stderr)
+	return stdout.String() + stderr.String(), code
+}
+
+func TestGateOnP95(t *testing.T) {
+	// The mean is flat but p95 doubled: the tail regression must gate.
+	base := `[{"benchmark":"Mergesort","stage":"espbags","iterations":100,"ns_per_op":10000000,"p95_ns_per_op":12000000}]`
+	cur := `[{"benchmark":"Mergesort","stage":"espbags","iterations":100,"ns_per_op":10000000,"p95_ns_per_op":24000000}]`
+	out, code := runDiff(t, base, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESS") || !strings.Contains(out, "p95-ns/op") {
+		t.Errorf("expected a p95 regression report, got:\n%s", out)
+	}
+}
+
+func TestP95ImprovementPasses(t *testing.T) {
+	// The mean regressed but p95 is the gate metric when both sides
+	// carry it, and p95 improved.
+	base := `[{"benchmark":"M","stage":"vc","iterations":100,"ns_per_op":10000000,"p95_ns_per_op":30000000}]`
+	cur := `[{"benchmark":"M","stage":"vc","iterations":100,"ns_per_op":20000000,"p95_ns_per_op":15000000}]`
+	out, code := runDiff(t, base, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "fast") {
+		t.Errorf("expected an improvement line, got:\n%s", out)
+	}
+}
+
+func TestFallbackToMeanWithoutQuantiles(t *testing.T) {
+	// Old baselines predate the quantile columns: the gate falls back
+	// to mean ns/op and still catches the regression.
+	base := `[{"benchmark":"M","stage":"capture","iterations":100,"ns_per_op":10000000}]`
+	cur := `[{"benchmark":"M","stage":"capture","iterations":100,"ns_per_op":20000000,"p95_ns_per_op":25000000}]`
+	out, code := runDiff(t, base, cur)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESS") || !strings.Contains(out, " ns/op") {
+		t.Errorf("expected a mean ns/op regression, got:\n%s", out)
+	}
+}
+
+func TestNoiseFloorSuppressesSmallRegressions(t *testing.T) {
+	// +50% but only 1ms absolute: under the 3ms floor, reported as
+	// noise, exit 0.
+	base := `[{"benchmark":"M","stage":"both","iterations":100,"ns_per_op":2000000,"p95_ns_per_op":2000000}]`
+	cur := `[{"benchmark":"M","stage":"both","iterations":100,"ns_per_op":3000000,"p95_ns_per_op":3000000}]`
+	out, code := runDiff(t, base, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "noise") {
+		t.Errorf("expected a noise line, got:\n%s", out)
+	}
+}
+
+func TestGoneAndNewStagesNeverGate(t *testing.T) {
+	base := `[{"benchmark":"M","stage":"old","iterations":100,"ns_per_op":10000000}]`
+	cur := `[{"benchmark":"M","stage":"new","iterations":100,"ns_per_op":99000000}]`
+	out, code := runDiff(t, base, cur)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "gone") || !strings.Contains(out, "new") {
+		t.Errorf("expected gone+new lines, got:\n%s", out)
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"only-one.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -11,11 +11,14 @@ BEGIN { print "["; first = 1 }
     stage = parts[n]
     iters = $2
     ns = $3
-    bytes = ""; allocs = ""; events = ""
+    bytes = ""; allocs = ""; events = ""; p50 = ""; p95 = ""; p99 = ""
     for (i = 4; i < NF; i++) {
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
         if ($(i + 1) == "events") events = $i
+        if ($(i + 1) == "p50-ns/op") p50 = $i
+        if ($(i + 1) == "p95-ns/op") p95 = $i
+        if ($(i + 1) == "p99-ns/op") p99 = $i
     }
     if (!first) printf(",\n")
     first = 0
@@ -23,6 +26,9 @@ BEGIN { print "["; first = 1 }
     if (events != "") printf(", \"events\": %s", events)
     if (bytes != "") printf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    if (p50 != "") printf(", \"p50_ns_per_op\": %s", p50)
+    if (p95 != "") printf(", \"p95_ns_per_op\": %s", p95)
+    if (p99 != "") printf(", \"p99_ns_per_op\": %s", p99)
     printf("}")
 }
 END { print "\n]" }

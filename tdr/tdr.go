@@ -28,6 +28,7 @@ import (
 	"finishrepair/internal/lang/printer"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/obs"
+	"finishrepair/internal/obs/provenance"
 	"finishrepair/internal/parinterp"
 	"finishrepair/internal/race"
 	"finishrepair/internal/repair"
@@ -259,12 +260,7 @@ func (p *Program) DetectEngineCtx(ctx context.Context, d Detector, e Engine, b B
 
 // stepPos renders the source position of the first statement a step
 // covers, when known.
-func stepPos(n *dpst.Node) string {
-	if n.OwnerBlock == nil || n.StmtLo < 0 || n.StmtLo >= len(n.OwnerBlock.Stmts) {
-		return ""
-	}
-	return n.OwnerBlock.Stmts[n.StmtLo].Pos().String()
-}
+func stepPos(n *dpst.Node) string { return n.StmtPos() }
 
 // SDPSTDot runs the canonical instrumented execution and renders the
 // S-DPST in Graphviz DOT format with the detected races as dotted red
@@ -319,7 +315,16 @@ type RepairOptions struct {
 	// over-approximates every dynamic race, the pruning provably never
 	// changes the repaired program.
 	StaticPrune bool
+	// Explain records the structured provenance of the repair — per
+	// iteration: detected race pairs, NS-LCA groups, DP placement
+	// decisions, and critical-path length — in RepairReport.Explain
+	// (hjrepair's -explain flag). Costs one CPL analysis per round.
+	Explain bool
 }
+
+// Explain is the structured repair-provenance record: why each finish
+// was placed where it was. See the provenance package for the schema.
+type Explain = provenance.Explain
 
 // IterationReport details one detect/place/rewrite round.
 type IterationReport struct {
@@ -369,6 +374,10 @@ type RepairReport struct {
 	// only). The repaired program is race-free for the tested input;
 	// these pairs are where other inputs could still race.
 	CoverageGaps []CoverageGap
+	// Explain is the finalized provenance record (RepairOptions.Explain
+	// only): one entry per placed finish with its races, NS-LCA, DP
+	// effort, and CPL before/after.
+	Explain *Explain
 }
 
 // CoverageGap is one static race candidate the test input never
@@ -466,6 +475,14 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 	if opts.StaticPrune {
 		ropts.MHP = res.MayRunInParallel
 	}
+	var ex *provenance.Explain
+	if opts.Explain {
+		ex = &provenance.Explain{
+			Detector: engineKind(opts.Engine).String(),
+			Engine:   "replay",
+		}
+		ropts.Explain = ex
+	}
 
 	var rep *repair.Report
 	err := guard.Protect("repair", func() error {
@@ -488,6 +505,16 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 					Kind:  c.Kind,
 				})
 			}
+		}
+		if ex != nil {
+			if report.Degraded && ex.Degraded == "" {
+				ex.Degraded = report.DegradedReason
+			}
+			for _, g := range report.CoverageGaps {
+				ex.CoverageGaps = append(ex.CoverageGaps, g.String())
+			}
+			ex.Finalize()
+			report.Explain = ex
 		}
 	}
 	if err != nil {
