@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz report ci clean
+.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz report adversary ci clean
 
 all: build test
 
@@ -66,7 +66,25 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/lang/parser
 	$(GO) test -fuzz=FuzzRepairRoundTrip -fuzztime=20s ./tdr
 
-ci: build vet race
+# Adversarial replay smoke: repair every bundled example with witness
+# generation and K-schedule verification, writing the witness-bearing
+# explain documents (JSON artifacts) under reports/. A repaired example
+# that diverges under any adversarial schedule fails the build (exit 7).
+adversary:
+	@mkdir -p reports
+	@for f in examples/hj/*.hj; do \
+		n=$$(basename $$f .hj); \
+		echo "adversary $$f -> reports/$$n.witness.json"; \
+		$(GO) run ./cmd/hjrepair -quiet -witness -vet -sched-seed 1 \
+			-explain reports/$$n.witness.json -o reports/$$n.fixed.hj $$f || exit 1; \
+	done
+	@out=$$($(GO) run ./cmd/hjrun -mode stress -sched-seed 1 examples/hj/counter.hj 2>&1); \
+	case "$$out" in \
+		*"exit status 7"*) echo "stress witnessed the racy counter (exit 7), as expected";; \
+		*) echo "stress mode failed to witness the racy counter:"; echo "$$out"; exit 1;; \
+	esac
+
+ci: build vet race adversary
 
 clean:
 	$(GO) clean ./...

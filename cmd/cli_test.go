@@ -372,3 +372,77 @@ func TestHjrepairDetectorBoth(t *testing.T) {
 		}
 	}
 }
+
+// TestHjrepairWitness: -witness replays the races to concrete
+// divergence witnesses, verifies the repair under adversarial
+// schedules, and records both in the explain document.
+func TestHjrepairWitness(t *testing.T) {
+	dir := t.TempDir()
+	explain := filepath.Join(dir, "explain.json")
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-witness", "-vet", "-sched-seed", "1",
+		"-explain", explain, "-o", filepath.Join(dir, "fixed.hj"), "../testdata/buggy_fib.hj")
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "witness:") {
+		t.Errorf("stderr has no witness lines: %s", stderr)
+	}
+	if !strings.Contains(stderr, "adversary: 0/") {
+		t.Errorf("stderr missing the clean adversary tally: %s", stderr)
+	}
+	data, err := os.ReadFile(explain)
+	if err != nil {
+		t.Fatalf("read explain: %v", err)
+	}
+	for _, want := range []string{`"witnesses"`, `"adversary"`, `"schedule"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("explain JSON missing %s", want)
+		}
+	}
+}
+
+// TestHjrepairWitnessedUnrepairedExitCode: running out of iterations
+// with at least one witnessed race exits 7 (proven-observable races
+// remain), not the plain exhaustion code 3.
+func TestHjrepairWitnessedUnrepairedExitCode(t *testing.T) {
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-witness", "-max-iter", "1", "../testdata/buggy_fib.hj")
+	if code != 7 {
+		t.Fatalf("exit = %d, want 7 (witnessed but unrepaired); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "witness:") {
+		t.Errorf("stderr has no witness lines: %s", stderr)
+	}
+}
+
+// TestHjrunStress: adversarial stress diverges on a racy program (exit
+// 7 with a replayable witness) and passes an expert race-free one.
+func TestHjrunStress(t *testing.T) {
+	_, stderr, code := runTool(t, "hjrun", "-mode", "stress", "-sched-seed", "1", "../examples/hj/counter.hj")
+	if code != 7 {
+		t.Fatalf("exit = %d, want 7; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "witness: replay with schedule") {
+		t.Errorf("stderr missing the replayable witness: %s", stderr)
+	}
+
+	_, stderr, code = runTool(t, "hjrun", "-mode", "stress", "-adversary", "8", "../testdata/quicksort.hj")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for the race-free program; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "0/8 schedule(s) diverged") {
+		t.Errorf("stderr missing the clean stress tally: %s", stderr)
+	}
+}
+
+// TestHjrepairGapVerdict: the bundled unexercised.hj example's gated
+// writer is reported unreachable by the gap search.
+func TestHjrepairGapVerdict(t *testing.T) {
+	_, stderr, code := runTool(t, "hjrepair", "-quiet", "-witness", "-vet",
+		"-o", filepath.Join(t.TempDir(), "out.hj"), "../examples/hj/unexercised.hj")
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "gap unreachable:") {
+		t.Errorf("stderr missing the unreachable gap verdict: %s", stderr)
+	}
+}

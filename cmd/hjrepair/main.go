@@ -9,6 +9,7 @@
 //	hjrepair [-detector mrw|srw|espbags|vc|both] [-j N] [-o out.hj]
 //	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
 //	         [-vet] [-static-prune] [-explain out.json]
+//	         [-witness] [-adversary K] [-sched-seed N]
 //	         [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // -detector picks the detector: "mrw" (default) and "srw" select the
@@ -48,11 +49,26 @@
 // document hjreport can render. With -v the same record is also
 // summarized as human-readable "why this finish" text on stderr.
 //
+// Adversarial replay: -witness replays each reported race on the
+// original program under deterministic race-directed schedules until it
+// observably diverges from the serial oracle, printing the witness
+// (schedule, expected vs actual output/state) on stderr and recording it
+// in the -explain document; with -vet the coverage gaps are additionally
+// driven by position-directed schedules and each gets a verdict
+// (witnessed / unreachable / no-divergence). -adversary K re-executes
+// the repaired program under K adversarial schedules (race-directed plus
+// seeded random-priority; -witness alone implies K=16) and fails with
+// exit 7 if any diverges from the serial oracle. -sched-seed makes the
+// seeded schedules reproducible: same program, flags, and seed — same
+// schedules, same witnesses, bit-identical output.
+//
 // Exit codes: 0 repaired (or already race-free), 1 error, 2 usage,
 // 3 the iteration bound was exhausted with races remaining, 4 a
 // resource budget (wall clock, ops, DP states) was exhausted or the run
 // was canceled, 5 the differential detector engines disagreed
-// (-detector both).
+// (-detector both), 7 adversarial replay found a divergence that
+// survives the repair: the verification diverged, or the iteration
+// bound was exhausted with at least one witnessed race.
 package main
 
 import (
@@ -72,10 +88,15 @@ import (
 // run stopped by a resource budget or cancellation; exitDisagreement
 // for differential detector engines (-detector both) reporting
 // different race sets.
+// exitAdversary reports a divergence that survives the repair: either
+// the post-repair adversarial verification diverged from the serial
+// oracle, or the iteration bound was exhausted with at least one race
+// replayed to a concrete witness (witnessed but unrepaired).
 const (
 	exitMaxIterations  = 3
 	exitBudgetExceeded = 4
 	exitDisagreement   = 5
+	exitAdversary      = 7
 )
 
 func main() {
@@ -93,6 +114,9 @@ func main() {
 	vet := flag.Bool("vet", false, "run the static analyzer and report race candidates the test input never exercised (coverage gaps) on stderr")
 	staticPrune := flag.Bool("static-prune", false, "skip NS-LCA race groups the static MHP analysis proves serial (output is identical either way)")
 	explainFile := flag.String("explain", "", "write the repair-provenance record (race pairs, NS-LCA groups, DP decisions, CPL before/after) as JSON to this file; with -v also summarize it on stderr")
+	witness := flag.Bool("witness", false, "replay each reported race under deterministic adversarial schedules to a concrete divergence witness; with -vet also drive the coverage gaps to a verdict")
+	adversary := flag.Int("adversary", 0, "verify the repaired program under this many adversarial schedules, exit 7 on any divergence from the serial oracle (0 with -witness = 16)")
+	schedSeed := flag.Int64("sched-seed", 0, "seed for the random-priority adversarial schedules; runs with the same program, flags, and seed are bit-identical")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hjrepair [flags] program.hj")
@@ -165,14 +189,17 @@ func main() {
 	}
 
 	rep, err := prog.Repair(tdr.RepairOptions{
-		Detector:      d,
-		Engine:        eng,
-		MaxIterations: *maxIter,
-		Budget:        tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
-		Workers:       *workers,
-		Vet:           *vet,
-		StaticPrune:   *staticPrune,
-		Explain:       *explainFile != "",
+		Detector:           d,
+		Engine:             eng,
+		MaxIterations:      *maxIter,
+		Budget:             tdr.Budget{Timeout: *timeout, MaxDPStates: *maxDPStates},
+		Workers:            *workers,
+		Vet:                *vet,
+		StaticPrune:        *staticPrune,
+		Explain:            *explainFile != "",
+		Witness:            *witness,
+		AdversarySchedules: *adversary,
+		SchedSeed:          *schedSeed,
 	})
 	if err != nil {
 		var de *tdr.DisagreementError
@@ -187,10 +214,28 @@ func main() {
 				summarize(rep, mi)
 			}
 			vetReport(rep)
+			adversaryReport(rep)
 			writeExplain(rep)
 			exportObs()
 			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			// Witnessed but unrepaired: the unfixed races are proven
+			// observable, which is worse than merely running out of rounds.
+			if rep != nil && len(rep.Witnesses) > 0 {
+				os.Exit(exitAdversary)
+			}
 			os.Exit(exitMaxIterations)
+		}
+		var ae *tdr.AdversaryError
+		if errors.As(err, &ae) {
+			if !*quiet {
+				summarize(rep, nil)
+			}
+			vetReport(rep)
+			adversaryReport(rep)
+			writeExplain(rep)
+			exportObs()
+			fmt.Fprintln(os.Stderr, "hjrepair:", err)
+			os.Exit(exitAdversary)
 		}
 		if tdr.IsBudgetOrCanceled(err) {
 			if !*quiet {
@@ -208,6 +253,7 @@ func main() {
 		summarize(rep, nil)
 	}
 	vetReport(rep)
+	adversaryReport(rep)
 	writeExplain(rep)
 	exportObs()
 
@@ -257,6 +303,29 @@ func vetReport(rep *tdr.RepairReport) {
 		exercised, rep.StaticCandidates)
 	for _, g := range rep.CoverageGaps {
 		fmt.Fprintf(os.Stderr, "hjrepair: vet: unexercised: %s\n", g)
+	}
+}
+
+// adversaryReport prints the -witness/-adversary results: each race's
+// replayed witness, the gap-search verdicts, and the verification tally.
+func adversaryReport(rep *tdr.RepairReport) {
+	if rep == nil {
+		return
+	}
+	for _, w := range rep.Witnesses {
+		fmt.Fprintf(os.Stderr, "hjrepair: witness: %s under %s: %s (expected %q got %q)\n",
+			w.Race, w.Schedule, w.Reason, w.Expected, w.Actual)
+	}
+	for _, g := range rep.GapVerdicts {
+		line := fmt.Sprintf("hjrepair: gap %s: %s", g.Status, g.Gap)
+		if g.Schedule != "" {
+			line += fmt.Sprintf(" (schedule %s)", g.Schedule)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if rep.Adversary != nil {
+		fmt.Fprintf(os.Stderr, "hjrepair: adversary: %d/%d schedule(s) diverged from the serial oracle (seed %d)\n",
+			rep.Adversary.Failures, rep.Adversary.Schedules, rep.Adversary.Seed)
 	}
 }
 

@@ -85,6 +85,9 @@ type reportData struct {
 	Finishes  []finishView
 	Groups    []groupView
 	Gaps      []string
+	Witnesses []provenance.WitnessRec
+	Adversary *provenance.AdversaryRec
+	Verdicts  []provenance.GapVerdictRec
 	Spans     []spanRow
 	Total     string
 	Hists     []histView
@@ -159,6 +162,16 @@ func buildExplain(d *reportData, ex *provenance.Explain) {
 		}
 	}
 	d.Gaps = ex.CoverageGaps
+	d.Witnesses = ex.Witnesses
+	d.Adversary = ex.Adversary
+	d.Verdicts = ex.GapVerdicts
+	if len(ex.Witnesses) > 0 {
+		d.Chips = append(d.Chips, chip{Label: "witnesses", Value: fmt.Sprint(len(ex.Witnesses))})
+	}
+	if ex.Adversary != nil {
+		v := fmt.Sprintf("%d/%d schedules passed", ex.Adversary.Schedules-ex.Adversary.Failures, ex.Adversary.Schedules)
+		d.Chips = append(d.Chips, chip{Label: "adversary", Value: v, Bad: ex.Adversary.Failures > 0})
+	}
 }
 
 func buildSpans(d *reportData, recs []obs.SpanRecord) {

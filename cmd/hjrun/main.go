@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	hjrun [-mode seq|par|detect|coverage|dot] [-workers N]
+//	hjrun [-mode seq|par|detect|coverage|stress|dot] [-workers N]
 //	      [-detector mrw|srw|espbags|vc|both]
+//	      [-adversary K] [-sched-seed N]
 //	      [-trace out.json] [-jsonl out.jsonl] [-metrics] [-v] program.hj
 //
 // Modes:
@@ -13,6 +14,11 @@
 //	detect   canonical depth-first execution with race detection
 //	coverage test-adequacy analysis: which asyncs/statements the
 //	         input actually exercises
+//	stress   adversarial schedule stress: re-execute under K
+//	         deterministic schedules (race-directed on every global plus
+//	         seeded random-priority; -adversary K, -sched-seed N) and
+//	         compare each against the serial oracle — exit 7 with a
+//	         replayable witness on any divergence
 //	dot      S-DPST with race edges in Graphviz format (paper Fig. 9)
 //
 // For -mode detect, -detector picks the detector: "mrw" (default) and
@@ -44,16 +50,20 @@ import (
 // exitBudgetExceeded is the distinct exit code for a run stopped by a
 // resource budget (wall clock, ops) or cancellation; exitDisagreement
 // for differential detector engines (-detector both) reporting
-// different race sets.
+// different race sets; exitAdversary for a -mode stress run whose
+// program diverged from the serial oracle under some schedule.
 const (
 	exitBudgetExceeded = 4
 	exitDisagreement   = 5
+	exitAdversary      = 7
 )
 
 func main() {
-	mode := flag.String("mode", "par", "execution mode: seq, par, detect, or coverage")
+	mode := flag.String("mode", "par", "execution mode: seq, par, detect, coverage, or stress")
 	workers := flag.Int("workers", 0, "pool workers for -mode par (0 = GOMAXPROCS)")
 	detector := flag.String("detector", "mrw", "race detector for -mode detect: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
+	adversary := flag.Int("adversary", 0, "schedules for -mode stress (0 = 16)")
+	schedSeed := flag.Int64("sched-seed", 0, "seed for -mode stress's random-priority schedules; runs are deterministic per seed")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of the phases to this file")
 	jsonlFile := flag.String("jsonl", "", "write a JSONL event log (spans + metrics) to this file")
@@ -141,6 +151,35 @@ func main() {
 		if !cov.Adequate() {
 			fmt.Fprintln(os.Stderr, "hjrun: WARNING: some async statements never executed; this input cannot drive their repair")
 			exit(1)
+		}
+	case "stress":
+		rep, err := prog.Stress(ctx, tdr.StressOptions{
+			Schedules: *adversary,
+			Seed:      *schedSeed,
+			Budget:    budget,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hjrun: stress: %d/%d schedule(s) diverged from the serial oracle (seed %d)\n",
+			rep.Failures, rep.Schedules, *schedSeed)
+		for i, d := range rep.Diverged {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(rep.Diverged)-20)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		if rep.First != nil {
+			fmt.Fprintf(os.Stderr, "hjrun: witness: replay with schedule %s: expected %q got %q\n",
+				rep.First.Schedule, rep.First.Expected, rep.First.Actual)
+			if rep.First.ExpectedState != rep.First.ActualState {
+				fmt.Fprintf(os.Stderr, "hjrun: witness: final state expected %q got %q\n",
+					rep.First.ExpectedState, rep.First.ActualState)
+			}
+		}
+		if rep.Failures > 0 {
+			exit(exitAdversary)
 		}
 	case "detect":
 		d, eng, ok := tdr.ParseDetector(*detector)

@@ -55,6 +55,11 @@ type Result struct {
 	Output string
 	Work   int64 // total work units executed
 	Steps  int   // number of step nodes (instrumented runs)
+	// Globals is the final value of every global variable slot, in slot
+	// order. The adversarial scheduler compares it (rendered via
+	// RenderState) against controlled-schedule runs: two executions agree
+	// only if both output and final shared state match.
+	Globals []Value
 }
 
 // Run executes the checked program and returns the result. Runtime
@@ -121,6 +126,7 @@ func Run(info *sem.Info, opts Options) (*Result, error) {
 	}
 	res.Output = in.out.String()
 	res.Work = in.work
+	res.Globals = in.globals
 	return res, err
 }
 

@@ -1,0 +1,28 @@
+package interp
+
+import (
+	"strings"
+
+	"finishrepair/internal/lang/sem"
+)
+
+// RenderState renders the final global-variable state of a run as one
+// "name=value" line per global, in declaration order (arrays include
+// their element values). It is the canonical comparison key the
+// adversarial scheduler uses to decide whether a controlled-schedule
+// execution agrees with the serial oracle: output alone can miss torn
+// state the program never prints.
+func RenderState(info *sem.Info, globals []Value) string {
+	var sb strings.Builder
+	for _, g := range info.Prog.Globals {
+		sym := g.Sym.(*sem.Symbol)
+		if sym.Slot < 0 || sym.Slot >= len(globals) {
+			continue
+		}
+		sb.WriteString(sym.Name)
+		sb.WriteByte('=')
+		sb.WriteString(globals[sym.Slot].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -56,6 +56,15 @@ var KnownMetrics = map[string]string{
 	"fault.cancellations":    "counter",
 	"fault.recovered_panics": "counter",
 
+	// adversary: controlled-schedule replay (witness search, gap search,
+	// post-repair adversarial verification).
+	"adversary.schedules_run":      "counter",
+	"adversary.witnesses_found":    "counter",
+	"adversary.yields":             "counter",
+	"adversary.gap_searches":       "counter",
+	"adversary.witness_ns":         "histogram",
+	"adversary.verify_schedule_ns": "histogram",
+
 	// vet: static analysis diagnostics (hjvet / hjrepair -vet).
 	"vet.runs":                     "counter",
 	"vet.candidates":               "counter",

@@ -8,6 +8,7 @@ import (
 
 	// Blank-import every package that registers metrics in the default
 	// registry so their package-level metric vars run before the audit.
+	_ "finishrepair/internal/adversary"
 	_ "finishrepair/internal/analysis"
 	_ "finishrepair/internal/faults"
 	_ "finishrepair/internal/guard"

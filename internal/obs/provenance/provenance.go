@@ -103,6 +103,45 @@ type FinishEntry struct {
 	CPLAfter  CPL        `json:"cpl_after"`
 }
 
+// WitnessRec is one replayed race witness: the schedule under which the
+// program observably diverged from the serial oracle, with the evidence.
+type WitnessRec struct {
+	// Race attributes the witness to a reported race ("W->W on loc 1
+	// (3:9 vs 4:9)"); empty for unattributed verify divergences.
+	Race string `json:"race,omitempty"`
+	// Schedule is the replayable schedule ("defer-write@loc1", "random#7").
+	Schedule string `json:"schedule"`
+	Reason   string `json:"reason"` // "output differs", "final state differs", ...
+	Expected string `json:"expected"`
+	Actual   string `json:"actual"`
+	// ExpectedState/ActualState render the final globals — the torn value
+	// itself when the divergence never reaches the output.
+	ExpectedState string `json:"expected_state,omitempty"`
+	ActualState   string `json:"actual_state,omitempty"`
+	// Trace is the schedule's grant-sequence digest, for replay checking.
+	Trace string `json:"trace,omitempty"`
+}
+
+// AdversaryRec summarizes the post-repair adversarial verification: how
+// many schedules ran, how many diverged from the serial oracle, and the
+// first divergence if any.
+type AdversaryRec struct {
+	Schedules int         `json:"schedules"`
+	Failures  int         `json:"failures"`
+	Seed      int64       `json:"seed"`
+	First     *WitnessRec `json:"first,omitempty"`
+}
+
+// GapVerdictRec is the schedule-search verdict for one coverage gap:
+// "witnessed" (a directed schedule made the repaired program diverge),
+// "unreachable" (no schedule ever executed the candidate's statements on
+// this input), or "no-divergence".
+type GapVerdictRec struct {
+	Gap      string `json:"gap"`
+	Status   string `json:"status"`
+	Schedule string `json:"schedule,omitempty"` // witnessing schedule, if any
+}
+
 // Explain is the whole provenance document for one repair run.
 type Explain struct {
 	Program    string      `json:"program,omitempty"`
@@ -118,6 +157,13 @@ type Explain struct {
 	// CoverageGaps are static race candidates no dynamic race covered
 	// (the hjrepair -vet residue), for the report's coverage panel.
 	CoverageGaps []string `json:"coverage_gaps,omitempty"`
+	// Witnesses are the replayed race witnesses found on the original
+	// program (hjrepair -witness).
+	Witnesses []WitnessRec `json:"witnesses,omitempty"`
+	// Adversary is the post-repair K-schedule verification summary.
+	Adversary *AdversaryRec `json:"adversary,omitempty"`
+	// GapVerdicts are the schedule-search verdicts for the coverage gaps.
+	GapVerdicts []GapVerdictRec `json:"gap_verdicts,omitempty"`
 }
 
 // Finalize derives the flattened Finishes list and the run-level CPL
@@ -223,7 +269,42 @@ func (e *Explain) WriteText(w io.Writer) error {
 			fmt.Fprintf(w, "  %s\n", g)
 		}
 	}
+	if len(e.Witnesses) > 0 {
+		fmt.Fprintf(w, "\nwitnesses (%d race(s) replayed to a concrete divergence):\n", len(e.Witnesses))
+		for _, wr := range e.Witnesses {
+			writeWitness(w, "  ", &wr)
+		}
+	}
+	if len(e.GapVerdicts) > 0 {
+		fmt.Fprintf(w, "\ngap search (schedule-directed verdicts for the coverage gaps):\n")
+		for _, g := range e.GapVerdicts {
+			fmt.Fprintf(w, "  %s: %s", g.Status, g.Gap)
+			if g.Schedule != "" {
+				fmt.Fprintf(w, " (schedule %s)", g.Schedule)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if e.Adversary != nil {
+		fmt.Fprintf(w, "\nadversarial verify: %d/%d schedules diverged (seed %d)\n",
+			e.Adversary.Failures, e.Adversary.Schedules, e.Adversary.Seed)
+		if e.Adversary.First != nil {
+			writeWitness(w, "  ", e.Adversary.First)
+		}
+	}
 	return nil
+}
+
+func writeWitness(w io.Writer, indent string, wr *WitnessRec) {
+	head := wr.Race
+	if head == "" {
+		head = "divergence"
+	}
+	fmt.Fprintf(w, "%s%s under %s: %s\n", indent, head, wr.Schedule, wr.Reason)
+	fmt.Fprintf(w, "%s  expected %q got %q\n", indent, wr.Expected, wr.Actual)
+	if wr.ExpectedState != wr.ActualState {
+		fmt.Fprintf(w, "%s  state expected %q got %q\n", indent, wr.ExpectedState, wr.ActualState)
+	}
 }
 
 func orUnknown(s string) string {

@@ -7,6 +7,13 @@
 // are shared). It is intended for DATA-RACE-FREE programs — the
 // evaluation runs it only on expert-written or tool-repaired programs;
 // running a racy program yields the corresponding Go-level races.
+//
+// A second execution mode serves the opposite purpose: with
+// Options.Controller set, the run is fully serialized under an external
+// scheduler — one logical task at a time, a named yield point before
+// every shared-memory access, spawn, and print — so an adversarial
+// controller (internal/adversary) can steer racy programs into chosen
+// interleavings deterministically and without Go-level races.
 package parinterp
 
 import (
@@ -26,6 +33,7 @@ import (
 // Options configures a parallel run.
 type Options struct {
 	// Executor runs the tasks; nil means a fresh goroutine executor.
+	// Ignored in controlled mode.
 	Executor *taskpar.Executor
 	// Meter charges coarse work units (loop iterations, calls, task
 	// spawns) against the shared pipeline budget and aborts the run with
@@ -34,20 +42,48 @@ type Options struct {
 	// run's cost model feeds no analysis, so per-expression atomics would
 	// be pure overhead.
 	Meter *guard.Meter
+	// Controller, when set, switches the run into controlled mode: tasks
+	// become token-gated goroutines, every shared access yields to the
+	// controller first, and array locations are numbered exactly like the
+	// sequential detector's (globals at 1+slot, arrays from
+	// 1+GlobalCount at allocation). See the Controller contract.
+	Controller Controller
 }
 
 // Result of a parallel run.
 type Result struct {
 	Output string
+	// State is the rendered final global state (controlled runs only;
+	// see interp.RenderState). Schedule divergence is judged on Output
+	// and State together.
+	State string
+}
+
+// tctx is the per-task execution context threaded through the
+// interpreter: the taskpar context in free-running mode, or the
+// controller task id plus the innermost statement position in
+// controlled mode.
+type tctx struct {
+	tp  *taskpar.Ctx // nil in controlled mode
+	id  int          // controller task id (controlled mode)
+	pos token.Pos    // innermost statement position (controlled mode)
 }
 
 // Run executes the checked program in parallel.
 func Run(info *sem.Info, opts Options) (res *Result, err error) {
+	pi := &par{
+		info:    info,
+		globals: make([]interp.Value, info.GlobalCount),
+		meter:   opts.Meter,
+		ctl:     opts.Controller,
+	}
+	if pi.ctl != nil {
+		return pi.runControlled(info, opts)
+	}
 	exec := opts.Executor
 	if exec == nil {
 		exec = taskpar.NewGoroutineExecutor()
 	}
-	pi := &par{info: info, globals: make([]interp.Value, info.GlobalCount), meter: opts.Meter}
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -71,16 +107,17 @@ func Run(info *sem.Info, opts Options) (res *Result, err error) {
 		if ferr := faults.Inject(faults.ParallelRun); ferr != nil {
 			panic(guard.Bail{Err: ferr})
 		}
+		tc := &tctx{tp: c}
 		for _, g := range info.Prog.Globals {
 			sym := g.Sym.(*sem.Symbol)
 			if g.Init != nil {
-				pi.globals[sym.Slot] = pi.eval(c, nil, g.Init)
+				pi.globals[sym.Slot] = pi.eval(tc, nil, g.Init)
 			} else {
 				pi.globals[sym.Slot] = zeroValue(g.Type)
 			}
 		}
 		main := info.Prog.Func("main")
-		pi.call(c, main, nil)
+		pi.call(tc, main, nil)
 	})
 	return &Result{Output: pi.out.String()}, nil
 }
@@ -92,6 +129,15 @@ type par struct {
 
 	outMu sync.Mutex
 	out   bytes.Buffer
+
+	// Controlled-mode state: the external scheduler, the next array
+	// location (allocation is serialized by the token, so no lock), the
+	// spawned-task join group, and the first failure.
+	ctl     Controller
+	nextLoc uint64
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	firstErr error
 }
 
 // tick charges one coarse work unit; it panics a guard.Bail carrying the
@@ -116,7 +162,7 @@ type ctrl struct {
 	val      interp.Value
 }
 
-func (p *par) call(c *taskpar.Ctx, fn *ast.FuncDecl, args []interp.Value) interp.Value {
+func (p *par) call(c *tctx, fn *ast.FuncDecl, args []interp.Value) interp.Value {
 	p.tick()
 	f := &frame{slots: make([]interp.Value, p.info.FrameSize[fn])}
 	copy(f.slots, args)
@@ -127,7 +173,7 @@ func (p *par) call(c *taskpar.Ctx, fn *ast.FuncDecl, args []interp.Value) interp
 	return interp.VoidV()
 }
 
-func (p *par) execBlock(c *taskpar.Ctx, f *frame, b *ast.Block) ctrl {
+func (p *par) execBlock(c *tctx, f *frame, b *ast.Block) ctrl {
 	for _, s := range b.Stmts {
 		if r := p.execStmt(c, f, s); r.returned {
 			return r
@@ -136,7 +182,10 @@ func (p *par) execBlock(c *taskpar.Ctx, f *frame, b *ast.Block) ctrl {
 	return ctrl{}
 }
 
-func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
+func (p *par) execStmt(c *tctx, f *frame, s ast.Stmt) ctrl {
+	if p.ctl != nil {
+		c.pos = s.Pos()
+	}
 	switch st := s.(type) {
 	case *ast.VarDeclStmt:
 		sym := st.Sym.(*sem.Symbol)
@@ -172,6 +221,9 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 			if r := p.execBlock(c, f, st.Body); r.returned {
 				return r
 			}
+			if p.ctl != nil {
+				c.pos = s.Pos()
+			}
 		}
 		return ctrl{}
 	case *ast.ForStmt:
@@ -190,6 +242,9 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 					return r
 				}
 			}
+			if p.ctl != nil {
+				c.pos = s.Pos()
+			}
 		}
 		return ctrl{}
 	case *ast.AsyncStmt:
@@ -197,14 +252,28 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 		// By-value snapshot of the parent frame (final-variable capture).
 		child := &frame{slots: make([]interp.Value, len(f.slots))}
 		copy(child.slots, f.slots)
-		c.Async(func(cc *taskpar.Ctx) {
-			p.execBlock(cc, child, st.Body)
+		if p.ctl != nil {
+			id := p.ctl.Register(c.id)
+			p.spawnTask(id, func(cc *tctx) {
+				p.execBlock(cc, child, st.Body)
+			})
+			p.yield(c, OpSpawn, 0)
+			return ctrl{}
+		}
+		c.tp.Async(func(cc *taskpar.Ctx) {
+			p.execBlock(&tctx{tp: cc}, child, st.Body)
 		})
 		return ctrl{}
 	case *ast.FinishStmt:
+		if p.ctl != nil {
+			scope := p.ctl.FinishEnter(c.id)
+			r := p.execBlock(c, f, st.Body)
+			p.ctl.FinishWait(c.id, scope)
+			return r
+		}
 		var r ctrl
-		c.Finish(func(cc *taskpar.Ctx) {
-			r = p.execBlock(cc, f, st.Body)
+		c.tp.Finish(func(cc *taskpar.Ctx) {
+			r = p.execBlock(&tctx{tp: cc}, f, st.Body)
 		})
 		return r
 	case *ast.BlockStmt:
@@ -213,15 +282,15 @@ func (p *par) execStmt(c *taskpar.Ctx, f *frame, s ast.Stmt) ctrl {
 	panic(&interp.RuntimeError{Msg: "unknown statement"})
 }
 
-func (p *par) execAssign(c *taskpar.Ctx, f *frame, st *ast.AssignStmt) {
+func (p *par) execAssign(c *tctx, f *frame, st *ast.AssignStmt) {
 	rhs := p.eval(c, f, st.RHS)
 	switch lhs := st.LHS.(type) {
 	case *ast.Ident:
 		sym := lhs.Sym.(*sem.Symbol)
 		if st.Op != token.ASSIGN {
-			rhs = compound(st.Op, p.load(sym, f), rhs)
+			rhs = compound(st.Op, p.load(c, sym, f), rhs)
 		}
-		p.store(sym, f, rhs)
+		p.store(c, sym, f, rhs)
 	case *ast.IndexExpr:
 		av := p.eval(c, f, lhs.X)
 		iv := p.eval(c, f, lhs.Index)
@@ -229,21 +298,25 @@ func (p *par) execAssign(c *taskpar.Ctx, f *frame, st *ast.AssignStmt) {
 			panic(&interp.RuntimeError{Msg: "index out of range in parallel run"})
 		}
 		if st.Op != token.ASSIGN {
+			p.yield(c, OpRead, av.A.Base+uint64(iv.I))
 			rhs = compound(st.Op, av.A.Elems[iv.I], rhs)
 		}
+		p.yield(c, OpWrite, av.A.Base+uint64(iv.I))
 		av.A.Elems[iv.I] = rhs
 	}
 }
 
-func (p *par) load(sym *sem.Symbol, f *frame) interp.Value {
+func (p *par) load(c *tctx, sym *sem.Symbol, f *frame) interp.Value {
 	if sym.Kind == sem.GlobalVar {
+		p.yield(c, OpRead, 1+uint64(sym.Slot))
 		return p.globals[sym.Slot]
 	}
 	return f.slots[sym.Slot]
 }
 
-func (p *par) store(sym *sem.Symbol, f *frame, v interp.Value) {
+func (p *par) store(c *tctx, sym *sem.Symbol, f *frame, v interp.Value) {
 	if sym.Kind == sem.GlobalVar {
+		p.yield(c, OpWrite, 1+uint64(sym.Slot))
 		p.globals[sym.Slot] = v
 		return
 	}
@@ -300,7 +373,7 @@ func zeroValue(t ast.Type) interp.Value {
 	return interp.VoidV()
 }
 
-func (p *par) eval(c *taskpar.Ctx, f *frame, e ast.Expr) interp.Value {
+func (p *par) eval(c *tctx, f *frame, e ast.Expr) interp.Value {
 	switch ex := e.(type) {
 	case *ast.IntLit:
 		return interp.IntV(ex.Value)
@@ -311,7 +384,7 @@ func (p *par) eval(c *taskpar.Ctx, f *frame, e ast.Expr) interp.Value {
 	case *ast.StringLit:
 		return interp.StringV(ex.Value)
 	case *ast.Ident:
-		return p.load(ex.Sym.(*sem.Symbol), f)
+		return p.load(c, ex.Sym.(*sem.Symbol), f)
 	case *ast.UnaryExpr:
 		x := p.eval(c, f, ex.X)
 		if ex.Op == token.SUB {
@@ -329,6 +402,7 @@ func (p *par) eval(c *taskpar.Ctx, f *frame, e ast.Expr) interp.Value {
 		if av.A == nil || iv.I < 0 || iv.I >= int64(len(av.A.Elems)) {
 			panic(&interp.RuntimeError{Msg: "index out of range in parallel run"})
 		}
+		p.yield(c, OpRead, av.A.Base+uint64(iv.I))
 		return av.A.Elems[iv.I]
 	case *ast.MakeExpr:
 		n := p.eval(c, f, ex.Len)
@@ -336,6 +410,12 @@ func (p *par) eval(c *taskpar.Ctx, f *frame, e ast.Expr) interp.Value {
 			panic(&interp.RuntimeError{Msg: "make with negative length"})
 		}
 		a := &interp.Array{Elems: make([]interp.Value, n.I)}
+		if p.ctl != nil {
+			// Number array locations exactly like the sequential
+			// detector so race-directed schedules can target them.
+			a.Base = p.nextLoc
+			p.nextLoc += uint64(n.I)
+		}
 		z := zeroValue(ex.Elem)
 		for i := range a.Elems {
 			a.Elems[i] = z
@@ -347,7 +427,7 @@ func (p *par) eval(c *taskpar.Ctx, f *frame, e ast.Expr) interp.Value {
 	panic(&interp.RuntimeError{Msg: "unknown expression"})
 }
 
-func (p *par) evalBinary(c *taskpar.Ctx, f *frame, ex *ast.BinaryExpr) interp.Value {
+func (p *par) evalBinary(c *tctx, f *frame, ex *ast.BinaryExpr) interp.Value {
 	switch ex.Op {
 	case token.LAND:
 		if !p.eval(c, f, ex.X).Bool() {
@@ -439,14 +519,14 @@ func (p *par) evalBinary(c *taskpar.Ctx, f *frame, ex *ast.BinaryExpr) interp.Va
 	panic(&interp.RuntimeError{Msg: "invalid operands"})
 }
 
-func (p *par) evalCall(c *taskpar.Ctx, f *frame, ex *ast.CallExpr) interp.Value {
+func (p *par) evalCall(c *tctx, f *frame, ex *ast.CallExpr) interp.Value {
 	switch target := ex.Target.(type) {
 	case *sem.Builtin:
 		args := make([]interp.Value, len(ex.Args))
 		for i, a := range ex.Args {
 			args[i] = p.eval(c, f, a)
 		}
-		return p.builtin(ex, target, args)
+		return p.builtin(c, ex, target, args)
 	case *ast.FuncDecl:
 		args := make([]interp.Value, len(ex.Args))
 		for i, a := range ex.Args {
@@ -457,7 +537,7 @@ func (p *par) evalCall(c *taskpar.Ctx, f *frame, ex *ast.CallExpr) interp.Value 
 	panic(&interp.RuntimeError{Msg: "unresolved call " + ex.Fun})
 }
 
-func (p *par) builtin(ex *ast.CallExpr, b *sem.Builtin, args []interp.Value) interp.Value {
+func (p *par) builtin(c *tctx, ex *ast.CallExpr, b *sem.Builtin, args []interp.Value) interp.Value {
 	switch b.ID() {
 	case sem.BLen:
 		if args[0].A == nil {
@@ -465,6 +545,7 @@ func (p *par) builtin(ex *ast.CallExpr, b *sem.Builtin, args []interp.Value) int
 		}
 		return interp.IntV(int64(len(args[0].A.Elems)))
 	case sem.BPrint, sem.BPrintln:
+		p.yield(c, OpPrint, 0)
 		p.outMu.Lock()
 		for i, a := range args {
 			if i > 0 {

@@ -68,11 +68,47 @@ func NewPool(n int) *Pool {
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }
 
-// Submit enqueues a task from outside the pool.
+// Submit enqueues a task from outside the pool. Submit racing Shutdown
+// is safe and lossless: a task that arrives after (or while) the pool
+// closes runs inline on a detached worker instead of being stranded in
+// the global queue after the workers exit.
 func (p *Pool) Submit(t Task) {
 	mSubmits.Inc()
+	if p.closed.Load() {
+		p.runDetached(t)
+		return
+	}
 	p.global <- t
 	p.notify()
+	if p.closed.Load() {
+		// Shutdown raced the send: the workers may have finished their
+		// final drain before the task landed, so drain the queue here.
+		// (If a worker did pick it up, the queue is simply empty.)
+		for {
+			select {
+			case dt := <-p.global:
+				p.runDetached(dt)
+			default:
+				return
+			}
+		}
+	}
+}
+
+// runDetached executes a task (and any children it spawns) on a fresh
+// worker that is not part of the pool — the lossless fallback for
+// submissions that race or follow Shutdown. The worker is per-call, so
+// concurrent late submitters never share state.
+func (p *Pool) runDetached(t Task) {
+	w := &Worker{pool: p, id: -1, rng: rand.New(rand.NewSource(0x9e3779b9))}
+	t(w)
+	for {
+		nt := w.popLocal()
+		if nt == nil {
+			return
+		}
+		nt(w)
+	}
 }
 
 func (p *Pool) notify() {
@@ -82,8 +118,9 @@ func (p *Pool) notify() {
 	}
 }
 
-// Shutdown stops the workers after the queues drain to idle. It must not
-// be called while tasks are still being submitted.
+// Shutdown stops the workers after the queues drain to idle. Tasks
+// submitted concurrently with (or after) Shutdown are not lost: Submit
+// detects the closed pool and runs them inline.
 func (p *Pool) Shutdown() {
 	if p.closed.Swap(true) {
 		return

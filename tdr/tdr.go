@@ -14,9 +14,11 @@ package tdr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"finishrepair/internal/adversary"
 	"finishrepair/internal/analysis"
 	"finishrepair/internal/cpl"
 	"finishrepair/internal/dpst"
@@ -320,6 +322,23 @@ type RepairOptions struct {
 	// decisions, and critical-path length — in RepairReport.Explain
 	// (hjrepair's -explain flag). Costs one CPL analysis per round.
 	Explain bool
+	// Witness replays every reported race under deterministic
+	// race-directed schedules on the original program until it observably
+	// diverges from the serial oracle, recording the divergence in
+	// RepairReport.Witnesses; with Vet it also drives the coverage gaps
+	// with position-directed schedules (RepairReport.GapVerdicts). It
+	// implies a post-repair adversarial verification of
+	// AdversarySchedules schedules (default DefaultAdversarySchedules).
+	Witness bool
+	// AdversarySchedules re-executes the repaired program under this many
+	// adversarial schedules (race-directed plus seeded random-priority),
+	// failing the repair with an *AdversaryError if any diverges from the
+	// serial oracle. 0 with Witness means DefaultAdversarySchedules; 0
+	// without Witness disables the stage.
+	AdversarySchedules int
+	// SchedSeed bases the seeded random-priority schedules; runs with the
+	// same program, options, and seed are bit-identical.
+	SchedSeed int64
 }
 
 // Explain is the structured repair-provenance record: why each finish
@@ -378,6 +397,16 @@ type RepairReport struct {
 	// only): one entry per placed finish with its races, NS-LCA, DP
 	// effort, and CPL before/after.
 	Explain *Explain
+	// Witnesses replays each reported race to a concrete divergence
+	// (RepairOptions.Witness only): one entry per race a deterministic
+	// schedule made observably misbehave on the original program.
+	Witnesses []Witness
+	// Adversary summarizes the post-repair K-schedule verification
+	// (RepairOptions.Witness or AdversarySchedules > 0).
+	Adversary *AdversaryReport
+	// GapVerdicts are the schedule-search verdicts for CoverageGaps
+	// (RepairOptions.Witness with Vet only), in the same order.
+	GapVerdicts []GapVerdict
 }
 
 // CoverageGap is one static race candidate the test input never
@@ -472,6 +501,34 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 			}
 		}
 	}
+	// Adversary mode snapshots the pre-repair source (witnesses replay
+	// the races where they were reported) and collects every detection
+	// round's races as replay targets, deduplicated across rounds.
+	adv := opts.Witness || opts.AdversarySchedules > 0
+	var origSrc string
+	var targets []adversary.RaceTarget
+	if adv {
+		origSrc = printer.Print(p.prog)
+		seen := map[adversary.RaceTarget]bool{}
+		prev := ropts.OnRaces
+		ropts.OnRaces = func(races []*race.Race) {
+			if prev != nil {
+				prev(races)
+			}
+			for _, r := range races {
+				t := adversary.RaceTarget{
+					Loc:    r.Loc,
+					Kind:   r.Kind.String(),
+					SrcPos: r.Src.StmtPos(),
+					DstPos: r.Dst.StmtPos(),
+				}
+				if !seen[t] {
+					seen[t] = true
+					targets = append(targets, t)
+				}
+			}
+		}
+	}
 	if opts.StaticPrune {
 		ropts.MHP = res.MayRunInParallel
 	}
@@ -491,6 +548,7 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 		return rerr
 	})
 	var report *RepairReport
+	var advErr error
 	if rep != nil {
 		report = convertReport(rep)
 		if opts.Vet {
@@ -506,6 +564,16 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 				})
 			}
 		}
+		if adv {
+			// Witnesses are searched even when the iteration bound
+			// exhausted (the races are real either way); the gap search
+			// and verification need a successful repair. Budget trips,
+			// cancellation, and engine disagreement skip the stage.
+			var mi *repair.MaxIterationsError
+			if err == nil || errors.As(err, &mi) {
+				advErr = p.adversaryStage(opts, m, report, origSrc, targets, res, err != nil)
+			}
+		}
 		if ex != nil {
 			if report.Degraded && ex.Degraded == "" {
 				ex.Degraded = report.DegradedReason
@@ -513,12 +581,16 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 			for _, g := range report.CoverageGaps {
 				ex.CoverageGaps = append(ex.CoverageGaps, g.String())
 			}
+			foldAdversary(ex, report)
 			ex.Finalize()
 			report.Explain = ex
 		}
 	}
 	if err != nil {
 		return report, fmt.Errorf("tdr: %w", err)
+	}
+	if advErr != nil {
+		return report, fmt.Errorf("tdr: %w", advErr)
 	}
 	return report, nil
 }
