@@ -70,13 +70,22 @@ fuzz:
 # generation and K-schedule verification, writing the witness-bearing
 # explain documents (JSON artifacts) under reports/. A repaired example
 # that diverges under any adversarial schedule fails the build (exit 7).
+# The first loop pins -strategy finish (the pre-strategy behavior); the
+# second sweeps -strategy auto under K=16 adversarial schedules and
+# archives the per-group strategy choices as reports/*.strategy.json.
 adversary:
 	@mkdir -p reports
 	@for f in examples/hj/*.hj; do \
 		n=$$(basename $$f .hj); \
 		echo "adversary $$f -> reports/$$n.witness.json"; \
-		$(GO) run ./cmd/hjrepair -quiet -witness -vet -sched-seed 1 \
+		$(GO) run ./cmd/hjrepair -quiet -witness -vet -strategy finish -sched-seed 1 \
 			-explain reports/$$n.witness.json -o reports/$$n.fixed.hj $$f || exit 1; \
+	done
+	@for f in examples/hj/*.hj; do \
+		n=$$(basename $$f .hj); \
+		echo "adversary -strategy auto $$f -> reports/$$n.strategy.json"; \
+		$(GO) run ./cmd/hjrepair -quiet -strategy auto -adversary 16 -sched-seed 1 \
+			-explain reports/$$n.strategy.json -o reports/$$n.auto.hj $$f || exit 1; \
 	done
 	@out=$$($(GO) run ./cmd/hjrun -mode stress -sched-seed 1 examples/hj/counter.hj 2>&1); \
 	case "$$out" in \

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	hjrepair [-detector mrw|srw|espbags|vc|both] [-j N] [-o out.hj]
+//	hjrepair [-detector mrw|srw|espbags|vc|both] [-strategy finish|isolated|auto]
+//	         [-j N] [-o out.hj]
 //	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
 //	         [-vet] [-static-prune] [-explain out.json]
 //	         [-witness] [-adversary K] [-sched-seed N]
@@ -17,6 +18,14 @@
 // engine replayed over the captured event trace — ESP-Bags, the
 // vector-clock detector, or both in lockstep. With "both" any race-set
 // disagreement between the engines aborts the repair with exit code 5.
+//
+// -strategy picks how each race group is eliminated: "finish" inserts
+// finish statements (the paper's repair), "isolated" wraps commutative
+// conflicting updates in isolated blocks where that eliminates the
+// group's races (falling back to finish where it does not), and "auto"
+// (default) probes both candidates per group against the captured trace
+// and keeps the one with the shorter post-repair critical path. The
+// -explain record documents every choice (candidate spans and why).
 //
 // -j N parallelizes the analysis: with "-detector both" the two engines
 // analyze the captured trace concurrently, and the independent
@@ -101,6 +110,7 @@ const (
 
 func main() {
 	detector := flag.String("detector", "mrw", "race detector: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
+	strategy := flag.String("strategy", "auto", "repair strategy per race group: finish|isolated|auto (auto picks the shorter post-repair critical path)")
 	workers := flag.Int("j", 1, "analysis parallelism: concurrent detector engines and per-NS-LCA DP workers (output is identical for any value)")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
@@ -160,6 +170,10 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown detector %q", *detector))
 	}
+	strat, ok := tdr.ParseStrategy(*strategy)
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q (have finish, isolated, auto)", *strategy))
+	}
 
 	// Like exportObs, the explain record is written on every exit path
 	// where a (possibly partial) report exists, so aborted repairs stay
@@ -200,6 +214,7 @@ func main() {
 		Witness:            *witness,
 		AdversarySchedules: *adversary,
 		SchedSeed:          *schedSeed,
+		Strategy:           strat,
 	})
 	if err != nil {
 		var de *tdr.DisagreementError
@@ -283,8 +298,13 @@ func summarize(rep *tdr.RepairReport, mi *repair.MaxIterationsError) {
 	if mi != nil {
 		status = fmt.Sprintf(", %d race(s) UNRESOLVED", mi.RemainingRaces)
 	}
-	fmt.Fprintf(os.Stderr, "hjrepair: %d race(s) found, %d finish(es) inserted in %d iteration(s) (races/iter: %s)%s\n",
-		rep.RacesFound, rep.FinishesInserted, rep.Iterations, strings.Join(perIter, ","), status)
+	inserted := fmt.Sprintf("%d finish(es)", rep.FinishesInserted)
+	if rep.IsolatedInserted > 0 {
+		inserted = fmt.Sprintf("%d scope(s) (%d finish, %d isolated)",
+			rep.FinishesInserted, rep.FinishesInserted-rep.IsolatedInserted, rep.IsolatedInserted)
+	}
+	fmt.Fprintf(os.Stderr, "hjrepair: %d race(s) found, %s inserted in %d iteration(s) (races/iter: %s)%s\n",
+		rep.RacesFound, inserted, rep.Iterations, strings.Join(perIter, ","), status)
 	if rep.Degraded {
 		fmt.Fprintf(os.Stderr, "hjrepair: DEGRADED placement (still race-free, possibly over-synchronized): %s\n",
 			rep.DegradedReason)

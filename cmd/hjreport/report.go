@@ -60,9 +60,10 @@ type groupView struct {
 	provenance.Group
 }
 
-// finishView is one row of the finish-placement timeline.
+// finishView is one row of the scope-placement timeline.
 type finishView struct {
 	provenance.FinishEntry
+	KindLabel string // "finish" or "isolated"
 	SpanDelta int64
 	ParBefore string
 	ParAfter  string
@@ -139,13 +140,25 @@ func buildExplain(d *reportData, ex *provenance.Explain) {
 		d.Chips = append(d.Chips, chip{Label: "degraded", Value: ex.Degraded, Bad: true})
 	}
 
+	isolated := 0
 	for _, f := range ex.Finishes {
+		kind := f.Finish.Kind
+		if kind == "" {
+			kind = "finish"
+		}
+		if kind == "isolated" {
+			isolated++
+		}
 		d.Finishes = append(d.Finishes, finishView{
 			FinishEntry: f,
+			KindLabel:   kind,
 			SpanDelta:   f.CPLAfter.Span - f.CPLBefore.Span,
 			ParBefore:   fmt.Sprintf("%.2f", f.CPLBefore.Parallelism()),
 			ParAfter:    fmt.Sprintf("%.2f", f.CPLAfter.Parallelism()),
 		})
+	}
+	if isolated > 0 {
+		d.Chips = append(d.Chips, chip{Label: "isolated inserted", Value: fmt.Sprint(isolated)})
 	}
 	for _, it := range ex.Iterations {
 		for _, g := range it.Groups {

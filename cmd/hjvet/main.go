@@ -2,7 +2,8 @@
 // reports lint diagnostics: static race candidates (may-happen-in-
 // parallel statement pairs with conflicting effects), redundant
 // finishes, unscoped asyncs in loops, serial writes racing with live
-// asyncs, and dead statements.
+// asyncs, redundant isolated blocks (no shared writes, or nested in
+// another isolated), and dead statements.
 //
 // Usage:
 //

@@ -106,7 +106,7 @@ func TestHjreportEndToEnd(t *testing.T) {
 
 	for _, want := range []string{
 		"<!DOCTYPE html>",
-		"Finish-placement timeline",
+		"Scope-placement timeline",
 		"Races by NS-LCA group",
 		"Pipeline flame chart",
 		"Latency &amp; size distributions",
@@ -144,8 +144,8 @@ func TestHjreportExplainOnly(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("hjreport failed (%d): %s", code, stderr)
 	}
-	if !strings.Contains(stdout, "Finish-placement timeline") {
-		t.Error("explain-only report missing the finish timeline")
+	if !strings.Contains(stdout, "Scope-placement timeline") {
+		t.Error("explain-only report missing the scope timeline")
 	}
 	if strings.Contains(stdout, "Pipeline flame chart") {
 		t.Error("explain-only report claims a flame chart with no span input")

@@ -45,6 +45,12 @@ type Result struct {
 	// asyncs marks the statement IDs that are AsyncStmts.
 	asyncs bitset
 
+	// isod marks statement IDs syntactically inside an isolated body.
+	// Such statements always execute under the global isolated lock, so
+	// two of them never overlap; the dynamic detectors suppress the same
+	// pairs via the per-access isolation bit.
+	isod bitset
+
 	// Per-function summaries (fixpoint over the call graph):
 	// contains(f) = statements possibly executed during a call to f,
 	// escape(f) = statements possibly still running after the call
@@ -124,9 +130,19 @@ func (r *Result) index() {
 	}
 	n := len(r.stmts)
 	r.asyncs = newBitset(n)
+	r.isod = newBitset(n)
 	for i, rec := range r.stmts {
-		if _, ok := rec.stmt.(*ast.AsyncStmt); ok {
+		switch st := rec.stmt.(type) {
+		case *ast.AsyncStmt:
 			r.asyncs.set(i)
+		case *ast.IsolatedStmt:
+			for _, s := range st.Body.Stmts {
+				ast.InspectStmts(s, func(in ast.Stmt) {
+					if id, ok := r.byStmt[in]; ok {
+						r.isod.set(id)
+					}
+				})
+			}
 		}
 	}
 }

@@ -39,6 +39,15 @@ func (r *Result) buildCandidates() {
 			if !r.mhp[i].has(j) {
 				continue
 			}
+			// Both statements syntactically inside isolated bodies always
+			// run under the global isolated lock and cannot overlap. The
+			// dynamic detectors suppress exactly these pairs (both access
+			// sites isolated), so dropping them here preserves the
+			// static-covers-dynamic guarantee: any surviving dynamic race
+			// has a non-isolated endpoint, whose statement is kept.
+			if r.isod.has(i) && r.isod.has(j) {
+				continue
+			}
 			ej := r.eff[j]
 			loc, kind := conflict(ei, ej)
 			if loc < 0 {

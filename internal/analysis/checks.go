@@ -23,6 +23,7 @@ func Checks() []Check {
 		{"redundant-finish", "finish whose body cannot transitively spawn an async", checkRedundantFinish},
 		{"unscoped-async-loop", "async spawned in a loop with no enclosing finish inside the loop", checkUnscopedAsyncLoop},
 		{"write-after-async", "serial access conflicting with an async that may still be running", checkWriteAfterAsync},
+		{"redundant-isolated", "isolated body writing no shared state, or isolated nested inside isolated", checkRedundantIsolated},
 		{"dead-stmt", "statement after an infinite loop or return, or a branch arm that can never run", checkDeadStmt},
 	}
 }
@@ -204,6 +205,61 @@ func checkWriteAfterAsync(r *Result) []Diagnostic {
 			Hint:     "join the async with finish before this statement",
 			Related:  []Related{{Pos: r.stmts[conflictID].stmt.Pos(), Message: "conflicting access possibly still running"}},
 		})
+	}
+	return ds
+}
+
+// checkRedundantIsolated reports isolated statements that buy no mutual
+// exclusion: bodies that write no shared location (globals or array
+// elements, including through calls), and isolated statements
+// syntactically nested inside another isolated (the outer region
+// already serializes the inner one).
+func checkRedundantIsolated(r *Result) []Diagnostic {
+	var ds []Diagnostic
+	for id, rec := range r.stmts {
+		iso, ok := rec.stmt.(*ast.IsolatedStmt)
+		if !ok {
+			continue
+		}
+		writes := newBitset(r.locs.n)
+		r.all[id].forEach(func(k int) { writes.or(r.eff[k].writes) })
+		if writes.empty() {
+			ds = append(ds, Diagnostic{
+				Pos:      iso.Pos(),
+				Severity: Warning,
+				Check:    "redundant-isolated",
+				Message:  "isolated body writes no global or array location (directly or through calls)",
+				Hint:     "remove the isolated wrapper, or move the shared writes it is meant to protect inside",
+			})
+		}
+	}
+	var walk func(b *ast.Block, outer *ast.IsolatedStmt)
+	walk = func(b *ast.Block, outer *ast.IsolatedStmt) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			if iso, ok := s.(*ast.IsolatedStmt); ok {
+				if outer != nil {
+					ds = append(ds, Diagnostic{
+						Pos:      iso.Pos(),
+						Severity: Warning,
+						Check:    "redundant-isolated",
+						Message:  "isolated nested inside isolated is redundant",
+						Hint:     "remove the inner isolated wrapper",
+						Related:  []Related{{Pos: outer.Pos(), Message: "enclosing isolated"}},
+					})
+				}
+				walk(iso.Body, iso)
+				continue
+			}
+			for _, nb := range ast.StmtBlocks(s) {
+				walk(nb, outer)
+			}
+		}
+	}
+	for _, fn := range r.info.Prog.Funcs {
+		walk(fn.Body, nil)
 	}
 	return ds
 }

@@ -17,8 +17,13 @@ import (
 type Metrics struct {
 	// Work is T1: total work units across all steps.
 	Work int64
-	// Span is T∞: the critical path length.
+	// Span is T∞: the critical path length. When the execution contains
+	// isolated regions, Span is at least IsoWork: isolated bodies run
+	// under global mutual exclusion, so their total work serializes even
+	// on unboundedly many processors.
 	Span int64
+	// IsoWork is the total work executed inside isolated bodies.
+	IsoWork int64
 }
 
 // Parallelism returns Work/Span, the average available parallelism.
@@ -30,15 +35,46 @@ func (m Metrics) Parallelism() float64 {
 }
 
 // Analyze computes work and span of the execution recorded in the tree.
+// Isolated regions lower-bound the span by their total work: the global
+// isolated lock admits one body at a time, so even with unboundedly many
+// processors, Σ IsoWork time passes inside isolated bodies.
 func Analyze(t *dpst.Tree) Metrics {
 	var work int64
+	iso := isoWork(t.Root)
 	t.Walk(func(n *dpst.Node) { work += n.Work })
 	end, pending := eval(t.Root, 0)
 	span := end
 	if pending > span {
 		span = pending
 	}
-	return Metrics{Work: work, Span: span}
+	if iso > span {
+		span = iso
+	}
+	return Metrics{Work: work, Span: span, IsoWork: iso}
+}
+
+// isoWork sums the work executed inside isolated regions. Collapsed
+// steps carry it in IsoWork; an uncollapsed IsoScope (NoCollapse replay)
+// contributes its whole subtree and is not descended into, so nested
+// isolated bodies are not double-counted.
+func isoWork(n *dpst.Node) int64 {
+	if n.Kind == dpst.Scope && n.Class == dpst.IsoScope {
+		var w int64
+		var sum func(c *dpst.Node)
+		sum = func(c *dpst.Node) {
+			w += c.Work
+			for _, g := range c.Children {
+				sum(g)
+			}
+		}
+		sum(n)
+		return w
+	}
+	w := n.IsoWork
+	for _, c := range n.Children {
+		w += isoWork(c)
+	}
+	return w
 }
 
 // eval returns (end, pending): the time at which n's sequential

@@ -59,6 +59,7 @@ const (
 	LoopIter
 	CallScope
 	BlockScope
+	IsoScope // body of an isolated statement (mutual exclusion region)
 )
 
 // Node is an S-DPST node.
@@ -89,9 +90,12 @@ type Node struct {
 
 	// Work is the node's own cost in abstract work units (nonzero only
 	// for steps); SubtreeWork aggregates the whole subtree and is filled
-	// in by Tree.AggregateWork.
+	// in by Tree.AggregateWork. IsoWork is the portion of Work performed
+	// inside isolated bodies: it serializes across tasks, so the critical
+	// path is at least the sum of IsoWork over the whole tree.
 	Work        int64
 	SubtreeWork int64
+	IsoWork     int64
 
 	// Forward is non-nil when this node was collapsed into a merged
 	// maximal step; Resolve follows the chain to the live node.
@@ -180,16 +184,23 @@ func (t *Tree) CollapseScope(n *Node) bool {
 		}
 	}
 	// Convert n in place into a step holding the subtree's work.
-	var work int64
+	var work, isoWork int64
 	for _, c := range n.Children {
 		work += c.Work
+		isoWork += c.IsoWork
 		c.Forward = n
+	}
+	if n.Class == IsoScope {
+		// Entering the isolated region makes all the contained work
+		// serialized, whether or not the steps inside tracked it.
+		isoWork = work
 	}
 	n.Kind = Step
 	n.Class = NotScope
 	n.Label = ""
 	n.Children = nil
 	n.Work = work
+	n.IsoWork = isoWork
 	n.Body = nil
 
 	// Merge with the immediately preceding sibling when it is a step of
@@ -209,6 +220,7 @@ func (t *Tree) CollapseScope(n *Node) bool {
 	prev := p.Children[idx-1]
 	if prev.Kind == Step && prev.OwnerBlock == n.OwnerBlock {
 		prev.Work += n.Work
+		prev.IsoWork += n.IsoWork
 		if n.StmtLo < prev.StmtLo {
 			prev.StmtLo = n.StmtLo
 		}

@@ -164,6 +164,10 @@ type interp struct {
 	// mid-expression.
 	siteBlock *ast.Block
 	siteIdx   int
+
+	// isoDepth is the lexical isolated-nesting depth of the current
+	// execution point (runtime backstop for the sem isolation check).
+	isoDepth int
 }
 
 // meterBatch is how many ticks elapse between flushes to the shared
@@ -467,6 +471,11 @@ func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
 		return ctrl{}
 
 	case *ast.AsyncStmt:
+		if in.isoDepth > 0 {
+			// Runtime backstop for the sem check: calls can smuggle an
+			// async into an isolated body only if the checker was bypassed.
+			throwf("async not allowed inside isolated at %s", st.AsyncPos)
+		}
 		in.ensureStep(b, idx)
 		in.tick()
 		in.pushNode(dpst.Async, dpst.NotScope, "async", st, b, idx, st.Body)
@@ -488,9 +497,24 @@ func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
 	case *ast.FinishStmt:
 		// Finish statements are free in the cost model so that repaired
 		// programs have exactly the work of the original.
+		if in.isoDepth > 0 {
+			throwf("finish not allowed inside isolated at %s", st.FinishPos)
+		}
 		in.pushNode(dpst.Finish, dpst.NotScope, "finish", st, b, idx, st.Body)
 		c := in.execBlock(f, st.Body)
 		in.popNode()
+		return c
+
+	case *ast.IsolatedStmt:
+		// Isolated statements are free in the cost model, like finish, so
+		// that repaired programs have exactly the work of the original.
+		// Serially the body just runs inline; the IsoScope class marks the
+		// region so collapse attributes its work as serialized IsoWork.
+		in.isoDepth++
+		in.pushNode(dpst.Scope, dpst.IsoScope, "isolated", st, b, idx, st.Body)
+		c := in.execBlock(f, st.Body)
+		in.popNode()
+		in.isoDepth--
 		return c
 
 	case *ast.BlockStmt:

@@ -280,34 +280,47 @@ type FinishStmt struct {
 	Synthesized bool
 }
 
+// IsolatedStmt executes Body under global mutual exclusion: no two
+// isolated bodies are ever interleaved, though the body still runs on
+// whichever task reaches it. Synthesized marks isolated blocks inserted
+// by the repair tool. Isolated bodies are scope-transparent like finish
+// bodies, and may not create or join tasks (no async/finish inside).
+type IsolatedStmt struct {
+	Body        *Block
+	IsoPos      token.Pos
+	Synthesized bool
+}
+
 // BlockStmt wraps a nested plain block used as a statement.
 type BlockStmt struct {
 	Body *Block
 }
 
 // Pos implementations.
-func (s *Block) Pos() token.Pos       { return s.LbPos }
-func (s *VarDeclStmt) Pos() token.Pos { return s.VarPos }
-func (s *AssignStmt) Pos() token.Pos  { return s.LHS.Pos() }
-func (s *IfStmt) Pos() token.Pos      { return s.IfPos }
-func (s *WhileStmt) Pos() token.Pos   { return s.WhilePos }
-func (s *ForStmt) Pos() token.Pos     { return s.ForPos }
-func (s *ReturnStmt) Pos() token.Pos  { return s.RetPos }
-func (s *ExprStmt) Pos() token.Pos    { return s.X.Pos() }
-func (s *AsyncStmt) Pos() token.Pos   { return s.AsyncPos }
-func (s *FinishStmt) Pos() token.Pos  { return s.FinishPos }
-func (s *BlockStmt) Pos() token.Pos   { return s.Body.Pos() }
+func (s *Block) Pos() token.Pos        { return s.LbPos }
+func (s *VarDeclStmt) Pos() token.Pos  { return s.VarPos }
+func (s *AssignStmt) Pos() token.Pos   { return s.LHS.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.RetPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *AsyncStmt) Pos() token.Pos    { return s.AsyncPos }
+func (s *FinishStmt) Pos() token.Pos   { return s.FinishPos }
+func (s *IsolatedStmt) Pos() token.Pos { return s.IsoPos }
+func (s *BlockStmt) Pos() token.Pos    { return s.Body.Pos() }
 
-func (*VarDeclStmt) stmtNode() {}
-func (*AssignStmt) stmtNode()  {}
-func (*IfStmt) stmtNode()      {}
-func (*WhileStmt) stmtNode()   {}
-func (*ForStmt) stmtNode()     {}
-func (*ReturnStmt) stmtNode()  {}
-func (*ExprStmt) stmtNode()    {}
-func (*AsyncStmt) stmtNode()   {}
-func (*FinishStmt) stmtNode()  {}
-func (*BlockStmt) stmtNode()   {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*AsyncStmt) stmtNode()    {}
+func (*FinishStmt) stmtNode()   {}
+func (*IsolatedStmt) stmtNode() {}
+func (*BlockStmt) stmtNode()    {}
 
 // ----------------------------------------------------------------------
 // Declarations and programs

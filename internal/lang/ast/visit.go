@@ -55,6 +55,8 @@ func StmtBlocks(s Stmt) []*Block {
 		return []*Block{st.Body}
 	case *FinishStmt:
 		return []*Block{st.Body}
+	case *IsolatedStmt:
+		return []*Block{st.Body}
 	case *BlockStmt:
 		return []*Block{st.Body}
 	}

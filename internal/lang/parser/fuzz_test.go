@@ -18,6 +18,9 @@ func FuzzParse(f *testing.F) {
 		"func f(n int) int { if (n < 2) { return n; } return f(n-1) + f(n-2); }\nfunc main() { println(f(10)); }",
 		"func main() { for (var i = 0; i < 4; i = i + 1) { async { println(i); } } }",
 		"func main() { while (true) { } }",
+		"var g = 0;\nfunc main() { isolated { g = g + 1; } }",
+		"func main() { isolated { } }",
+		"var g = 0;\nfunc main() { finish { async { isolated { isolated { g = g * 2; } } } } }",
 		"{{{{",
 		"func main() { g[0 }",
 		strings.Repeat("}", 200),

@@ -252,6 +252,10 @@ func (p *parser) parseStmt() ast.Stmt {
 		pos := p.tok.Pos
 		p.next()
 		return &ast.FinishStmt{Body: p.parseStmtAsBlock(), FinishPos: pos}
+	case token.KwIsolated:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.IsolatedStmt{Body: p.parseStmtAsBlock(), IsoPos: pos}
 	case token.LBRACE:
 		return &ast.BlockStmt{Body: p.parseBlock()}
 	default:

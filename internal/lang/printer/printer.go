@@ -152,6 +152,16 @@ func (p *printer) stmt(s ast.Stmt) {
 		p.blockBody(st.Body)
 		p.indent--
 		p.line("}")
+	case *ast.IsolatedStmt:
+		mark := ""
+		if st.Synthesized {
+			mark = " // inserted by repair tool"
+		}
+		p.line("isolated {%s", mark)
+		p.indent++
+		p.blockBody(st.Body)
+		p.indent--
+		p.line("}")
 	case *ast.BlockStmt:
 		p.line("{")
 		p.indent++

@@ -53,6 +53,65 @@ func main() {
 	}
 }
 
+// TestIsolatedGolden locks the printed form of isolated blocks in every
+// position repair can produce them: at statement level, nested inside
+// async and finish, empty, and isolated-in-isolated. Print → reparse →
+// print must be a fixed point.
+func TestIsolatedGolden(t *testing.T) {
+	src := `
+var g = 0;
+func main() {
+    isolated { g = g + 1; }
+    finish {
+        async {
+            isolated {
+                g = g * 2;
+                isolated { g = g - 1; }
+            }
+        }
+        isolated { }
+    }
+    println(g);
+}
+`
+	prog := parser.MustParse(src)
+	out := printer.Print(prog)
+	for _, want := range []string{
+		"isolated {\n        g = g + 1;",
+		"isolated {\n                g = g * 2;",
+		"isolated {\n                    g = g - 1;",
+		"isolated {\n        }",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+	reparsed, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("printed program unparsable: %v\n%s", err, out)
+	}
+	if printer.Print(reparsed) != out {
+		t.Errorf("isolated printing not a fixed point:\nfirst:\n%s\nsecond:\n%s", out, printer.Print(reparsed))
+	}
+}
+
+func TestSynthesizedIsolatedMarker(t *testing.T) {
+	prog := parser.MustParse("var g = 0;\nfunc main() { g = g + 1; }")
+	main := prog.Func("main")
+	iso := &ast.IsolatedStmt{
+		Body:        prog.NewBlock(main.Body.LbPos, main.Body.Stmts),
+		Synthesized: true,
+	}
+	main.Body.Stmts = []ast.Stmt{iso}
+	out := printer.Print(prog)
+	if !strings.Contains(out, "isolated { // inserted by repair tool") {
+		t.Errorf("missing synthesized marker on isolated:\n%s", out)
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSynthesizedMarker(t *testing.T) {
 	prog := parser.MustParse("func main() { println(1); }")
 	main := prog.Func("main")

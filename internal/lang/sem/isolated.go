@@ -1,0 +1,161 @@
+// Isolation checking: isolated bodies run under global mutual exclusion
+// and must not create or join tasks. Direct async/finish inside an
+// isolated body is rejected in checkStmt; calls are recorded and checked
+// here against the transitive "creates tasks" relation so that
+//
+//	isolated { f(); }   where  func f() { async { ... } }
+//
+// is rejected just like the inlined form.
+package sem
+
+import (
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/token"
+)
+
+type isoCall struct {
+	fn  *ast.FuncDecl
+	pos token.Pos
+}
+
+// checkIsolatedCalls validates every user-function call recorded inside
+// an isolated body against TaskfulFuncs.
+func (c *checker) checkIsolatedCalls() {
+	if len(c.isoCalls) == 0 {
+		return
+	}
+	taskful := TaskfulFuncs(c.info.Prog)
+	for _, call := range c.isoCalls {
+		if taskful[call.fn] {
+			c.errorf(call.pos, "call inside isolated: %s creates or joins tasks (async/finish reached through the call)", call.fn.Name)
+		}
+	}
+}
+
+// TaskfulFuncs computes the set of functions that contain an async or
+// finish statement, directly or transitively through calls. Exported for
+// static analysis (hjvet) and the repair strategy gate.
+func TaskfulFuncs(prog *ast.Program) map[*ast.FuncDecl]bool {
+	direct := make(map[*ast.FuncDecl]bool)
+	callees := make(map[*ast.FuncDecl][]*ast.FuncDecl)
+	for _, fn := range prog.Funcs {
+		fn := fn
+		walkBlockStmts(fn.Body, func(s ast.Stmt) {
+			switch s.(type) {
+			case *ast.AsyncStmt, *ast.FinishStmt:
+				direct[fn] = true
+			}
+			forEachStmtExpr(s, func(e ast.Expr) {
+				walkExprCalls(e, func(call *ast.CallExpr) {
+					if target, ok := call.Target.(*ast.FuncDecl); ok {
+						callees[fn] = append(callees[fn], target)
+					}
+				})
+			})
+		})
+	}
+	// Propagate taskful-ness backwards over the call graph to fixpoint.
+	taskful := make(map[*ast.FuncDecl]bool, len(direct))
+	for fn := range direct {
+		taskful[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if taskful[fn] {
+				continue
+			}
+			for _, callee := range cs {
+				if taskful[callee] {
+					taskful[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return taskful
+}
+
+// walkBlockStmts visits every statement in b, recursing into nested
+// blocks (if/while/for/async/finish/isolated bodies).
+func walkBlockStmts(b *ast.Block, visit func(ast.Stmt)) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		visit(s)
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			walkBlockStmts(st.Then, visit)
+			walkBlockStmts(st.Else, visit)
+		case *ast.WhileStmt:
+			walkBlockStmts(st.Body, visit)
+		case *ast.ForStmt:
+			if st.Init != nil {
+				visit(st.Init)
+			}
+			if st.Post != nil {
+				visit(st.Post)
+			}
+			walkBlockStmts(st.Body, visit)
+		case *ast.AsyncStmt:
+			walkBlockStmts(st.Body, visit)
+		case *ast.FinishStmt:
+			walkBlockStmts(st.Body, visit)
+		case *ast.IsolatedStmt:
+			walkBlockStmts(st.Body, visit)
+		case *ast.BlockStmt:
+			walkBlockStmts(st.Body, visit)
+		}
+	}
+}
+
+// forEachStmtExpr visits the expressions held directly by s (bodies are
+// covered by walkBlockStmts).
+func forEachStmtExpr(s ast.Stmt, visit func(ast.Expr)) {
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		if st.Init != nil {
+			visit(st.Init)
+		}
+	case *ast.AssignStmt:
+		visit(st.LHS)
+		visit(st.RHS)
+	case *ast.ExprStmt:
+		visit(st.X)
+	case *ast.ReturnStmt:
+		if st.Value != nil {
+			visit(st.Value)
+		}
+	case *ast.IfStmt:
+		visit(st.Cond)
+	case *ast.WhileStmt:
+		visit(st.Cond)
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			visit(st.Cond)
+		}
+	}
+}
+
+// walkExprCalls visits every CallExpr within e, including nested ones.
+func walkExprCalls(e ast.Expr, visit func(*ast.CallExpr)) {
+	switch ex := e.(type) {
+	case *ast.BinaryExpr:
+		walkExprCalls(ex.X, visit)
+		walkExprCalls(ex.Y, visit)
+	case *ast.UnaryExpr:
+		walkExprCalls(ex.X, visit)
+	case *ast.IndexExpr:
+		walkExprCalls(ex.X, visit)
+		walkExprCalls(ex.Index, visit)
+	case *ast.MakeExpr:
+		walkExprCalls(ex.Len, visit)
+	case *ast.CallExpr:
+		visit(ex)
+		for _, a := range ex.Args {
+			walkExprCalls(a, visit)
+		}
+	}
+}

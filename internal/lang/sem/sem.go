@@ -111,6 +111,12 @@ type checker struct {
 	curFn    *ast.FuncDecl
 	nextSlot int
 	funcs    map[string]*ast.FuncDecl
+
+	// isoDepth tracks lexical nesting inside isolated bodies; isoCalls
+	// records user-function calls made there, validated after all
+	// functions are known (a callee may transitively create tasks).
+	isoDepth int
+	isoCalls []isoCall
 }
 
 // Check resolves and type-checks prog, annotating the AST. It returns the
@@ -147,6 +153,7 @@ func Check(prog *ast.Program) (*Info, error) {
 	for _, fn := range prog.Funcs {
 		c.checkFunc(fn)
 	}
+	c.checkIsolatedCalls()
 
 	if main := prog.Func("main"); main == nil {
 		c.errorf(token.Pos{Line: 1, Col: 1}, "program has no main function")
@@ -263,11 +270,24 @@ func (c *checker) checkStmt(s ast.Stmt) {
 		c.checkBlock(st.Body, true)
 		c.pop()
 	case *ast.AsyncStmt:
+		if c.isoDepth > 0 {
+			c.errorf(st.AsyncPos, "async not allowed inside isolated")
+		}
 		c.checkBlock(st.Body, true)
 	case *ast.FinishStmt:
+		if c.isoDepth > 0 {
+			c.errorf(st.FinishPos, "finish not allowed inside isolated")
+		}
 		// Scope-transparent: declarations inside the finish body remain
 		// visible after it.
 		c.checkBlock(st.Body, false)
+	case *ast.IsolatedStmt:
+		// Scope-transparent like finish: an isolated inserted by the
+		// repair tool around a statement range must not capture variable
+		// declarations used after the range.
+		c.isoDepth++
+		c.checkBlock(st.Body, false)
+		c.isoDepth--
 	case *ast.BlockStmt:
 		c.checkBlock(st.Body, true)
 	default:
@@ -487,6 +507,9 @@ func (c *checker) callType(ex *ast.CallExpr) ast.Type {
 		return nil
 	}
 	ex.Target = fn
+	if c.isoDepth > 0 {
+		c.isoCalls = append(c.isoCalls, isoCall{fn: fn, pos: ex.FunPos})
+	}
 	if len(args) != len(fn.Params) {
 		c.errorf(ex.FunPos, "%s expects %d arguments, got %d", ex.Fun, len(fn.Params), len(args))
 		return fn.Ret

@@ -66,6 +66,7 @@ const (
 	// Keywords.
 	KwAsync
 	KwFinish
+	KwIsolated
 	KwFunc
 	KwVar
 	KwIf
@@ -91,7 +92,8 @@ var names = map[Kind]string{
 	ASSIGN: "=", ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=", QUOASSIGN: "/=",
 	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
 	LBRACK: "[", RBRACK: "]", COMMA: ",", SEMI: ";",
-	KwAsync: "async", KwFinish: "finish", KwFunc: "func", KwVar: "var",
+	KwAsync: "async", KwFinish: "finish", KwIsolated: "isolated",
+	KwFunc: "func", KwVar: "var",
 	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
 	KwReturn: "return", KwTrue: "true", KwFalse: "false",
 	KwInt: "int", KwFloat: "float", KwBool: "bool", KwStringTy: "string",
@@ -107,7 +109,8 @@ func (k Kind) String() string {
 
 // Keywords maps keyword spellings to their token kinds.
 var Keywords = map[string]Kind{
-	"async": KwAsync, "finish": KwFinish, "func": KwFunc, "var": KwVar,
+	"async": KwAsync, "finish": KwFinish, "isolated": KwIsolated,
+	"func": KwFunc, "var": KwVar,
 	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
 	"return": KwReturn, "true": KwTrue, "false": KwFalse,
 	"int": KwInt, "float": KwFloat, "bool": KwBool, "string": KwStringTy,

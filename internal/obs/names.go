@@ -48,6 +48,8 @@ var KnownMetrics = map[string]string{
 	"repair.stage_detect_ns":      "histogram",
 	"repair.stage_place_ns":       "histogram",
 	"repair.stage_rewrite_ns":     "histogram",
+	"repair.strategy_chosen":      "counter",
+	"repair.cpl_delta":            "histogram",
 
 	// fault: injection (faults) and containment (guard) — one domain
 	// prefix shared by both packages.
@@ -74,5 +76,6 @@ var KnownMetrics = map[string]string{
 	"vet.diag.redundant_finish":    "counter",
 	"vet.diag.unscoped_async_loop": "counter",
 	"vet.diag.write_after_async":   "counter",
+	"vet.diag.redundant_isolated":  "counter",
 	"vet.diag.dead_stmt":           "counter",
 }

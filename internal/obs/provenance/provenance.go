@@ -52,12 +52,15 @@ type RacePair struct {
 	Kind   string `json:"kind,omitempty"` // "write-write", "read-write", ...
 }
 
-// Finish describes the placement the DP chose: the block the finish
-// wraps and the statement index range [Lo, Hi] it encloses.
+// Finish describes the placement the repair chose: the block the
+// synthesized scope wraps and the statement index range [Lo, Hi] it
+// encloses. Kind is "isolated" for isolated-wrapping repairs and empty
+// (implicitly "finish") for the classic finish insertion.
 type Finish struct {
-	Pos string `json:"pos,omitempty"` // position of the first wrapped statement
-	Lo  int    `json:"lo"`
-	Hi  int    `json:"hi"`
+	Pos  string `json:"pos,omitempty"` // position of the first wrapped statement
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+	Kind string `json:"kind,omitempty"`
 }
 
 // Group is the per-NS-LCA placement decision: the races funneled into
@@ -79,6 +82,14 @@ type Group struct {
 	// finish placed for an earlier group this iteration.
 	PrunedSerial bool   `json:"pruned_serial,omitempty"`
 	Note         string `json:"note,omitempty"`
+	// Strategy records the repair strategy chosen for this group
+	// ("finish" or "isolated") when the loop evaluated alternatives, and
+	// StrategyWhy the reason. FinishSpan/IsolatedSpan are the probed
+	// post-repair critical paths (0 when a candidate was not probed).
+	Strategy     string `json:"strategy,omitempty"`
+	StrategyWhy  string `json:"strategy_why,omitempty"`
+	FinishSpan   int64  `json:"finish_span,omitempty"`
+	IsolatedSpan int64  `json:"isolated_span,omitempty"`
 }
 
 // Iteration is one round of the detect → group → place loop.
@@ -101,6 +112,9 @@ type FinishEntry struct {
 	Fallback  bool       `json:"fallback,omitempty"`
 	CPLBefore CPL        `json:"cpl_before"`
 	CPLAfter  CPL        `json:"cpl_after"`
+	// Strategy/StrategyWhy mirror the owning group's strategy choice.
+	Strategy    string `json:"strategy,omitempty"`
+	StrategyWhy string `json:"strategy_why,omitempty"`
 }
 
 // WitnessRec is one replayed race witness: the schedule under which the
@@ -197,14 +211,16 @@ func (e *Explain) Finalize() {
 			}
 			for _, f := range g.Chosen {
 				e.Finishes = append(e.Finishes, FinishEntry{
-					Iteration: it.N,
-					Finish:    f,
-					LCA:       g.LCA,
-					Races:     g.Races,
-					DPStates:  g.DPStates,
-					Fallback:  g.Fallback,
-					CPLBefore: before,
-					CPLAfter:  after,
+					Iteration:   it.N,
+					Finish:      f,
+					LCA:         g.LCA,
+					Races:       g.Races,
+					DPStates:    g.DPStates,
+					Fallback:    g.Fallback,
+					CPLBefore:   before,
+					CPLAfter:    after,
+					Strategy:    g.Strategy,
+					StrategyWhy: g.StrategyWhy,
 				})
 			}
 		}
@@ -243,10 +259,17 @@ func (e *Explain) WriteText(w io.Writer) error {
 		fmt.Fprintln(w, "no finishes inserted (program already race-free or repair degraded)")
 	}
 	for i, f := range e.Finishes {
-		fmt.Fprintf(w, "\nfinish %d (iteration %d): wrap statements %d..%d at %s\n",
-			i+1, f.Iteration, f.Finish.Lo, f.Finish.Hi, orUnknown(f.Finish.Pos))
+		kind := f.Finish.Kind
+		if kind == "" {
+			kind = "finish"
+		}
+		fmt.Fprintf(w, "\n%s %d (iteration %d): wrap statements %d..%d at %s\n",
+			kind, i+1, f.Iteration, f.Finish.Lo, f.Finish.Hi, orUnknown(f.Finish.Pos))
 		fmt.Fprintf(w, "  why: %d race(s) share NS-LCA %s node #%d at %s\n",
 			len(f.Races), f.LCA.Kind, f.LCA.ID, orUnknown(f.LCA.Pos))
+		if f.Strategy != "" {
+			fmt.Fprintf(w, "  strategy: %s (%s)\n", f.Strategy, f.StrategyWhy)
+		}
 		for _, r := range f.Races {
 			fmt.Fprintf(w, "    race on %s: %s vs %s", r.Loc, orUnknown(r.First.Pos), orUnknown(r.Second.Pos))
 			if r.Kind != "" {

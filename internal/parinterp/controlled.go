@@ -175,9 +175,11 @@ func (p *par) recordPanic(r any) {
 }
 
 // yield offers the controller a preemption point; a no-op outside
-// controlled mode.
+// controlled mode and inside isolated bodies (holding the token through
+// the whole body is exactly the mutual exclusion isolated promises, so
+// no schedule can interleave with it).
 func (p *par) yield(c *tctx, op PointOp, loc uint64) {
-	if p.ctl == nil {
+	if p.ctl == nil || c.isoDepth > 0 {
 		return
 	}
 	p.ctl.Yield(c.id, Point{Op: op, Loc: loc, Pos: c.pos})

@@ -64,9 +64,10 @@ type Result struct {
 // controller task id plus the innermost statement position in
 // controlled mode.
 type tctx struct {
-	tp  *taskpar.Ctx // nil in controlled mode
-	id  int          // controller task id (controlled mode)
-	pos token.Pos    // innermost statement position (controlled mode)
+	tp       *taskpar.Ctx // nil in controlled mode
+	id       int          // controller task id (controlled mode)
+	pos      token.Pos    // innermost statement position (controlled mode)
+	isoDepth int          // isolated-statement nesting depth (this task)
 }
 
 // Run executes the checked program in parallel.
@@ -130,13 +131,20 @@ type par struct {
 	outMu sync.Mutex
 	out   bytes.Buffer
 
+	// isoMu is the global isolated lock (free-running mode): one isolated
+	// body runs at a time, matching the serial interpreter's mutual-
+	// exclusion semantics. Controlled mode needs no lock — the scheduler
+	// token plus yield suppression inside isolated bodies already makes
+	// them atomic.
+	isoMu sync.Mutex
+
 	// Controlled-mode state: the external scheduler, the next array
 	// location (allocation is serialized by the token, so no lock), the
 	// spawned-task join group, and the first failure.
-	ctl     Controller
-	nextLoc uint64
-	wg      sync.WaitGroup
-	errMu   sync.Mutex
+	ctl      Controller
+	nextLoc  uint64
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
 	firstErr error
 }
 
@@ -248,6 +256,9 @@ func (p *par) execStmt(c *tctx, f *frame, s ast.Stmt) ctrl {
 		}
 		return ctrl{}
 	case *ast.AsyncStmt:
+		if c.isoDepth > 0 {
+			panic(&interp.RuntimeError{Msg: "async not allowed inside isolated"})
+		}
 		p.tick()
 		// By-value snapshot of the parent frame (final-variable capture).
 		child := &frame{slots: make([]interp.Value, len(f.slots))}
@@ -265,6 +276,9 @@ func (p *par) execStmt(c *tctx, f *frame, s ast.Stmt) ctrl {
 		})
 		return ctrl{}
 	case *ast.FinishStmt:
+		if c.isoDepth > 0 {
+			panic(&interp.RuntimeError{Msg: "finish not allowed inside isolated"})
+		}
 		if p.ctl != nil {
 			scope := p.ctl.FinishEnter(c.id)
 			r := p.execBlock(c, f, st.Body)
@@ -276,10 +290,28 @@ func (p *par) execStmt(c *tctx, f *frame, s ast.Stmt) ctrl {
 			r = p.execBlock(&tctx{tp: cc}, f, st.Body)
 		})
 		return r
+	case *ast.IsolatedStmt:
+		return p.execIsolated(c, f, st)
 	case *ast.BlockStmt:
 		return p.execBlock(c, f, st.Body)
 	}
 	panic(&interp.RuntimeError{Msg: "unknown statement"})
+}
+
+// execIsolated runs st.Body under global mutual exclusion. Free-running
+// mode takes the global isolated lock (outermost level only — the lock
+// is not re-entrant, but nested isolated is already exclusive).
+// Controlled mode relies on the scheduler token: yield suppresses itself
+// while isoDepth > 0, so the body runs atomically under whichever
+// schedule the controller picked.
+func (p *par) execIsolated(c *tctx, f *frame, st *ast.IsolatedStmt) ctrl {
+	if p.ctl == nil && c.isoDepth == 0 {
+		p.isoMu.Lock()
+		defer p.isoMu.Unlock()
+	}
+	c.isoDepth++
+	defer func() { c.isoDepth-- }()
+	return p.execBlock(c, f, st.Body)
 }
 
 func (p *par) execAssign(c *tctx, f *frame, st *ast.AssignStmt) {

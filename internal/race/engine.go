@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/trace"
 )
 
 // EngineKind selects a race-detector backend.
@@ -119,15 +120,15 @@ func NewDifferential(primary, secondary Engine) *Differential {
 func (d *Differential) Name() string { return "both" }
 
 // Read forwards to both engines.
-func (d *Differential) Read(loc uint64, step *dpst.Node) {
-	d.primary.Read(loc, step)
-	d.secondary.Read(loc, step)
+func (d *Differential) Read(loc uint64, step *dpst.Node, site trace.Site) {
+	d.primary.Read(loc, step, site)
+	d.secondary.Read(loc, step, site)
 }
 
 // Write forwards to both engines.
-func (d *Differential) Write(loc uint64, step *dpst.Node) {
-	d.primary.Write(loc, step)
-	d.secondary.Write(loc, step)
+func (d *Differential) Write(loc uint64, step *dpst.Node, site trace.Site) {
+	d.primary.Write(loc, step, site)
+	d.secondary.Write(loc, step, site)
 }
 
 // TaskStart forwards to both engines.

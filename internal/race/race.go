@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/trace"
 )
 
 // Kind classifies a race by the access kinds of source and sink.
@@ -56,11 +57,16 @@ func (k Kind) String() string {
 }
 
 // Race is a data race between two step instances on one location. Src is
-// the DFS-earlier step (the source, paper §4.2), Dst the sink.
+// the DFS-earlier step (the source, paper §4.2), Dst the sink. SrcSite
+// and DstSite are the static coordinates of the racing accesses
+// themselves — more precise than the merged maximal steps, which may
+// span many statements — recorded so the isolated repair strategy can
+// wrap exactly the racing statements.
 type Race struct {
-	Src, Dst *dpst.Node
-	Loc      uint64
-	Kind     Kind
+	Src, Dst         *dpst.Node
+	Loc              uint64
+	Kind             Kind
+	SrcSite, DstSite trace.Site
 }
 
 // String renders the race for diagnostics.
@@ -116,10 +122,14 @@ type Releaser interface {
 	Release()
 }
 
-// Detector is the common interface of SRW and MRW.
+// Detector is the common interface of SRW and MRW. Accesses carry their
+// static site; two accesses whose sites are both isolated are ordered by
+// the global isolated lock and never race (the suppression lives here,
+// in the detectors, so every oracle-backed engine shares one rule and
+// the differential cross-check stays honest for free).
 type Detector interface {
-	Read(loc uint64, step *dpst.Node)
-	Write(loc uint64, step *dpst.Node)
+	Read(loc uint64, step *dpst.Node, site trace.Site)
+	Write(loc uint64, step *dpst.Node, site trace.Site)
 	TaskStart(n *dpst.Node)
 	TaskEnd(n *dpst.Node)
 	FinishStart(n *dpst.Node)
@@ -128,10 +138,11 @@ type Detector interface {
 	Races() []*Race
 }
 
-// access is one recorded shadow-memory entry: 16 bytes, no boxing.
+// access is one recorded shadow-memory entry: unboxed.
 type access struct {
 	step *dpst.Node
 	tag  uint64
+	site trace.Site
 }
 
 type raceKey struct {
@@ -158,8 +169,8 @@ func (rc *recorder) reset() {
 	rc.cache = nil
 }
 
-func (rc *recorder) report(src, dst *dpst.Node, loc uint64, kind Kind) {
-	rc.races = append(rc.races, Race{Src: src, Dst: dst, Loc: loc, Kind: kind})
+func (rc *recorder) report(src, dst *dpst.Node, loc uint64, kind Kind, srcSite, dstSite trace.Site) {
+	rc.races = append(rc.races, Race{Src: src, Dst: dst, Loc: loc, Kind: kind, SrcSite: srcSite, DstSite: dstSite})
 	rc.cache = nil
 }
 
@@ -195,7 +206,7 @@ func (rc *recorder) resolved() []*Race {
 			continue
 		}
 		rc.seen[k] = int32(len(arena))
-		arena = append(arena, Race{Src: src, Dst: dst, Loc: r.Loc, Kind: r.Kind})
+		arena = append(arena, Race{Src: src, Dst: dst, Loc: r.Loc, Kind: r.Kind, SrcSite: r.SrcSite, DstSite: r.DstSite})
 	}
 	out := make([]*Race, len(arena))
 	for i := range arena {
@@ -243,32 +254,35 @@ func (d *SRW) cell(loc uint64) *srwCell {
 }
 
 // Read handles a read of loc by step.
-func (d *SRW) Read(loc uint64, step *dpst.Node) {
+func (d *SRW) Read(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	if c.writer.step != nil && c.writer.step != step &&
-		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) {
-		d.rec.report(c.writer.step, step, loc, WriteRead)
+		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) &&
+		!(c.writer.site.Iso && site.Iso) {
+		d.rec.report(c.writer.step, step, loc, WriteRead, c.writer.site, site)
 	}
 	// Keep the reader slot pointing at a still-parallel reader: replace
 	// it only when the recorded reader has become ordered (the SP-bags
 	// update rule).
 	if c.reader.step == nil || d.oracle.Ordered(c.reader.tag, c.reader.step, step) {
-		c.reader = access{step: step, tag: d.oracle.Tag()}
+		c.reader = access{step: step, tag: d.oracle.Tag(), site: site}
 	}
 }
 
 // Write handles a write of loc by step.
-func (d *SRW) Write(loc uint64, step *dpst.Node) {
+func (d *SRW) Write(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	if c.writer.step != nil && c.writer.step != step &&
-		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) {
-		d.rec.report(c.writer.step, step, loc, WriteWrite)
+		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) &&
+		!(c.writer.site.Iso && site.Iso) {
+		d.rec.report(c.writer.step, step, loc, WriteWrite, c.writer.site, site)
 	}
 	if c.reader.step != nil && c.reader.step != step &&
-		!d.oracle.Ordered(c.reader.tag, c.reader.step, step) {
-		d.rec.report(c.reader.step, step, loc, ReadWrite)
+		!d.oracle.Ordered(c.reader.tag, c.reader.step, step) &&
+		!(c.reader.site.Iso && site.Iso) {
+		d.rec.report(c.reader.step, step, loc, ReadWrite, c.reader.site, site)
 	}
-	c.writer = access{step: step, tag: d.oracle.Tag()}
+	c.writer = access{step: step, tag: d.oracle.Tag(), site: site}
 }
 
 // TaskStart forwards to the oracle.
@@ -304,8 +318,10 @@ type mrwList struct {
 	scanned  int // how far scanStep itself has already examined the list
 	scanStep *dpst.Node
 	scanKind Kind // race kind the watermark scan reported under
+	scanIso  bool // isolation state the watermark scan ran under
 	scanTag  uint64
 	last     *dpst.Node // most recently appended step, for dedupe
+	lastIso  bool       // isolation state of the last appended access
 }
 
 func (l *mrwList) reset() {
@@ -314,8 +330,10 @@ func (l *mrwList) reset() {
 	l.ord = 0
 	l.scanned = 0
 	l.scanStep = nil
+	l.scanIso = false
 	l.scanTag = 0
 	l.last = nil
+	l.lastIso = false
 }
 
 type mrwCell struct {
@@ -403,19 +421,21 @@ func (d *MRW) cell(loc uint64) *mrwCell {
 // every entry proven ordered before step is swapped into the accs[:ord]
 // prefix and the scan point becomes step, so the next access that step
 // is ordered before skips the prefix entirely.
-func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind) {
+func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trace.Site) {
 	i := 0
 	switch {
-	case l.scanStep == step && l.scanKind == kind:
-		// Same step scanning under the same race kind: everything up to
-		// the watermark was already examined against this very step
-		// (ordered entries moved into the prefix, races reported); only
-		// entries appended since remain.
+	case l.scanStep == step && l.scanKind == kind && l.scanIso == site.Iso:
+		// Same step scanning under the same race kind and isolation
+		// state: everything up to the watermark was already examined
+		// against this very step (ordered entries moved into the prefix,
+		// races reported or iso-suppressed identically); only entries
+		// appended since remain.
 		i = l.scanned
 	case l.scanStep == step:
 		// Same step but a different kind (a step that read loc now writes
-		// it): the ordered prefix still holds, but racing entries in
-		// accs[ord:] must be re-reported under the new kind.
+		// it) or a different isolation state (a merged step accessing loc
+		// both inside and outside isolated): the ordered prefix still
+		// holds, but entries in accs[ord:] must be re-examined.
 		i = l.ord
 	case l.scanStep != nil && d.oracle.Ordered(l.scanTag, l.scanStep, step):
 		i = l.ord
@@ -437,41 +457,50 @@ func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind) {
 			ord = d.oracle.Ordered(a.tag, a.step, step)
 			memoTag, memoOrd, memoValid = a.tag, ord, true
 		}
-		if ord {
+		switch {
+		case ord:
 			l.accs[i] = l.accs[l.ord]
 			l.accs[l.ord] = a
 			l.ord++
-		} else {
-			d.rec.report(a.step, step, loc, kind)
+		case a.site.Iso && site.Iso:
+			// Both accesses isolated: ordered by the global isolated
+			// lock. The entry stays OUT of the ordered prefix — the
+			// suppression is pairwise, not transitive, so a later
+			// non-isolated access must still examine it.
+		default:
+			d.rec.report(a.step, step, loc, kind, a.site, site)
 		}
 	}
 	l.scanStep = step
 	l.scanKind = kind
+	l.scanIso = site.Iso
 	l.scanTag = d.oracle.Tag()
 	l.scanned = len(l.accs)
 }
 
 // Read handles a read of loc by step.
-func (d *MRW) Read(loc uint64, step *dpst.Node) {
+func (d *MRW) Read(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
-	d.scan(&c.writers, step, loc, WriteRead)
-	if c.readers.last == step {
-		return // same step re-reading
+	d.scan(&c.writers, step, loc, WriteRead, site)
+	if c.readers.last == step && c.readers.lastIso == site.Iso {
+		return // same step re-reading under the same isolation state
 	}
 	c.readers.last = step
-	c.readers.accs = append(c.readers.accs, access{step: step, tag: d.oracle.Tag()})
+	c.readers.lastIso = site.Iso
+	c.readers.accs = append(c.readers.accs, access{step: step, tag: d.oracle.Tag(), site: site})
 }
 
 // Write handles a write of loc by step.
-func (d *MRW) Write(loc uint64, step *dpst.Node) {
+func (d *MRW) Write(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
-	d.scan(&c.writers, step, loc, WriteWrite)
-	d.scan(&c.readers, step, loc, ReadWrite)
-	if c.writers.last == step {
+	d.scan(&c.writers, step, loc, WriteWrite, site)
+	d.scan(&c.readers, step, loc, ReadWrite, site)
+	if c.writers.last == step && c.writers.lastIso == site.Iso {
 		return
 	}
 	c.writers.last = step
-	c.writers.accs = append(c.writers.accs, access{step: step, tag: d.oracle.Tag()})
+	c.writers.lastIso = site.Iso
+	c.writers.accs = append(c.writers.accs, access{step: step, tag: d.oracle.Tag(), site: site})
 }
 
 // TaskStart forwards to the oracle.

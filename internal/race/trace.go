@@ -7,32 +7,56 @@ import (
 	"io"
 
 	"finishrepair/internal/dpst"
+	"finishrepair/internal/trace"
 )
 
 // The paper's tool writes the detected races to trace files which the
 // repair passes then read back ("the time to repair is dominated by the
 // time taken to read the trace files", §7.2). We mirror that boundary:
 // WriteTrace serializes races, ReadTrace deserializes them against the
-// S-DPST of the same execution.
+// S-DPST of the same execution. Version 2 of the record carries the
+// access sites (block, statement, isolation bit per endpoint) that the
+// isolated repair strategy needs.
 
 const traceMagic = uint32(0x53445054) // "SDPT"
+
+// raceTraceVersion is the current race-trace record version.
+const raceTraceVersion = uint32(2)
+
+// record layout (38 bytes): srcID(4) dstID(4) loc(8) kind(1) flags(1)
+// srcBlock(4) srcStmt(4) dstBlock(4) dstStmt(4) reserved(4); flags bit 0
+// is SrcSite.Iso, bit 1 is DstSite.Iso.
+const recLen = 38
 
 // WriteTrace serializes races to w in the binary trace format.
 func WriteTrace(w io.Writer, races []*Race) error {
 	bw := bufio.NewWriter(w)
-	var hdr [8]byte
+	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], traceMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(races)))
+	binary.LittleEndian.PutUint32(hdr[4:8], raceTraceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(races)))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var rec [21]byte
+	var rec [recLen]byte
 	for _, r := range races {
 		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.Src.ID))
 		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.Dst.ID))
 		binary.LittleEndian.PutUint64(rec[8:16], r.Loc)
 		rec[16] = byte(r.Kind)
-		binary.LittleEndian.PutUint32(rec[17:21], 0) // reserved
+		var flags byte
+		if r.SrcSite.Iso {
+			flags |= 1
+		}
+		if r.DstSite.Iso {
+			flags |= 2
+		}
+		rec[17] = flags
+		binary.LittleEndian.PutUint32(rec[18:22], uint32(r.SrcSite.Block))
+		binary.LittleEndian.PutUint32(rec[22:26], uint32(r.SrcSite.Stmt))
+		binary.LittleEndian.PutUint32(rec[26:30], uint32(r.DstSite.Block))
+		binary.LittleEndian.PutUint32(rec[30:34], uint32(r.DstSite.Stmt))
+		binary.LittleEndian.PutUint32(rec[34:38], 0) // reserved
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -44,20 +68,23 @@ func WriteTrace(w io.Writer, races []*Race) error {
 // IDs against tree.
 func ReadTrace(r io.Reader, tree *dpst.Tree) ([]*Race, error) {
 	br := bufio.NewReader(r)
-	var hdr [8]byte
+	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("race trace: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != traceMagic {
 		return nil, fmt.Errorf("race trace: bad magic")
 	}
-	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != raceTraceVersion {
+		return nil, fmt.Errorf("race trace: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
 
 	byID := make(map[int]*dpst.Node)
 	tree.Walk(func(nd *dpst.Node) { byID[nd.ID] = nd })
 
 	races := make([]*Race, 0, n)
-	var rec [21]byte
+	var rec [recLen]byte
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("race trace: truncated at record %d: %w", i, err)
@@ -67,11 +94,22 @@ func ReadTrace(r io.Reader, tree *dpst.Tree) ([]*Race, error) {
 		if src == nil || dst == nil {
 			return nil, fmt.Errorf("race trace: record %d references unknown step", i)
 		}
+		flags := rec[17]
 		races = append(races, &Race{
 			Src:  src,
 			Dst:  dst,
 			Loc:  binary.LittleEndian.Uint64(rec[8:16]),
 			Kind: Kind(rec[16]),
+			SrcSite: trace.Site{
+				Block: int32(binary.LittleEndian.Uint32(rec[18:22])),
+				Stmt:  int32(binary.LittleEndian.Uint32(rec[22:26])),
+				Iso:   flags&1 != 0,
+			},
+			DstSite: trace.Site{
+				Block: int32(binary.LittleEndian.Uint32(rec[26:30])),
+				Stmt:  int32(binary.LittleEndian.Uint32(rec[30:34])),
+				Iso:   flags&2 != 0,
+			},
 		})
 	}
 	return races, nil

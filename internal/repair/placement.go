@@ -9,6 +9,7 @@ import (
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
+	"finishrepair/internal/trace"
 )
 
 // Pipeline metrics (registry names are stable; see README Observability).
@@ -19,16 +20,20 @@ var (
 	mDPStatesPerGroup = obs.Default().Histogram("repair.dp_states_per_group")
 )
 
-// Placement is a static finish insertion: wrap statements Lo..Hi of Block
-// in a new finish statement.
+// Placement is a static scope insertion: wrap statements Lo..Hi of Block
+// in a new finish statement (the default) or, for Kind RangeIsolated, in
+// a new isolated statement. Isolated placements are always
+// single-statement (Lo == Hi): they wrap exactly one racing access, so
+// they can never partially overlap another range — only nest.
 type Placement struct {
 	Block  *ast.Block
 	Lo, Hi int
+	Kind   trace.RangeKind
 }
 
 // String renders the placement.
 func (p Placement) String() string {
-	return fmt.Sprintf("finish around stmts %d..%d of block %d", p.Lo, p.Hi, p.Block.ID)
+	return fmt.Sprintf("%s around stmts %d..%d of block %d", p.Kind, p.Lo, p.Hi, p.Block.ID)
 }
 
 // group is the set of races sharing one NS-LCA (paper §6.1 steps 1-2).

@@ -85,7 +85,12 @@ func SolveAll(probs []*Problem, workers int) ([]*Solution, error) {
 // outcomes has one entry per group, in group order, recording that
 // group's computed placements, DP effort, and whether the round applied
 // them — the raw material of the provenance explain record.
-func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, span *obs.Span) (placements []Placement, outcomes []groupOutcome, states int64, degradedReason string, err error) {
+//
+// selector, when non-nil, is offered each group's finish placements and
+// may substitute an alternative repair (isolated wrapping); it runs in
+// the sequential accumulation pass, in group order, so strategy choice
+// is identical for any worker count.
+func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, span *obs.Span, selector func(*group, []Placement) ([]Placement, *strategyChoice)) (placements []Placement, outcomes []groupOutcome, states int64, degradedReason string, err error) {
 	type result struct {
 		ps      []Placement
 		info    placeInfo
@@ -184,6 +189,10 @@ func placeGroups(groups []*group, maxGraph int, m *guard.Meter, workers int, spa
 			}
 			o.note = r.err.Error()
 			continue
+		}
+		if selector != nil && len(r.ps) > 0 {
+			r.ps, o.choice = selector(groups[i], r.ps)
+			o.ps = r.ps
 		}
 		conflict := false
 		for _, p := range r.ps {

@@ -19,6 +19,9 @@ type groupOutcome struct {
 	info    placeInfo
 	applied bool
 	note    string
+	// choice records the strategy selection for this group, when a
+	// non-finish strategy evaluated alternatives.
+	choice *strategyChoice
 }
 
 // provNode converts an S-DPST node to its provenance form.
@@ -60,10 +63,15 @@ func provRaces(races []*race.Race) []provenance.RacePair {
 	return out
 }
 
-// provFinish converts a placement to the provenance finish form,
+// provFinish converts a placement to the provenance scope form,
 // resolving the source position of the first wrapped statement.
 func provFinish(p Placement) provenance.Finish {
 	f := provenance.Finish{Lo: p.Lo, Hi: p.Hi}
+	// The zero kind (finish) stays implicit, keeping pre-strategy explain
+	// records byte-identical.
+	if p.Kind != 0 {
+		f.Kind = p.Kind.String()
+	}
 	if p.Lo >= 0 && p.Lo < len(p.Block.Stmts) {
 		f.Pos = p.Block.Stmts[p.Lo].Pos().String()
 	}
@@ -88,6 +96,12 @@ func provGroup(o groupOutcome) provenance.Group {
 	}
 	for _, p := range o.ps {
 		g.Chosen = append(g.Chosen, provFinish(p))
+	}
+	if o.choice != nil {
+		g.Strategy = o.choice.strategy
+		g.StrategyWhy = o.choice.why
+		g.FinishSpan = o.choice.finishSpan
+		g.IsolatedSpan = o.choice.isoSpan
 	}
 	return g
 }

@@ -98,6 +98,13 @@ type Options struct {
 	// Recording costs one cpl.Analyze per round plus the conversion of
 	// races/groups to their provenance form; leave nil on hot paths.
 	Explain *provenance.Explain
+	// Strategy selects how race groups are eliminated: finish insertion
+	// (the zero value — the paper's repair and the library default),
+	// isolated wrapping of commutative updates, or per-group automatic
+	// choice by post-repair critical path. Strategies other than finish
+	// are evaluated only by the trace-replay loop; ReExecute ignores
+	// this field and always inserts finishes.
+	Strategy Strategy
 }
 
 func (o *Options) fill() {
@@ -112,11 +119,13 @@ func (o *Options) fill() {
 	}
 }
 
-// AppliedRange is a finish insertion that was actually applied, in
-// replayable form: block identity plus the (post-merge) statement range.
+// AppliedRange is a scope insertion that was actually applied, in
+// replayable form: block identity, the (post-merge) statement range,
+// and the synthesized construct (finish or isolated).
 type AppliedRange struct {
 	BlockID int
 	Lo, Hi  int
+	Kind    trace.RangeKind
 }
 
 // Iteration records one detect/place/rewrite round.
@@ -360,7 +369,7 @@ func repairReExecute(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			var reason string
 			var perr error
-			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan, nil)
 			if reason != "" {
 				rep.Degraded = true
 				if rep.DegradedReason == "" {
@@ -665,6 +674,20 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		placeSpan := iterSpan.Child("dp-place")
 		var placements []Placement
 		var outcomes []groupOutcome
+		// Non-finish strategies evaluate per-group alternatives against
+		// this round's accumulated virtual scope set, probing candidate
+		// repairs by replaying the captured trace.
+		var selector func(*group, []Placement) ([]Placement, *strategyChoice)
+		if opts.Strategy != StrategyFinish {
+			ev := &strategyEvaluator{
+				tr:       tr,
+				prog:     info.Prog,
+				base:     virtual,
+				meter:    opts.Meter,
+				strategy: opts.Strategy,
+			}
+			selector = ev.choose
+		}
 		err = guard.Protect("dp-place", func() error {
 			opts.Meter.SetPhase("dp-place")
 			if err := faults.Inject(faults.DPPlace); err != nil {
@@ -672,7 +695,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			}
 			var reason string
 			var perr error
-			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan)
+			placements, outcomes, it.DPStates, reason, perr = placeGroups(groups, opts.MaxGraph, opts.Meter, opts.Workers, placeSpan, selector)
 			if reason != "" {
 				rep.Degraded = true
 				if rep.DegradedReason == "" {
@@ -783,41 +806,53 @@ func virtualPlacements(prog *ast.Program, virtual []trace.FinishRange) ([]Placem
 		if b == nil {
 			return nil, fmt.Errorf("repair: no block with ID %d", f.BlockID)
 		}
-		ps = append(ps, Placement{Block: b, Lo: f.Lo, Hi: f.Hi})
+		ps = append(ps, Placement{Block: b, Lo: f.Lo, Hi: f.Hi, Kind: f.Kind})
 	}
 	return ps, nil
 }
 
 // mergeVirtual folds newly computed placements into the accumulated
-// virtual scope set and re-canonicalizes per block: exact duplicates
-// are dropped and partially overlapping ranges are merged, since
-// trace.Replay nests scopes and cannot represent improper overlap.
+// virtual scope set and re-canonicalizes per block and kind: exact
+// duplicates are dropped and partially overlapping same-kind ranges are
+// merged, since trace.Replay nests scopes and cannot represent improper
+// overlap. Ranges of different kinds are never merged; they cannot
+// improperly overlap either, because isolated ranges are always
+// single-statement (disjoint from or nested in anything else).
 // It returns the new set and the number of ranges not present before.
 func mergeVirtual(virtual []trace.FinishRange, placements []Placement) ([]trace.FinishRange, int) {
-	byBlock := map[int][][2]int{}
-	var order []int
-	add := func(id int, r [2]int) {
-		if _, ok := byBlock[id]; !ok {
-			order = append(order, id)
+	type bk struct {
+		id   int
+		kind trace.RangeKind
+	}
+	byBlock := map[bk][][2]int{}
+	var order []bk
+	add := func(k bk, r [2]int) {
+		if _, ok := byBlock[k]; !ok {
+			order = append(order, k)
 		}
-		byBlock[id] = append(byBlock[id], r)
+		byBlock[k] = append(byBlock[k], r)
 	}
 	for _, f := range virtual {
-		add(f.BlockID, [2]int{f.Lo, f.Hi})
+		add(bk{f.BlockID, f.Kind}, [2]int{f.Lo, f.Hi})
 	}
 	for _, p := range placements {
-		add(p.Block.ID, [2]int{p.Lo, p.Hi})
+		add(bk{p.Block.ID, p.Kind}, [2]int{p.Lo, p.Hi})
 	}
 	prev := map[trace.FinishRange]bool{}
 	for _, f := range virtual {
 		prev[f] = true
 	}
-	sort.Ints(order)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].id != order[j].id {
+			return order[i].id < order[j].id
+		}
+		return order[i].kind < order[j].kind
+	})
 	var out []trace.FinishRange
 	added := 0
-	for _, id := range order {
-		for _, r := range canonicalRanges(byBlock[id]) {
-			f := trace.FinishRange{BlockID: id, Lo: r[0], Hi: r[1]}
+	for _, k := range order {
+		for _, r := range canonicalRanges(byBlock[k]) {
+			f := trace.FinishRange{BlockID: k.id, Lo: r[0], Hi: r[1], Kind: k.kind}
 			out = append(out, f)
 			if !prev[f] {
 				added++
@@ -870,12 +905,13 @@ func canonicalRanges(ranges [][2]int) [][2]int {
 }
 
 // applyPlacements rewrites the program, wrapping each placement's
-// statement range in a synthesized finish. Identical placements are
-// deduplicated, partially overlapping ranges in one block are merged,
-// and nested ranges are applied innermost-first. It returns the applied
-// insertions in replayable form.
+// statement range in a synthesized finish or isolated. Identical
+// placements are deduplicated, partially overlapping same-kind ranges
+// in one block are merged, and nested ranges are applied
+// innermost-first. It returns the applied insertions in replayable
+// form.
 func applyPlacements(prog *ast.Program, placements []Placement) ([]AppliedRange, error) {
-	byBlock := make(map[*ast.Block][][2]int)
+	byBlock := make(map[*ast.Block][]krange)
 	var blocks []*ast.Block
 	for _, p := range placements {
 		if p.Lo < 0 || p.Hi >= len(p.Block.Stmts) || p.Lo > p.Hi {
@@ -884,7 +920,7 @@ func applyPlacements(prog *ast.Program, placements []Placement) ([]AppliedRange,
 		if _, seen := byBlock[p.Block]; !seen {
 			blocks = append(blocks, p.Block)
 		}
-		byBlock[p.Block] = append(byBlock[p.Block], [2]int{p.Lo, p.Hi})
+		byBlock[p.Block] = append(byBlock[p.Block], krange{p.Lo, p.Hi, p.Kind})
 	}
 	// Deterministic block order for Replay: by block ID.
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
@@ -914,52 +950,72 @@ func Replay(prog *ast.Program, iterations []Iteration) error {
 			if a.Lo < 0 || a.Hi >= len(b.Stmts) || a.Lo > a.Hi {
 				return fmt.Errorf("repair: replay range %d..%d out of bounds in block %d", a.Lo, a.Hi, a.BlockID)
 			}
-			wrapRange(prog, b, a.Lo, a.Hi)
+			wrapRange(prog, b, a.Lo, a.Hi, a.Kind)
 		}
 	}
 	return nil
 }
 
-// wrapRange wraps statements lo..hi of b in a synthesized finish.
-func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int) {
+// wrapRange wraps statements lo..hi of b in a synthesized finish or
+// isolated, per kind.
+func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int, kind trace.RangeKind) {
 	wrapped := make([]ast.Stmt, hi-lo+1)
 	copy(wrapped, b.Stmts[lo:hi+1])
-	fin := &ast.FinishStmt{
-		Body:        prog.NewBlock(wrapped[0].Pos(), wrapped),
-		FinishPos:   wrapped[0].Pos(),
-		Synthesized: true,
+	var wrap ast.Stmt
+	if kind == trace.RangeIsolated {
+		wrap = &ast.IsolatedStmt{
+			Body:        prog.NewBlock(wrapped[0].Pos(), wrapped),
+			IsoPos:      wrapped[0].Pos(),
+			Synthesized: true,
+		}
+	} else {
+		wrap = &ast.FinishStmt{
+			Body:        prog.NewBlock(wrapped[0].Pos(), wrapped),
+			FinishPos:   wrapped[0].Pos(),
+			Synthesized: true,
+		}
 	}
 	rest := append([]ast.Stmt{}, b.Stmts[:lo]...)
-	rest = append(rest, fin)
+	rest = append(rest, wrap)
 	rest = append(rest, b.Stmts[hi+1:]...)
 	b.Stmts = rest
 }
 
-func applyToBlock(prog *ast.Program, b *ast.Block, ranges [][2]int) ([]AppliedRange, error) {
+// krange is a statement range with its scope kind.
+type krange struct {
+	lo, hi int
+	kind   trace.RangeKind
+}
+
+func applyToBlock(prog *ast.Program, b *ast.Block, ranges []krange) ([]AppliedRange, error) {
 	// Deduplicate.
-	uniq := make(map[[2]int]bool)
-	var rs [][2]int
+	uniq := make(map[krange]bool)
+	var rs []krange
 	for _, r := range ranges {
 		if !uniq[r] {
 			uniq[r] = true
 			rs = append(rs, r)
 		}
 	}
-	// Merge partial overlaps until only disjoint or strictly nested
-	// ranges remain.
+	// Merge partial overlaps of the same kind until only disjoint or
+	// strictly nested ranges remain. Cross-kind partial overlap cannot
+	// arise: isolated ranges are single-statement, so against any other
+	// range they are disjoint or nested.
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(rs) && !changed; i++ {
 			for j := i + 1; j < len(rs) && !changed; j++ {
 				a, c := rs[i], rs[j]
-				if a[0] > c[0] {
+				if a.kind != c.kind {
+					continue
+				}
+				if a.lo > c.lo {
 					a, c = c, a
 				}
-				overlap := c[0] <= a[1]
-				nested := overlap && c[1] <= a[1]
+				overlap := c.lo <= a.hi
+				nested := overlap && c.hi <= a.hi
 				if overlap && !nested && a != c {
-					merged := [2]int{a[0], max(a[1], c[1])}
-					rs[i] = merged
+					rs[i] = krange{a.lo, max(a.hi, c.hi), a.kind}
 					rs = append(rs[:j], rs[j+1:]...)
 					changed = true
 				}
@@ -967,34 +1023,39 @@ func applyToBlock(prog *ast.Program, b *ast.Block, ranges [][2]int) ([]AppliedRa
 		}
 	}
 	// Innermost (smallest) first so outer indices can be adjusted as
-	// inner ranges collapse into single finish statements.
+	// inner ranges collapse into single wrapper statements. On identical
+	// ranges the isolated goes first (ends up innermost), matching the
+	// replay nesting where the finish scope opens outside the isolated.
 	sort.Slice(rs, func(i, j int) bool {
-		li, lj := rs[i][1]-rs[i][0], rs[j][1]-rs[j][0]
+		li, lj := rs[i].hi-rs[i].lo, rs[j].hi-rs[j].lo
 		if li != lj {
 			return li < lj
 		}
-		return rs[i][0] < rs[j][0]
+		if rs[i].lo != rs[j].lo {
+			return rs[i].lo < rs[j].lo
+		}
+		return rs[i].kind > rs[j].kind
 	})
 
 	var applied []AppliedRange
 	for i := 0; i < len(rs); i++ {
-		lo, hi := rs[i][0], rs[i][1]
+		lo, hi := rs[i].lo, rs[i].hi
 		if lo < 0 || hi >= len(b.Stmts) || lo > hi {
 			return applied, fmt.Errorf("repair: merged range %d..%d out of bounds in block %d", lo, hi, b.ID)
 		}
-		wrapRange(prog, b, lo, hi)
-		applied = append(applied, AppliedRange{BlockID: b.ID, Lo: lo, Hi: hi})
+		wrapRange(prog, b, lo, hi, rs[i].kind)
+		applied = append(applied, AppliedRange{BlockID: b.ID, Lo: lo, Hi: hi, Kind: rs[i].kind})
 
 		shrink := hi - lo
 		for j := i + 1; j < len(rs); j++ {
 			switch {
-			case rs[j][1] < lo:
+			case rs[j].hi < lo:
 				// Entirely to the left: unaffected.
-			case rs[j][0] > hi:
-				rs[j][0] -= shrink
-				rs[j][1] -= shrink
-			case rs[j][0] <= lo && rs[j][1] >= hi:
-				rs[j][1] -= shrink
+			case rs[j].lo > hi:
+				rs[j].lo -= shrink
+				rs[j].hi -= shrink
+			case rs[j].lo <= lo && rs[j].hi >= hi:
+				rs[j].hi -= shrink
 			default:
 				return applied, fmt.Errorf("repair: conflicting ranges in block %d", b.ID)
 			}

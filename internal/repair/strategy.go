@@ -1,0 +1,370 @@
+package repair
+
+import (
+	"fmt"
+
+	"finishrepair/internal/cpl"
+	"finishrepair/internal/guard"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/lang/token"
+	"finishrepair/internal/obs"
+	"finishrepair/internal/race"
+	"finishrepair/internal/trace"
+)
+
+// Strategy metrics: one count per evaluated race group, and the span
+// difference (finish span minus isolated span; positive means isolated
+// was the cheaper repair) whenever both candidates were comparable.
+var (
+	mStrategyChosen = obs.Default().Counter("repair.strategy_chosen")
+	mCPLDelta       = obs.Default().Histogram("repair.cpl_delta")
+)
+
+// Strategy selects how the repair loop eliminates a race group.
+type Strategy int
+
+// Repair strategies. StrategyFinish is the zero value so library
+// callers that never set Options.Strategy keep the paper's
+// finish-insertion behavior unchanged.
+const (
+	// StrategyFinish always inserts finish scopes (paper §5-§6).
+	StrategyFinish Strategy = iota
+	// StrategyIsolated wraps the racing access statements in isolated
+	// whenever that is feasible (commutative integer updates whose
+	// serialization order cannot change the result) and verified to
+	// eliminate the group's races on replay; infeasible groups fall
+	// back to finish insertion.
+	StrategyIsolated
+	// StrategyAuto evaluates both candidates per race group and picks
+	// isolated only when its post-repair critical path is strictly
+	// shorter than the finish candidate's.
+	StrategyAuto
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyIsolated:
+		return "isolated"
+	case StrategyAuto:
+		return "auto"
+	default:
+		return "finish"
+	}
+}
+
+// ParseStrategy maps a CLI flag value to a strategy.
+func ParseStrategy(s string) (Strategy, bool) {
+	switch s {
+	case "finish":
+		return StrategyFinish, true
+	case "isolated", "iso":
+		return StrategyIsolated, true
+	case "auto":
+		return StrategyAuto, true
+	}
+	return StrategyFinish, false
+}
+
+// strategyChoice records why a group got a finish or an isolated repair,
+// for provenance. Spans are post-repair critical paths measured by
+// replaying the captured trace with the candidate applied on top of the
+// round's base virtual set; IsoSpan is 0 when the isolated candidate
+// was infeasible or failed its probe.
+type strategyChoice struct {
+	strategy   string // "finish" or "isolated"
+	why        string
+	finishSpan int64
+	isoSpan    int64
+}
+
+// strategyEvaluator holds one round's context for per-group strategy
+// selection in the trace-replay loop. It is invoked from the
+// deterministic accumulation pass of placeGroups (group order), and all
+// probes replay against the same base virtual set, so the chosen
+// program is identical for any worker count.
+type strategyEvaluator struct {
+	tr       *trace.Trace
+	prog     *ast.Program
+	base     []trace.FinishRange
+	meter    *guard.Meter
+	strategy Strategy
+}
+
+// choose decides between the group's finish placements (already
+// computed by the DP) and an isolated wrapping of its access sites.
+func (ev *strategyEvaluator) choose(g *group, finishPs []Placement) ([]Placement, *strategyChoice) {
+	mStrategyChosen.Inc()
+	ch := &strategyChoice{strategy: "finish"}
+	isoPs, reason := isolatedCandidate(ev.prog, g)
+	if reason != "" {
+		ch.why = "isolated infeasible: " + reason
+		return finishPs, ch
+	}
+	isoGone, isoSpan, err := ev.probe(isoPs, g)
+	if err != nil {
+		ch.why = "isolated probe failed: " + err.Error()
+		return finishPs, ch
+	}
+	if !isoGone {
+		ch.why = "isolated wrapping does not eliminate the group's races"
+		return finishPs, ch
+	}
+	ch.isoSpan = isoSpan
+	_, finSpan, err := ev.probe(finishPs, g)
+	if err != nil {
+		ch.why = "finish probe failed: " + err.Error()
+		return finishPs, ch
+	}
+	ch.finishSpan = finSpan
+	mCPLDelta.Observe(finSpan - isoSpan)
+	if ev.strategy == StrategyIsolated {
+		ch.strategy = "isolated"
+		ch.why = "strategy=isolated and the wrapping eliminates the group's races"
+		return isoPs, ch
+	}
+	if isoSpan < finSpan {
+		ch.strategy = "isolated"
+		ch.why = fmt.Sprintf("post-repair critical path %d beats finish's %d", isoSpan, finSpan)
+		return isoPs, ch
+	}
+	ch.why = fmt.Sprintf("finish critical path %d <= isolated's %d", finSpan, isoSpan)
+	return finishPs, ch
+}
+
+// probe replays the captured trace with base ∪ cand injected virtually
+// into a fresh ESP-Bags MRW detector and reports whether every race of
+// the group vanished, plus the critical-path span of the resulting
+// tree. Node IDs shift between replays (synthetic scopes renumber), so
+// group races are matched by their stable coordinates: location, access
+// kind, and the two source sites.
+func (ev *strategyEvaluator) probe(cand []Placement, g *group) (vanished bool, span int64, err error) {
+	merged, _ := mergeVirtual(ev.base, cand)
+	det := race.New(race.VariantMRW, race.NewBagsOracle())
+	rr, err := race.Analyze(ev.tr, ev.prog, merged, det, ev.meter, false)
+	if err != nil {
+		return false, 0, err
+	}
+	want := make(map[siteKey]bool, 2*len(g.races))
+	for _, r := range g.races {
+		want[siteKeyOf(r)] = true
+		want[siteKeyOf(flipRace(r))] = true
+	}
+	for _, r := range det.Races() {
+		if want[siteKeyOf(r)] {
+			return false, cpl.Analyze(rr.Tree).Span, nil
+		}
+	}
+	return true, cpl.Analyze(rr.Tree).Span, nil
+}
+
+// siteKey identifies a race by replay-stable coordinates.
+type siteKey struct {
+	loc               uint64
+	kind              race.Kind
+	srcBlock, srcStmt int32
+	dstBlock, dstStmt int32
+}
+
+func siteKeyOf(r *race.Race) siteKey {
+	return siteKey{
+		loc:      r.Loc,
+		kind:     r.Kind,
+		srcBlock: r.SrcSite.Block,
+		srcStmt:  r.SrcSite.Stmt,
+		dstBlock: r.DstSite.Block,
+		dstStmt:  r.DstSite.Stmt,
+	}
+}
+
+func flipRace(r *race.Race) *race.Race {
+	return &race.Race{Src: r.Dst, Dst: r.Src, Loc: r.Loc, Kind: r.Kind,
+		SrcSite: r.DstSite, DstSite: r.SrcSite}
+}
+
+// isolatedCandidate builds the isolated repair for one group: wrap each
+// racing access statement (per its recorded source site) in its own
+// isolated. It returns a non-empty reason when the group is not
+// amenable:
+//
+//   - an access site has no statement coordinates (global initializer),
+//   - a site does not resolve to a block statement,
+//   - an access statement is not a commutative integer update of a
+//     single shared location, or
+//   - the group mixes additive and multiplicative update families.
+//
+// The commutativity gate is what makes the rewrite output-preserving:
+// the isolated lock serializes the updates in a nondeterministic order,
+// so the updates must yield the same final value under every order.
+// The gate is deliberately conservative; anything it rejects still gets
+// the always-sound finish repair.
+func isolatedCandidate(prog *ast.Program, g *group) ([]Placement, string) {
+	type key struct{ block, stmt int32 }
+	seen := map[key]bool{}
+	var ps []Placement
+	var family token.Kind
+	for _, r := range g.races {
+		for _, site := range []trace.Site{r.SrcSite, r.DstSite} {
+			if site.Block < 0 || site.Stmt < 0 {
+				return nil, "access site has no statement coordinates"
+			}
+			b := ast.FindBlock(prog, int(site.Block))
+			if b == nil || int(site.Stmt) >= len(b.Stmts) {
+				return nil, "access site does not resolve to a statement"
+			}
+			st := b.Stmts[site.Stmt]
+			fam, ok := commutativeOp(st)
+			if !ok {
+				return nil, fmt.Sprintf("statement at %s is not a commutative integer update", st.Pos())
+			}
+			if family == 0 {
+				family = fam
+			} else if family != fam {
+				return nil, "group mixes additive and multiplicative updates"
+			}
+			k := key{site.Block, site.Stmt}
+			if !seen[k] {
+				seen[k] = true
+				ps = append(ps, Placement{
+					Block: b,
+					Lo:    int(site.Stmt),
+					Hi:    int(site.Stmt),
+					Kind:  trace.RangeIsolated,
+				})
+			}
+		}
+	}
+	if len(ps) == 0 {
+		return nil, "no access sites"
+	}
+	return ps, ""
+}
+
+// commutativeOp reports whether st is a commutative integer
+// read-modify-write of one shared location — `lhs += e`, `lhs -= e`,
+// `lhs *= e`, or the expanded `lhs = lhs + e` / `lhs = e + lhs` /
+// `lhs = lhs * e` forms — with an RHS that does not itself read the
+// updated location. It returns the update family (token.ADD for the
+// additive family, token.MUL for multiplicative); updates within one
+// family commute with each other, across families they do not. Float
+// updates are rejected: float addition is not associative, so
+// reordering would change the bits and break the serial-oracle
+// comparison.
+func commutativeOp(s ast.Stmt) (token.Kind, bool) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return 0, false
+	}
+	if !intLValue(as.LHS) {
+		return 0, false
+	}
+	switch as.Op {
+	case token.ADDASSIGN, token.SUBASSIGN:
+		if readsLValue(as.RHS, as.LHS) {
+			return 0, false
+		}
+		return token.ADD, true
+	case token.MULASSIGN:
+		if readsLValue(as.RHS, as.LHS) {
+			return 0, false
+		}
+		return token.MUL, true
+	case token.ASSIGN:
+		be, ok := as.RHS.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.MUL) {
+			return 0, false
+		}
+		var rest ast.Expr
+		switch {
+		case sameLValue(as.LHS, be.X):
+			rest = be.Y
+		case sameLValue(as.LHS, be.Y):
+			rest = be.X
+		default:
+			return 0, false
+		}
+		if readsLValue(rest, as.LHS) {
+			return 0, false
+		}
+		if be.Op == token.MUL {
+			return token.MUL, true
+		}
+		return token.ADD, true
+	}
+	return 0, false
+}
+
+// intLValue reports whether the assignment target is an int-typed
+// global or an element of an int-array (the only shapes the isolated
+// candidate accepts).
+func intLValue(lhs ast.Expr) bool {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if sym, ok := x.Sym.(*sem.Symbol); ok {
+			if pt, ok := sym.Type.(*ast.PrimType); ok {
+				return pt.Kind == ast.Int
+			}
+		}
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if sym, ok := id.Sym.(*sem.Symbol); ok {
+				if at, ok := sym.Type.(*ast.ArrayType); ok {
+					if pt, ok := at.Elem.(*ast.PrimType); ok {
+						return pt.Kind == ast.Int
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// sameLValue reports whether two expressions certainly denote the same
+// location: identical symbols, or index expressions over the same array
+// symbol with syntactically identical simple indices.
+func sameLValue(a, b ast.Expr) bool {
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Sym != nil && ax.Sym == bx.Sym
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		if !ok || !sameLValue(ax.X, bx.X) {
+			return false
+		}
+		switch ai := ax.Index.(type) {
+		case *ast.Ident:
+			bi, ok := bx.Index.(*ast.Ident)
+			return ok && ai.Sym != nil && ai.Sym == bi.Sym
+		case *ast.IntLit:
+			bi, ok := bx.Index.(*ast.IntLit)
+			return ok && ai.Value == bi.Value
+		}
+	}
+	return false
+}
+
+// readsLValue reports whether e may read the location lhs denotes,
+// conservatively: any occurrence of the target's base symbol counts.
+func readsLValue(e ast.Expr, lhs ast.Expr) bool {
+	var sym any
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		sym = x.Sym
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			sym = id.Sym
+		}
+	}
+	if sym == nil {
+		return true
+	}
+	found := false
+	ast.InspectExpr(e, func(x ast.Expr) {
+		if id, ok := x.(*ast.Ident); ok && id.Sym == sym {
+			found = true
+		}
+	})
+	return found
+}

@@ -12,15 +12,21 @@ import (
 // processes. Layout:
 //
 //	magic   "HJTR"
-//	version uvarint (currently 1)
+//	version uvarint (currently 2)
 //	labels  uvarint count, then per label uvarint length + bytes
 //	events  uvarint count
 //	tail    uvarint trailing work
 //	stream  per event: kind byte, kind-specific varint fields, W uvarint
 var traceMagic = [4]byte{'H', 'J', 'T', 'R'}
 
-// codecVersion is bumped on any incompatible stream change.
-const codecVersion = 1
+// codecVersion is bumped on any incompatible stream change. Version 2
+// adds isolated regions: EvPush events may carry Class = dpst.IsoScope
+// (isolated entry; the matching EvPop is the exit). The wire layout is
+// unchanged, so version-1 streams decode as before.
+const codecVersion = 2
+
+// minCodecVersion is the oldest stream version Read still accepts.
+const minCodecVersion = 1
 
 // WriteTo encodes the trace to w in the versioned binary format.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -80,7 +86,7 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
 	cr := &countReader{r: br}
-	if v := cr.uvarint(); cr.err == nil && v != codecVersion {
+	if v := cr.uvarint(); cr.err == nil && (v < minCodecVersion || v > codecVersion) {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	nl := cr.uvarint()

@@ -8,20 +8,53 @@ import (
 	"finishrepair/internal/lang/ast"
 )
 
+// Site is the static coordinate of one instrumented access: the block
+// and statement index of the statement executing when the access
+// happened (more precise than the merged maximal step, which may span
+// many statements), plus whether the access occurred inside an isolated
+// body. Race-detector engines use Iso to suppress pairs that the global
+// isolated lock orders, and the repair strategies use Block/Stmt to wrap
+// exactly the racing statement.
+type Site struct {
+	Block int32 // owner block ID (-1 = unknown)
+	Stmt  int32 // statement index (-1 = loop-header pseudo)
+	Iso   bool  // access executed inside an isolated body
+}
+
 // Sink receives the reconstructed execution during replay: structure
 // events in canonical depth-first order plus instrumented accesses with
-// the current step. Race-detector engines implement Sink.
+// the current step and access site. Race-detector engines implement
+// Sink.
 type Sink interface {
-	Read(loc uint64, step *dpst.Node)
-	Write(loc uint64, step *dpst.Node)
+	Read(loc uint64, step *dpst.Node, site Site)
+	Write(loc uint64, step *dpst.Node, site Site)
 	TaskStart(n *dpst.Node)
 	TaskEnd(n *dpst.Node)
 	FinishStart(n *dpst.Node)
 	FinishEnd(n *dpst.Node)
 }
 
-// FinishRange is a virtual finish scope to inject during replay: during
-// any dynamic instance of block BlockID, a finish opens before the
+// RangeKind selects what construct a virtual range injects.
+type RangeKind uint8
+
+// Virtual range kinds. The zero value is a finish so pre-existing
+// literals keep their meaning.
+const (
+	RangeFinish   RangeKind = iota // finish { ... }: joins child tasks
+	RangeIsolated                  // isolated { ... }: global mutual exclusion
+)
+
+// String names the range kind.
+func (k RangeKind) String() string {
+	if k == RangeIsolated {
+		return "isolated"
+	}
+	return "finish"
+}
+
+// FinishRange is a virtual scope to inject during replay: during any
+// dynamic instance of block BlockID, the construct selected by Kind
+// (finish by default, isolated for RangeIsolated) opens before the
 // first event of statement Lo and closes after the last event of
 // statement Hi. Coordinates are in the trace's (original) program, so
 // accumulated repair placements replay against one capture without
@@ -29,6 +62,7 @@ type Sink interface {
 type FinishRange struct {
 	BlockID int
 	Lo, Hi  int
+	Kind    RangeKind
 }
 
 // ReplayOptions configures a replay.
@@ -58,12 +92,12 @@ type Result struct {
 // nopSink discards all events.
 type nopSink struct{}
 
-func (nopSink) Read(uint64, *dpst.Node)  {}
-func (nopSink) Write(uint64, *dpst.Node) {}
-func (nopSink) TaskStart(*dpst.Node)     {}
-func (nopSink) TaskEnd(*dpst.Node)       {}
-func (nopSink) FinishStart(*dpst.Node)   {}
-func (nopSink) FinishEnd(*dpst.Node)     {}
+func (nopSink) Read(uint64, *dpst.Node, Site)  {}
+func (nopSink) Write(uint64, *dpst.Node, Site) {}
+func (nopSink) TaskStart(*dpst.Node)           {}
+func (nopSink) TaskEnd(*dpst.Node)             {}
+func (nopSink) FinishStart(*dpst.Node)         {}
+func (nopSink) FinishEnd(*dpst.Node)           {}
 
 // injState tracks virtual-finish progress through one dynamic block
 // instance. Synthetic finish frames share their parent frame's state so
@@ -77,7 +111,8 @@ type injState struct {
 // rframe is one open interior node during replay.
 type rframe struct {
 	node      *dpst.Node
-	synthetic bool  // injected virtual finish
+	synthetic bool  // injected virtual scope
+	iso       bool  // frame is an isolated body (real or injected)
 	lo, hi    int32 // synthetic: statement range in the owner block
 	inj       *injState
 }
@@ -94,6 +129,12 @@ type replayer struct {
 	frames     []rframe
 	blocks     map[int32]*ast.Block
 	ranges     map[int32][]FinishRange
+
+	// Access-site attribution: coordinates of the last step boundary and
+	// the current isolated-nesting depth.
+	siteBlock int32
+	siteStmt  int32
+	isoDepth  int
 }
 
 // checkMask gates the periodic meter check: every 4096 events.
@@ -116,6 +157,8 @@ func Replay(tr *Trace, opts ReplayOptions) (res *Result, err error) {
 		nodeLimit:  opts.Meter.MaxSDPSTNodes(),
 		blocks:     make(map[int32]*ast.Block),
 		ranges:     groupRanges(opts.Finishes),
+		siteBlock:  -1,
+		siteStmt:   -1,
 	}
 	if r.sink == nil {
 		r.sink = nopSink{}
@@ -152,12 +195,13 @@ func Replay(tr *Trace, opts ReplayOptions) (res *Result, err error) {
 		case EvStep:
 			r.boundary(e.Block, e.Stmt)
 			r.ensureStep(e.Block, e.Stmt)
+			r.siteBlock, r.siteStmt = e.Block, e.Stmt
 		case EvEnd:
 			r.curStep = nil
 		case EvRead:
-			r.sink.Read(e.Loc, r.curStep)
+			r.sink.Read(e.Loc, r.curStep, r.site())
 		case EvWrite:
-			r.sink.Write(e.Loc, r.curStep)
+			r.sink.Write(e.Loc, r.curStep, r.site())
 		case EvPush:
 			r.boundary(e.Block, e.Stmt)
 			r.push(tr, e)
@@ -224,10 +268,18 @@ func less(a, b FinishRange) bool {
 	if a.Lo != b.Lo {
 		return a.Lo < b.Lo
 	}
-	return a.Hi > b.Hi
+	if a.Hi != b.Hi {
+		return a.Hi > b.Hi
+	}
+	return a.Kind < b.Kind
 }
 
 func (r *replayer) top() *rframe { return &r.frames[len(r.frames)-1] }
+
+// site is the static coordinate of the current access point.
+func (r *replayer) site() Site {
+	return Site{Block: r.siteBlock, Stmt: r.siteStmt, Iso: r.isoDepth > 0}
+}
 
 func (r *replayer) block(id int32) *ast.Block {
 	if id < 0 {
@@ -283,7 +335,11 @@ func (r *replayer) push(tr *Trace, e *Event) {
 	n.OwnerBlock = r.block(e.Block)
 	n.StmtLo, n.StmtHi = int(e.Stmt), int(e.Stmt)
 	n.Body = r.block(e.Body)
-	r.frames = append(r.frames, rframe{node: n})
+	iso := n.Kind == dpst.Scope && n.Class == dpst.IsoScope
+	if iso {
+		r.isoDepth++
+	}
+	r.frames = append(r.frames, rframe{node: n, iso: iso})
 	switch n.Kind {
 	case dpst.Async:
 		r.sink.TaskStart(n)
@@ -294,12 +350,15 @@ func (r *replayer) push(tr *Trace, e *Event) {
 
 func (r *replayer) pop() {
 	// Re-execution closes finishes inside a construct before the
-	// construct itself ends; mirror that for open virtual finishes.
+	// construct itself ends; mirror that for open virtual scopes.
 	for r.top().synthetic {
 		r.closeSynthetic()
 	}
 	f := r.top()
 	n := f.node
+	if f.iso {
+		r.isoDepth--
+	}
 	switch n.Kind {
 	case dpst.Async:
 		r.sink.TaskEnd(n)
@@ -364,19 +423,39 @@ func (r *replayer) boundary(b, s int32) {
 func (r *replayer) openSynthetic(b int32, p FinishRange, inj *injState) {
 	r.curStep = nil
 	r.noteNode()
-	n := r.tree.NewChild(r.top().node, dpst.Finish, dpst.NotScope, "finish")
+	var n *dpst.Node
+	iso := p.Kind == RangeIsolated
+	if iso {
+		n = r.tree.NewChild(r.top().node, dpst.Scope, dpst.IsoScope, "isolated")
+		r.isoDepth++
+	} else {
+		n = r.tree.NewChild(r.top().node, dpst.Finish, dpst.NotScope, "finish")
+	}
 	n.OwnerBlock = r.block(b)
 	n.StmtLo, n.StmtHi = p.Lo, p.Hi
 	r.frames = append(r.frames, rframe{
-		node: n, synthetic: true,
+		node: n, synthetic: true, iso: iso,
 		lo: int32(p.Lo), hi: int32(p.Hi), inj: inj,
 	})
-	r.sink.FinishStart(n)
+	if !iso {
+		r.sink.FinishStart(n)
+	}
 }
 
 func (r *replayer) closeSynthetic() {
 	f := r.top()
-	r.sink.FinishEnd(f.node)
+	n := f.node
+	if f.iso {
+		r.isoDepth--
+	} else {
+		r.sink.FinishEnd(n)
+	}
 	r.curStep = nil
 	r.frames = r.frames[:len(r.frames)-1]
+	// An injected isolated scope collapses exactly as re-executing the
+	// rewritten program would collapse it (its subtree never spawns
+	// tasks); CollapseScope is a no-op for synthetic finishes.
+	if !r.noCollapse {
+		r.tree.CollapseScope(n)
+	}
 }

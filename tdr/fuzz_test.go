@@ -29,6 +29,9 @@ func FuzzRepairRoundTrip(f *testing.F) {
 		"func work(a []int, i int) { a[i] = i * 2; }\nfunc main() { var a = make([]int, 16); for (var i = 0; i < 16; i = i + 1) { async work(a, i); } println(a[3]); }",
 		"func main() { while (true) { } }",
 		"var g = 0;\nfunc main() { async { async { g = 1; } g = 2; } g = 3; }",
+		"var g = 0;\nfunc main() { finish { async { isolated { g = g + 1; } } isolated { g = g + 2; } } println(g); }",
+		"var s = 0;\nvar a = make([]int, 4);\nfunc main() { finish { for (var i = 0; i < 4; i = i + 1) { async { var t = a[i] * a[i]; s = s + t; } } } println(s); }",
+		"func main() { isolated { } isolated { isolated { } } }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

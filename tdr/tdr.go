@@ -34,6 +34,7 @@ import (
 	"finishrepair/internal/parinterp"
 	"finishrepair/internal/race"
 	"finishrepair/internal/repair"
+	"finishrepair/internal/trace"
 	"finishrepair/taskpar"
 )
 
@@ -171,6 +172,49 @@ func engineKind(e Engine) race.EngineKind {
 		return race.EngineBoth
 	default:
 		return race.EngineESPBags
+	}
+}
+
+// Strategy selects how the repair eliminates each race group.
+type Strategy int
+
+// Repair strategies.
+const (
+	// Finish is the paper's repair: insert finish statements (default).
+	Finish Strategy = iota
+	// Isolated wraps commutative conflicting updates in isolated
+	// blocks wherever that eliminates the group's races, falling back
+	// to finish insertion per group where it does not.
+	Isolated
+	// Auto evaluates both candidates per race group and picks the one
+	// with the shorter post-repair critical path (finish on ties).
+	Auto
+)
+
+// ParseStrategy maps a -strategy flag value to a Strategy.
+func ParseStrategy(s string) (Strategy, bool) {
+	r, ok := repair.ParseStrategy(s)
+	switch r {
+	case repair.StrategyIsolated:
+		return Isolated, ok
+	case repair.StrategyAuto:
+		return Auto, ok
+	default:
+		return Finish, ok
+	}
+}
+
+// String renders the strategy as its flag value.
+func (s Strategy) String() string { return repairStrategy(s).String() }
+
+func repairStrategy(s Strategy) repair.Strategy {
+	switch s {
+	case Isolated:
+		return repair.StrategyIsolated
+	case Auto:
+		return repair.StrategyAuto
+	default:
+		return repair.StrategyFinish
 	}
 }
 
@@ -339,6 +383,10 @@ type RepairOptions struct {
 	// SchedSeed bases the seeded random-priority schedules; runs with the
 	// same program, options, and seed are bit-identical.
 	SchedSeed int64
+	// Strategy selects how race groups are eliminated: finish insertion
+	// (the zero value), isolated wrapping of commutative updates, or
+	// per-group automatic choice by post-repair critical path.
+	Strategy Strategy
 }
 
 // Explain is the structured repair-provenance record: why each finish
@@ -373,8 +421,10 @@ type RepairReport struct {
 	Iterations int
 	// RacesFound is the total number of races detected across rounds.
 	RacesFound int
-	// FinishesInserted counts the inserted finish statements.
+	// FinishesInserted counts the inserted scope statements (finish and
+	// isolated); IsolatedInserted counts how many of them are isolated.
 	FinishesInserted int
+	IsolatedInserted int
 	// PerIteration details every round, in order.
 	PerIteration []IterationReport
 	// Output is the program output of the final race-free run.
@@ -493,6 +543,7 @@ func (p *Program) RepairCtx(ctx context.Context, opts RepairOptions) (*RepairRep
 		Tracer:        tr,
 		Meter:         m,
 		Workers:       opts.Workers,
+		Strategy:      repairStrategy(opts.Strategy),
 	}
 	if opts.Vet {
 		ropts.OnRaces = func(races []*race.Race) {
@@ -615,6 +666,11 @@ func convertReport(rep *repair.Report) *RepairReport {
 			PlaceTime:        it.PlaceTime,
 			RewriteTime:      it.RewriteTime,
 		})
+		for _, a := range it.Applied {
+			if a.Kind == trace.RangeIsolated {
+				out.IsolatedInserted++
+			}
+		}
 	}
 	return out
 }
