@@ -34,11 +34,13 @@ bench-detect:
 
 # Regression gate: re-run the detect-engine benchmarks into a scratch
 # file and fail if any benchmark/stage regressed more than 20% in ns/op
-# against the committed BENCH_detect.json baseline.
+# against the committed BENCH_detect.json baseline — and, via
+# -parallel-wins, that every both-jN stage in the fresh numbers beats
+# its serial both stage within the noise floor.
 bench-diff:
 	$(GO) test -run '^$$' -bench BenchmarkDetectEngines -benchmem -benchtime 3x . \
 		| awk -f scripts/benchjson.awk > BENCH_detect.new.json
-	$(GO) run ./scripts/benchdiff BENCH_detect.json BENCH_detect.new.json
+	$(GO) run ./scripts/benchdiff -parallel-wins BENCH_detect.json BENCH_detect.new.json
 
 # Regenerate the archived evaluation output (all paper tables, figures,
 # and studies). The full figure-16 inputs take a few minutes; lower

@@ -171,11 +171,15 @@ func BenchmarkHomeworkGrading(b *testing.B) {
 // analyze-many halves and compares the pluggable engines: "capture" is
 // the one instrumented execution that records the event-trace IR,
 // "espbags" / "vc" are pure trace replays through each detector backend,
-// and "both" / "both-j2" run the differential pair serially and with
-// engine-level parallelism (one goroutine per engine). Engines are
-// released back to the shadow-memory reuse pool between iterations,
-// as the repair loop does. Regenerate BENCH_detect.json with
-// `make bench-detect`; gate regressions with `make bench-diff`.
+// "both" runs the legacy two-engine differential pair serially (the
+// independent-engines gold standard), and "both-j2" / "both-j4" run the
+// fused dual-oracle engine with the requested analysis parallelism —
+// one shadow scan cross-checking both oracles per ordering query,
+// sharded by location hash when cores allow (race.AnalyzeParallel).
+// Engines are released back to the shadow-memory reuse pool between
+// iterations, as the repair loop does. Regenerate BENCH_detect.json
+// with `make bench-detect`; gate regressions with `make bench-diff`
+// (which also enforces both-jN <= both per benchmark).
 func BenchmarkDetectEngines(b *testing.B) {
 	release := func(eng race.Engine) {
 		if r, ok := eng.(race.Releaser); ok {
@@ -247,28 +251,45 @@ func BenchmarkDetectEngines(b *testing.B) {
 				reportQuantiles(b, durs)
 			})
 		}
-		for _, workers := range []int{1, 2} {
+		for _, workers := range []int{1, 2, 4} {
 			workers := workers
 			stage := "both"
 			if workers > 1 {
-				stage = "both-j2"
+				stage = fmt.Sprintf("both-j%d", workers)
+			}
+			// both = legacy two-engine differential, serial; both-jN =
+			// fused dual-oracle engine under AnalyzeParallel.
+			mkEng := func() race.Engine {
+				if workers > 1 {
+					return race.NewFused(race.VariantMRW)
+				}
+				return race.NewEngine(race.EngineBoth, race.VariantMRW)
 			}
 			b.Run(bm.Name+"/"+stage, func(b *testing.B) {
 				b.ReportAllocs()
-				eng := race.NewEngine(race.EngineBoth, race.VariantMRW)
+				check := func(eng race.Engine) {
+					if c, ok := eng.(race.Checker); ok {
+						if err := c.Check(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				eng := mkEng()
 				if _, err := race.AnalyzeParallel(tr, info.Prog, nil, eng, nil, false, workers); err != nil {
 					b.Fatal(err)
 				}
+				check(eng)
 				release(eng)
 				runtime.GC()
 				durs := make([]time.Duration, 0, b.N)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					t0 := time.Now()
-					eng := race.NewEngine(race.EngineBoth, race.VariantMRW)
+					eng := mkEng()
 					if _, err := race.AnalyzeParallel(tr, info.Prog, nil, eng, nil, false, workers); err != nil {
 						b.Fatal(err)
 					}
+					check(eng)
 					release(eng)
 					durs = append(durs, time.Since(t0))
 				}

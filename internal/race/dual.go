@@ -1,0 +1,212 @@
+package race
+
+import (
+	"fmt"
+
+	"finishrepair/internal/dpst"
+)
+
+// ----------------------------------------------------------------------
+// Dual oracle: ESP-Bags and vector clocks in lockstep over one scan.
+//
+// The serial differential engine (Differential) runs two complete
+// detectors — two shadow memories, two scans — and compares their race
+// sets afterwards. The fused engine below keeps the cross-check but
+// removes the duplicated shadow work: one MRW/SRW shadow memory is
+// scanned once, and every ordering query is answered by *both* backend
+// oracles, whose answers must agree. That is a strictly stronger
+// differential test (agreement is checked per query, over every access
+// pair the scan examines, not just on the final race sets) at roughly
+// half the shadow-memory cost, and it is what the sharded -j N analysis
+// path runs per shard.
+
+// OracleDivergence records the first ordering query on which the two
+// backend oracles disagreed. Any divergence is a detector bug, never an
+// expected outcome.
+type OracleDivergence struct {
+	PrevTag  uint64 // recorded epoch of the earlier access
+	PrevStep int    // S-DPST node ID of the earlier access's step (-1 unknown)
+	CurStep  int    // S-DPST node ID of the current step (-1 unknown)
+	Bags, VC bool   // the conflicting answers
+}
+
+func (d *OracleDivergence) String() string {
+	return fmt.Sprintf("ordering query diverged: step %d -> step %d (epoch %d/%d): espbags=%v vc=%v",
+		d.PrevStep, d.CurStep, d.PrevTag>>32, uint32(d.PrevTag), d.Bags, d.VC)
+}
+
+// DualOracle drives the ESP-Bags and vector-clock oracles in lockstep
+// over one replayed execution and cross-checks every Ordered answer.
+// The recorded tag is the vector-clock epoch (task node ID in the high
+// half, own-component count in the low half); ESP-Bags needs only the
+// task ID, which it recovers from the high half, so one uint64 tag
+// serves both backends and the shadow memory does not grow.
+type DualOracle struct {
+	bags *BagsOracle
+	vc   *VCOracle
+	// queries counts Ordered cross-checks; div records the first
+	// divergence. Both are read after analysis (Fused.Check, metrics).
+	queries uint64
+	div     *OracleDivergence
+}
+
+// NewDualOracle pairs a fresh ESP-Bags oracle (from the reuse pool) with
+// a fresh vector-clock oracle.
+func NewDualOracle() *DualOracle {
+	return &DualOracle{bags: NewBagsOracle(), vc: NewVCOracle()}
+}
+
+// TaskStart forwards to both oracles.
+func (o *DualOracle) TaskStart(n *dpst.Node) {
+	o.bags.TaskStart(n)
+	o.vc.TaskStart(n)
+}
+
+// TaskEnd forwards to both oracles.
+func (o *DualOracle) TaskEnd(n *dpst.Node) {
+	o.bags.TaskEnd(n)
+	o.vc.TaskEnd(n)
+}
+
+// FinishStart forwards to both oracles.
+func (o *DualOracle) FinishStart(n *dpst.Node) {
+	o.bags.FinishStart(n)
+	o.vc.FinishStart(n)
+}
+
+// FinishEnd forwards to both oracles.
+func (o *DualOracle) FinishEnd(n *dpst.Node) {
+	o.bags.FinishEnd(n)
+	o.vc.FinishEnd(n)
+}
+
+// Tag returns the vector-clock epoch; its high half is the task node ID
+// the ESP-Bags side queries by.
+func (o *DualOracle) Tag() uint64 { return o.vc.Tag() }
+
+// Ordered answers with the ESP-Bags verdict after checking that the
+// vector-clock oracle agrees; the first divergence is recorded for
+// Check rather than failing mid-scan, so the analysis still completes
+// and the error surfaces with full context.
+func (o *DualOracle) Ordered(prevTag uint64, prevStep, curStep *dpst.Node) bool {
+	b := o.bags.Ordered(prevTag>>32, prevStep, curStep)
+	v := o.vc.Ordered(prevTag, prevStep, curStep)
+	o.queries++
+	if b != v && o.div == nil {
+		d := &OracleDivergence{PrevTag: prevTag, PrevStep: -1, CurStep: -1, Bags: b, VC: v}
+		if prevStep != nil {
+			d.PrevStep = prevStep.ID
+		}
+		if curStep != nil {
+			d.CurStep = curStep.ID
+		}
+		o.div = d
+	}
+	return b
+}
+
+// OrderedByTagOnly reports that dual queries depend only on the recorded
+// epoch (both backends are tag-keyed), so scans may memoize per-tag
+// answers; the memo key is the full epoch, valid for both sides.
+func (o *DualOracle) OrderedByTagOnly() bool { return true }
+
+// Release returns the ESP-Bags side to its reuse pool. The divergence
+// record and query count stay readable.
+func (o *DualOracle) Release() {
+	if o.bags != nil {
+		o.bags.Release()
+		o.bags = nil
+	}
+	o.vc = nil
+}
+
+// ----------------------------------------------------------------------
+// Fused engine.
+
+// Checker is implemented by engines that cross-check detector backends
+// and can report a divergence after analysis (Differential by race-set
+// comparison, Fused by per-query agreement).
+type Checker interface {
+	Check() error
+}
+
+// Fused is the fused differential engine: one shadow memory of the
+// given variant, scanned once, with every ordering query answered by
+// both the ESP-Bags and vector-clock oracles in lockstep. Races() is
+// the single scan's result (identical to the serial primary engine's,
+// since the backends must agree); Check surfaces any query divergence
+// as a *DisagreementError. This is the engine behind -detector both
+// with -j N: AnalyzeParallel shards its scan across workers without
+// duplicating whole engines.
+type Fused struct {
+	Detector
+	variant Variant
+	dual    *DualOracle
+
+	// Set by the sharded analysis path: shadow cells summed over the
+	// per-shard detectors, the first divergence across shards (lowest
+	// shard index), and the total cross-check count.
+	shardCells   int
+	shardDiv     *OracleDivergence
+	shardQueries uint64
+}
+
+// NewFused returns a fused differential engine over a dual oracle.
+func NewFused(v Variant) *Fused {
+	d := NewDualOracle()
+	return &Fused{Detector: New(v, d), variant: v, dual: d}
+}
+
+// Name identifies the fused engine; it is a drop-in for the serial
+// differential runner.
+func (f *Fused) Name() string { return "both" }
+
+// Variant reports the shadow-memory variant the engine was built with
+// (the sharded path replicates it per shard).
+func (f *Fused) Variant() Variant { return f.variant }
+
+// Presize forwards to the underlying detector.
+func (f *Fused) Presize(events int) {
+	if p, ok := f.Detector.(Presizer); ok {
+		p.Presize(events)
+	}
+}
+
+// Release returns the detector's shadow structures (and the ESP-Bags
+// side of the dual oracle) to their reuse pools.
+func (f *Fused) Release() {
+	if r, ok := f.Detector.(Releaser); ok {
+		r.Release()
+	}
+}
+
+// ShadowCells reports the distinct locations tracked: the local scan's
+// plus, after a sharded analysis, the per-shard detectors' sum.
+func (f *Fused) ShadowCells() int {
+	n := f.shardCells
+	if s, ok := f.Detector.(ShadowSizer); ok {
+		n += s.ShadowCells()
+	}
+	return n
+}
+
+// Queries reports the number of cross-checked ordering queries.
+func (f *Fused) Queries() uint64 { return f.dual.queries + f.shardQueries }
+
+// Check returns a *DisagreementError if any ordering query diverged
+// between the two backends, nil otherwise.
+func (f *Fused) Check() error {
+	div := f.dual.div
+	if div == nil {
+		div = f.shardDiv
+	}
+	if div == nil {
+		return nil
+	}
+	n := len(f.Races())
+	return &DisagreementError{
+		Engines: [2]string{"espbags", "vc"},
+		Counts:  [2]int{n, n},
+		Detail:  div.String(),
+	}
+}

@@ -166,6 +166,20 @@ func (d *Differential) ShadowCells() int {
 	return 0
 }
 
+// EngineShadowCells reports each backend's shadow-memory size, in
+// [primary, secondary] order, so metrics can sample both engines instead
+// of last-writer-wins.
+func (d *Differential) EngineShadowCells() [2]int {
+	var out [2]int
+	if s, ok := d.primary.(ShadowSizer); ok {
+		out[0] = s.ShadowCells()
+	}
+	if s, ok := d.secondary.(ShadowSizer); ok {
+		out[1] = s.ShadowCells()
+	}
+	return out
+}
+
 // Presize forwards to both engines.
 func (d *Differential) Presize(events int) {
 	if p, ok := d.primary.(Presizer); ok {

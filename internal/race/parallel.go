@@ -1,82 +1,43 @@
 package race
 
 import (
-	"sync"
-	"time"
+	"runtime"
 
 	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/trace"
 )
 
-// AnalyzeParallel is Analyze with engine-level parallelism: when det is
-// a *Differential and workers > 1, the two engines analyze the shared
-// read-only trace concurrently, one goroutine per engine, each replaying
-// into its own S-DPST. Deterministic replay assigns identical node IDs
-// to both trees, so Differential.Check's signature comparison is
-// unaffected. Both replays charge the same meter (its counters are
-// atomic), so budget accounting reflects the doubled replay work and a
-// cancellation or deadline trip aborts both sides at their next periodic
-// check. Any other detector, or workers <= 1, falls through to the
-// serial Analyze.
-func AnalyzeParallel(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det Detector, m *guard.Meter, noCollapse bool, workers int) (*trace.Result, error) {
-	d, ok := det.(*Differential)
-	if !ok || workers <= 1 {
-		return Analyze(tr, prog, fins, det, m, noCollapse)
+// effectiveShards clamps a -j request to the machine: sharding the
+// shadow memory across more workers than cores only adds demux and
+// handoff overhead. On a single-core box every -j value degrades to the
+// serial fused scan, which is already strictly cheaper than the legacy
+// two-engine differential.
+func effectiveShards(workers int) int {
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
 	}
-	m.SetPhase("detect")
-	t0 := time.Now()
+	return workers
+}
 
-	type side struct {
-		eng Engine
-		rr  *trace.Result
-		err error
-	}
-	sides := [2]side{{eng: d.primary}, {eng: d.secondary}}
-	var wg sync.WaitGroup
-	for i := range sides {
-		s := &sides[i]
-		if p, ok := s.eng.(Presizer); ok {
-			p.Presize(tr.Len())
+// AnalyzeParallel is Analyze with detector-level parallelism. When det
+// is a *Fused engine (the -detector both -j N configuration) and more
+// than one worker is requested, the shadow memory is partitioned by
+// location hash across min(workers, GOMAXPROCS) shard workers fed from
+// one demultiplexing replay pass — see AnalyzeSharded; results are
+// byte-identical to the serial scan for any worker count. Any other
+// detector, or workers <= 1, falls through to the serial Analyze.
+//
+// Earlier versions parallelized the differential engine by replaying
+// the whole trace once per backend — two trees, two shadow memories,
+// double the allocations, and slower than serial whenever cores were
+// scarce. That path is gone: the fused engine cross-checks the two
+// oracles inside one scan, and parallelism now splits that single scan.
+func AnalyzeParallel(tr *trace.Trace, prog *ast.Program, fins []trace.FinishRange, det Detector, m *guard.Meter, noCollapse bool, workers int) (*trace.Result, error) {
+	if f, ok := det.(*Fused); ok && workers > 1 {
+		if shards := effectiveShards(workers); shards > 1 {
+			return AnalyzeSharded(tr, prog, fins, f, m, noCollapse, shards)
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Protect inside the goroutine: a contained panic must surface
-			// as this side's error, not crash the process.
-			s.err = guard.Protect("detect", func() error {
-				rr, err := trace.Replay(tr, trace.ReplayOptions{
-					Prog:       prog,
-					Finishes:   fins,
-					Sink:       s.eng,
-					NoCollapse: noCollapse,
-					Meter:      m,
-				})
-				s.rr = rr
-				return err
-			})
-		}()
 	}
-	wg.Wait()
-	// Deterministic error preference: the primary side's error wins, so
-	// the result does not depend on goroutine scheduling.
-	if sides[0].err != nil {
-		return nil, sides[0].err
-	}
-	if sides[1].err != nil {
-		return nil, sides[1].err
-	}
-	mAnalyzeNs.Observe(time.Since(t0).Nanoseconds())
-	if s, ok := det.(ShadowSizer); ok {
-		mShadowCells.Observe(int64(s.ShadowCells()))
-	}
-	mDetectRuns.Inc()
-	n := int64(len(det.Races()))
-	mRacesFound.Add(n)
-	mRacesPerRun.Observe(n)
-	rr := sides[0].rr
-	if rr.Tree != nil {
-		mSDPSTNodes.Set(int64(rr.Tree.NumNodes()))
-	}
-	return rr, nil
+	return Analyze(tr, prog, fins, det, m, noCollapse)
 }

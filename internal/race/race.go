@@ -67,6 +67,11 @@ type Race struct {
 	Loc              uint64
 	Kind             Kind
 	SrcSite, DstSite trace.Site
+	// ord is the global access-op index that produced this raw report.
+	// The sharded analysis path sorts per-shard reports by ord to
+	// reconstruct exactly the serial raw-report order; it stays 0 for
+	// serial scans, where append order already is that order.
+	ord uint64
 }
 
 // String renders the race for diagnostics.
@@ -159,6 +164,7 @@ type recorder struct {
 	races []Race
 	cache []*Race
 	seen  map[raceKey]int32 // scratch for resolved(), reused across runs
+	ord   uint64            // stamp for subsequent reports (sharded scans)
 }
 
 func newRecorder() recorder { return recorder{} }
@@ -167,10 +173,19 @@ func (rc *recorder) reset() {
 	clear(rc.races) // drop S-DPST node references before pooling
 	rc.races = rc.races[:0]
 	rc.cache = nil
+	rc.ord = 0
 }
 
 func (rc *recorder) report(src, dst *dpst.Node, loc uint64, kind Kind, srcSite, dstSite trace.Site) {
-	rc.races = append(rc.races, Race{Src: src, Dst: dst, Loc: loc, Kind: kind, SrcSite: srcSite, DstSite: dstSite})
+	rc.races = append(rc.races, Race{Src: src, Dst: dst, Loc: loc, Kind: kind, SrcSite: srcSite, DstSite: dstSite, ord: rc.ord})
+	rc.cache = nil
+}
+
+// adopt appends raw reports merged from other recorders (the sharded
+// analysis path), invalidating any cached resolution. The values are
+// copied, so the source recorders may be reset afterwards.
+func (rc *recorder) adopt(rs []Race) {
+	rc.races = append(rc.races, rs...)
 	rc.cache = nil
 }
 
@@ -302,6 +317,10 @@ func (d *SRW) Races() []*Race { return d.rec.resolved() }
 
 // ShadowCells reports the number of distinct locations tracked.
 func (d *SRW) ShadowCells() int { return len(d.cells) }
+
+func (d *SRW) setOrd(ord uint64)    { d.rec.ord = ord }
+func (d *SRW) rawRaces() []Race     { return d.rec.races }
+func (d *SRW) adoptRaces(rs []Race) { d.rec.adopt(rs) }
 
 // ----------------------------------------------------------------------
 // MRW ESP-Bags
@@ -517,3 +536,16 @@ func (d *MRW) FinishEnd(n *dpst.Node) { d.oracle.FinishEnd(n) }
 
 // Races returns the distinct races detected.
 func (d *MRW) Races() []*Race { return d.rec.resolved() }
+
+func (d *MRW) setOrd(ord uint64)    { d.rec.ord = ord }
+func (d *MRW) rawRaces() []Race     { return d.rec.races }
+func (d *MRW) adoptRaces(rs []Race) { d.rec.adopt(rs) }
+
+// ordStamper is the sharded-analysis hook on the concrete detectors:
+// stamping the global access-op index onto raw reports, exposing the raw
+// report stream for merging, and adopting merged reports.
+type ordStamper interface {
+	setOrd(ord uint64)
+	rawRaces() []Race
+	adoptRaces(rs []Race)
+}

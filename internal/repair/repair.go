@@ -105,10 +105,18 @@ type Options struct {
 	// are evaluated only by the trace-replay loop; ReExecute ignores
 	// this field and always inserts finishes.
 	Strategy Strategy
+
+	// defaultOracle records that the caller left Oracle unset: with the
+	// stock ESP-Bags oracle, Engine Both + Workers > 1 runs the fused
+	// dual-oracle engine (single shadow scan, per-query cross-check,
+	// shardable). A custom Oracle pins the legacy two-engine
+	// differential, whose race-set comparison is oracle-agnostic.
+	defaultOracle bool
 }
 
 func (o *Options) fill() {
 	if o.Oracle == nil {
+		o.defaultOracle = true
 		o.Oracle = func() race.Oracle { return race.NewBagsOracle() }
 	}
 	if o.MaxIterations == 0 {
@@ -527,7 +535,11 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			SetStr("variant", opts.Variant.String()).
 			SetStr("engine", opts.Engine.String())
 		t0 := time.Now()
-		if iter == 0 {
+		// With analysis parallelism requested, the first round streams:
+		// capture and analysis overlap, consuming trace chunks as the
+		// recorder seals them. Later rounds replay the completed capture.
+		streamed := iter == 0 && opts.Workers > 1
+		if iter == 0 && !streamed {
 			capSpan := detSpan.Child("trace-capture")
 			err := guard.Protect("detect", func() error {
 				var cerr error
@@ -556,14 +568,24 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		}
 		engSpan := analyzeParent.Child("detect/" + eng.Name())
 		if opts.Workers > 1 && opts.Engine == race.EngineBoth {
-			engSpan.SetInt("workers", 2)
+			engSpan.SetInt("workers", int64(opts.Workers))
+		}
+		if streamed {
+			engSpan.SetInt("streamed", 1)
 		}
 		var rr *trace.Result
 		err := guard.Protect("detect", func() error {
 			var aerr error
-			rr, aerr = race.AnalyzeParallel(tr, info.Prog, virtual, eng, opts.Meter, false, opts.Workers)
+			if streamed {
+				captured, tr, rr, aerr = race.CaptureAnalyzeStreamed(info, virtual, eng, opts.Meter, false, opts.Workers)
+			} else {
+				rr, aerr = race.AnalyzeParallel(tr, info.Prog, virtual, eng, opts.Meter, false, opts.Workers)
+			}
 			return aerr
 		})
+		if streamed && tr != nil {
+			engSpan.SetInt("events", int64(tr.Len()))
+		}
 		engSpan.End()
 		if replaySpan != nil {
 			replaySpan.End()
@@ -572,8 +594,8 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 			detSpan.End()
 			return iterErr(fmt.Errorf("repair: execution failed: %w", err))
 		}
-		if d, ok := eng.(*race.Differential); ok {
-			if cerr := d.Check(); cerr != nil {
+		if c, ok := eng.(race.Checker); ok {
+			if cerr := c.Check(); cerr != nil {
 				detSpan.End()
 				return iterErr(fmt.Errorf("repair: %w", cerr))
 			}
@@ -783,12 +805,18 @@ func pruneSerialGroups(groups []*group, mhp func(src, dst *dpst.Node) bool) (kep
 }
 
 // newRepairEngine builds the detector engine for one analysis round,
-// honoring a custom Oracle for the ESP-Bags side.
+// honoring a custom Oracle for the ESP-Bags side. With the stock oracle,
+// Engine Both + Workers > 1 selects the fused dual-oracle engine: one
+// shadow scan cross-checking both backends per ordering query, which
+// AnalyzeParallel then shards across workers.
 func newRepairEngine(opts Options) race.Engine {
 	switch opts.Engine {
 	case race.EngineVC:
 		return race.NewEngine(race.EngineVC, opts.Variant)
 	case race.EngineBoth:
+		if opts.Workers > 1 && opts.defaultOracle {
+			return race.NewFused(opts.Variant)
+		}
 		return race.NewDifferential(
 			race.WithName(race.New(opts.Variant, opts.Oracle()), "espbags"),
 			race.NewEngine(race.EngineVC, opts.Variant),

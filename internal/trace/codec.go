@@ -12,18 +12,25 @@ import (
 // processes. Layout:
 //
 //	magic   "HJTR"
-//	version uvarint (currently 2)
+//	version uvarint (currently 3)
 //	labels  uvarint count, then per label uvarint length + bytes
 //	events  uvarint count
 //	tail    uvarint trailing work
-//	stream  per event: kind byte, kind-specific varint fields, W uvarint
+//	stream  v1/v2: `events` records back to back
+//	        v3: chunk frames — uvarint record count (> 0), then that many
+//	        records — terminated by a zero count
+//	record  kind byte, kind-specific varint fields, W uvarint
 var traceMagic = [4]byte{'H', 'J', 'T', 'R'}
 
 // codecVersion is bumped on any incompatible stream change. Version 2
 // adds isolated regions: EvPush events may carry Class = dpst.IsoScope
-// (isolated entry; the matching EvPop is the exit). The wire layout is
-// unchanged, so version-1 streams decode as before.
-const codecVersion = 2
+// (isolated entry; the matching EvPop is the exit). Version 3 frames
+// the stream on the recorder's chunk boundary: each frame is
+// independently consumable, so a decoder can hand sealed frames to a
+// streaming replay before the stream ends, with seams identical to the
+// live capture path's. Record layout is unchanged throughout, so
+// version-1 and -2 streams decode as before.
+const codecVersion = 3
 
 // minCodecVersion is the oldest stream version Read still accepts.
 const minCodecVersion = 1
@@ -47,25 +54,35 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	}
 	cw.uvarint(uint64(t.n))
 	cw.uvarint(uint64(t.TailWork))
-	t.Events(func(_ int, e *Event) bool {
-		cw.byte(e.Kind)
-		switch Kind(e.Kind) {
-		case EvPush:
-			cw.byte(e.NKind)
-			cw.byte(e.Class)
-			cw.uvarint(uint64(e.Label))
-			cw.varint(int64(e.Block))
-			cw.varint(int64(e.Stmt))
-			cw.varint(int64(e.Body))
-		case EvStep:
-			cw.varint(int64(e.Block))
-			cw.varint(int64(e.Stmt))
-		case EvRead, EvWrite:
-			cw.uvarint(e.Loc)
+	for _, c := range t.chunks {
+		if len(c) == 0 || cw.err != nil {
+			continue
 		}
-		cw.uvarint(uint64(e.W))
-		return cw.err == nil
-	})
+		cw.uvarint(uint64(len(c)))
+		for j := range c {
+			e := &c[j]
+			cw.byte(e.Kind)
+			switch Kind(e.Kind) {
+			case EvPush:
+				cw.byte(e.NKind)
+				cw.byte(e.Class)
+				cw.uvarint(uint64(e.Label))
+				cw.varint(int64(e.Block))
+				cw.varint(int64(e.Stmt))
+				cw.varint(int64(e.Body))
+			case EvStep:
+				cw.varint(int64(e.Block))
+				cw.varint(int64(e.Stmt))
+			case EvRead, EvWrite:
+				cw.uvarint(e.Loc)
+			}
+			cw.uvarint(uint64(e.W))
+			if cw.err != nil {
+				break
+			}
+		}
+	}
+	cw.uvarint(0) // frame terminator
 	if cw.err != nil {
 		return cw.n, cw.err
 	}
@@ -86,7 +103,8 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
 	}
 	cr := &countReader{r: br}
-	if v := cr.uvarint(); cr.err == nil && (v < minCodecVersion || v > codecVersion) {
+	v := cr.uvarint()
+	if cr.err == nil && (v < minCodecVersion || v > codecVersion) {
 		return nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 	nl := cr.uvarint()
@@ -121,7 +139,7 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, cr.err
 	}
 	rec := Recorder{t: *t}
-	for i := uint64(0); i < ne; i++ {
+	readEvent := func(i uint64) error {
 		var e Event
 		e.Kind = cr.byte()
 		switch Kind(e.Kind) {
@@ -140,16 +158,48 @@ func Read(r io.Reader) (*Trace, error) {
 		case EvRead, EvWrite:
 			e.Loc = cr.uvarint()
 		default:
-			return nil, fmt.Errorf("trace: unknown event kind %d at %d", e.Kind, i)
+			return fmt.Errorf("trace: unknown event kind %d at %d", e.Kind, i)
 		}
 		e.W = uint32(cr.uvarint())
 		if cr.err != nil {
-			return nil, fmt.Errorf("trace: truncated stream at event %d: %w", i, cr.err)
+			return fmt.Errorf("trace: truncated stream at event %d: %w", i, cr.err)
 		}
 		rec.append(e)
 		// append clears pending into W; restore the decoded value.
 		last := rec.t.chunks[len(rec.t.chunks)-1]
 		last[len(last)-1].W = e.W
+		return nil
+	}
+	if v >= 3 {
+		// Chunk-framed stream: uvarint record counts, zero-terminated.
+		total := uint64(0)
+		for {
+			cnt := cr.uvarint()
+			if cr.err != nil {
+				return nil, fmt.Errorf("trace: truncated frame header after event %d: %w", total, cr.err)
+			}
+			if cnt == 0 {
+				break
+			}
+			if total+cnt > ne {
+				return nil, fmt.Errorf("trace: frames exceed declared event count (%d > %d)", total+cnt, ne)
+			}
+			for j := uint64(0); j < cnt; j++ {
+				if err := readEvent(total + j); err != nil {
+					return nil, err
+				}
+			}
+			total += cnt
+		}
+		if total != ne {
+			return nil, fmt.Errorf("trace: frames hold %d events, header declares %d", total, ne)
+		}
+	} else {
+		for i := uint64(0); i < ne; i++ {
+			if err := readEvent(i); err != nil {
+				return nil, err
+			}
+		}
 	}
 	out := rec.t
 	return &out, nil

@@ -129,6 +129,7 @@ type replayer struct {
 	frames     []rframe
 	blocks     map[int32]*ast.Block
 	ranges     map[int32][]FinishRange
+	labels     []string // label-table snapshot of the current chunk
 
 	// Access-site attribution: coordinates of the last step boundary and
 	// the current isolated-nesting depth.
@@ -140,6 +141,33 @@ type replayer struct {
 // checkMask gates the periodic meter check: every 4096 events.
 const checkMask = 1<<12 - 1
 
+// eventSource abstracts where replay pulls events from: a fully
+// captured Trace (all chunks immediately available) or a live Stream
+// (nextChunk blocks until capture seals the next one). Replay state —
+// open frames, virtual-finish injection, the step state machine — lives
+// in the replayer and carries across chunk seams untouched, so a
+// virtual finish may open in one chunk and close in a later one.
+type eventSource interface {
+	// nextChunk returns chunk i and the label table covering it;
+	// ok=false when the source is exhausted, with err set if the
+	// producer failed.
+	nextChunk(i int) (events []Event, labels []string, ok bool, err error)
+	// tailWork reports work trailing the final event; valid once
+	// nextChunk has returned ok=false with a nil error.
+	tailWork() int64
+}
+
+// nextChunk returns the i'th captured chunk (Trace is a fully-available
+// event source).
+func (t *Trace) nextChunk(i int) ([]Event, []string, bool, error) {
+	if i < len(t.chunks) {
+		return t.chunks[i], t.labels, true, nil
+	}
+	return nil, nil, false, nil
+}
+
+func (t *Trace) tailWork() int64 { return t.TailWork }
+
 // Replay reconstructs the execution recorded in tr, feeding sink and
 // rebuilding the S-DPST. With no injected finishes the resulting tree
 // is node-for-node identical (IDs, kinds, coordinates, work) to the one
@@ -148,7 +176,19 @@ const checkMask = 1<<12 - 1
 // finishes appear exactly where re-executing the rewritten program
 // would put them; finish statements are free in the cost model, so no
 // other node changes.
-func Replay(tr *Trace, opts ReplayOptions) (res *Result, err error) {
+func Replay(tr *Trace, opts ReplayOptions) (*Result, error) {
+	return replayFrom(tr, opts)
+}
+
+// ReplayStream is Replay over a live capture stream: it consumes chunks
+// as the recorder seals them, blocking until the next chunk (or the end
+// of the capture) is available, and produces exactly the result a batch
+// replay of the completed trace would.
+func ReplayStream(s *Stream, opts ReplayOptions) (*Result, error) {
+	return replayFrom(s, opts)
+}
+
+func replayFrom(src eventSource, opts ReplayOptions) (res *Result, err error) {
 	r := &replayer{
 		tree:       dpst.NewTree(),
 		sink:       opts.Sink,
@@ -181,47 +221,53 @@ func Replay(tr *Trace, opts ReplayOptions) (res *Result, err error) {
 	}()
 
 	r.sink.TaskStart(r.tree.Root)
-	var perr error
-	tr.Events(func(i int, e *Event) bool {
-		if e.W > 0 && r.curStep != nil {
-			r.curStep.Work += int64(e.W)
+	i := 0
+	for ci := 0; ; ci++ {
+		events, labels, ok, serr := src.nextChunk(ci)
+		if serr != nil {
+			return nil, serr
 		}
-		if i&checkMask == 0 && r.meter != nil {
-			if cerr := r.meter.Check(); cerr != nil {
-				panic(guard.Bail{Err: cerr})
+		if !ok {
+			break
+		}
+		r.labels = labels
+		for j := range events {
+			e := &events[j]
+			if e.W > 0 && r.curStep != nil {
+				r.curStep.Work += int64(e.W)
 			}
-		}
-		switch Kind(e.Kind) {
-		case EvStep:
-			r.boundary(e.Block, e.Stmt)
-			r.ensureStep(e.Block, e.Stmt)
-			r.siteBlock, r.siteStmt = e.Block, e.Stmt
-		case EvEnd:
-			r.curStep = nil
-		case EvRead:
-			r.sink.Read(e.Loc, r.curStep, r.site())
-		case EvWrite:
-			r.sink.Write(e.Loc, r.curStep, r.site())
-		case EvPush:
-			r.boundary(e.Block, e.Stmt)
-			r.push(tr, e)
-		case EvPop:
-			if len(r.frames) == 1 {
-				perr = fmt.Errorf("trace: unbalanced pop at event %d", i)
-				return false
+			if i&checkMask == 0 && r.meter != nil {
+				if cerr := r.meter.Check(); cerr != nil {
+					panic(guard.Bail{Err: cerr})
+				}
 			}
-			r.pop()
-		default:
-			perr = fmt.Errorf("trace: unknown event kind %d at event %d", e.Kind, i)
-			return false
+			switch Kind(e.Kind) {
+			case EvStep:
+				r.boundary(e.Block, e.Stmt)
+				r.ensureStep(e.Block, e.Stmt)
+				r.siteBlock, r.siteStmt = e.Block, e.Stmt
+			case EvEnd:
+				r.curStep = nil
+			case EvRead:
+				r.sink.Read(e.Loc, r.curStep, r.site())
+			case EvWrite:
+				r.sink.Write(e.Loc, r.curStep, r.site())
+			case EvPush:
+				r.boundary(e.Block, e.Stmt)
+				r.push(e)
+			case EvPop:
+				if len(r.frames) == 1 {
+					return nil, fmt.Errorf("trace: unbalanced pop at event %d", i)
+				}
+				r.pop()
+			default:
+				return nil, fmt.Errorf("trace: unknown event kind %d at event %d", e.Kind, i)
+			}
+			i++
 		}
-		return true
-	})
-	if perr != nil {
-		return nil, perr
 	}
-	if tr.TailWork > 0 && r.curStep != nil {
-		r.curStep.Work += tr.TailWork
+	if tw := src.tailWork(); tw > 0 && r.curStep != nil {
+		r.curStep.Work += tw
 	}
 	for len(r.frames) > 1 && r.top().synthetic {
 		r.closeSynthetic()
@@ -328,10 +374,19 @@ func (r *replayer) ensureStep(bid, stmt int32) {
 	r.steps++
 }
 
-func (r *replayer) push(tr *Trace, e *Event) {
+// label resolves a label-table index against the current chunk's
+// snapshot.
+func (r *replayer) label(i uint16) string {
+	if int(i) < len(r.labels) {
+		return r.labels[i]
+	}
+	return ""
+}
+
+func (r *replayer) push(e *Event) {
 	r.curStep = nil
 	r.noteNode()
-	n := r.tree.NewChild(r.top().node, dpst.Kind(e.NKind), dpst.ScopeClass(e.Class), tr.Label(e.Label))
+	n := r.tree.NewChild(r.top().node, dpst.Kind(e.NKind), dpst.ScopeClass(e.Class), r.label(e.Label))
 	n.OwnerBlock = r.block(e.Block)
 	n.StmtLo, n.StmtHi = int(e.Stmt), int(e.Stmt)
 	n.Body = r.block(e.Body)

@@ -16,6 +16,14 @@
 // regression, 1 at least one stage regressed, 2 usage or I/O error.
 // `make bench-diff` runs the benchmarks and gates against the committed
 // baseline.
+//
+// With -parallel-wins the gate additionally requires, within the
+// CURRENT file alone, that every parallel detection stage beats its
+// serial counterpart: for each benchmark carrying a "both" stage, no
+// "both-jN" stage may exceed the "both" gate metric by more than the
+// -min-delta-ns noise floor. This is the structural claim behind the
+// fused sharded engine — -j N must win (or tie within noise) on every
+// benchmark, not just on average.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -76,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.20, "allowed fractional regression per benchmark/stage")
 	minDelta := fs.Int64("min-delta-ns", 3_000_000, "noise floor: regressions smaller than this in absolute ns never gate")
+	parallelWins := fs.Bool("parallel-wins", false, "additionally require every both-jN stage in CURRENT to beat its both stage (within the noise floor)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -139,10 +149,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  new   %s/%s: %d ns/op\n", k.bench, k.stage, cur[k].NsPerOp)
 		}
 	}
+	losses := 0
+	if *parallelWins {
+		losses = gateParallelWins(cur, *minDelta, stdout)
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d stage(s) regressed beyond %.0f%%\n", regressions, 100**threshold)
+	}
+	if losses > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d parallel stage(s) slower than their serial baseline\n", losses)
+	}
+	if regressions > 0 || losses > 0 {
 		return 1
 	}
 	fmt.Fprintln(stdout, "benchdiff: no regression beyond threshold")
 	return 0
+}
+
+// parallelStageRE matches the parallel detection stages gated against
+// the serial "both" stage by -parallel-wins.
+var parallelStageRE = regexp.MustCompile(`^both-j[0-9]+$`)
+
+// gateParallelWins checks, within one result file, that every both-jN
+// stage is at least as fast as its benchmark's both stage (up to the
+// noise floor). It returns the number of losing stages.
+func gateParallelWins(cur map[key]record, minDelta int64, stdout io.Writer) int {
+	keys := make([]key, 0, len(cur))
+	for k := range cur {
+		if parallelStageRE.MatchString(k.stage) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].stage < keys[j].stage
+	})
+
+	losses := 0
+	for _, k := range keys {
+		serial, ok := cur[key{k.bench, "both"}]
+		if !ok {
+			fmt.Fprintf(stdout, "  PARWIN? %s/%s: no serial both stage to compare\n", k.bench, k.stage)
+			continue
+		}
+		sv, pv, metric := gateMetric(serial, cur[k])
+		if sv <= 0 {
+			continue
+		}
+		switch {
+		case pv > sv+float64(minDelta):
+			losses++
+			fmt.Fprintf(stdout, "PARLOSE %s/%s: %.0f > both %.0f %s (%+.1f%%, floor %dms)\n",
+				k.bench, k.stage, pv, sv, metric, 100*(pv/sv-1), minDelta/1_000_000)
+		default:
+			fmt.Fprintf(stdout, "  PARWIN %s/%s: %.0f vs both %.0f %s (%+.1f%%)\n",
+				k.bench, k.stage, pv, sv, metric, 100*(pv/sv-1))
+		}
+	}
+	return losses
 }

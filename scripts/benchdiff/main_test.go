@@ -93,6 +93,47 @@ func TestGoneAndNewStagesNeverGate(t *testing.T) {
 	}
 }
 
+func TestParallelWinsGateFailsOnLoss(t *testing.T) {
+	// both-j4 is 10ms over both, well past the 3ms floor: gate fails
+	// even though nothing regressed against the baseline.
+	base := `[{"benchmark":"M","stage":"both","iterations":10,"ns_per_op":100000000,"p95_ns_per_op":100000000},
+	          {"benchmark":"M","stage":"both-j4","iterations":10,"ns_per_op":110000000,"p95_ns_per_op":110000000}]`
+	cur := base
+	out, code := runDiff(t, base, cur, "-parallel-wins")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "PARLOSE M/both-j4") {
+		t.Errorf("expected a PARLOSE line, got:\n%s", out)
+	}
+}
+
+func TestParallelWinsGatePasses(t *testing.T) {
+	// both-j2 wins outright; both-j4 is 1ms slower, within the floor.
+	base := `[{"benchmark":"M","stage":"both","iterations":10,"ns_per_op":100000000,"p95_ns_per_op":100000000},
+	          {"benchmark":"M","stage":"both-j2","iterations":10,"ns_per_op":40000000,"p95_ns_per_op":40000000},
+	          {"benchmark":"M","stage":"both-j4","iterations":10,"ns_per_op":101000000,"p95_ns_per_op":101000000}]`
+	out, code := runDiff(t, base, base, "-parallel-wins")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "PARWIN M/both-j2") || !strings.Contains(out, "PARWIN M/both-j4") {
+		t.Errorf("expected PARWIN lines for both parallel stages, got:\n%s", out)
+	}
+}
+
+func TestParallelWinsIgnoredWithoutFlag(t *testing.T) {
+	base := `[{"benchmark":"M","stage":"both","iterations":10,"ns_per_op":100000000},
+	          {"benchmark":"M","stage":"both-j4","iterations":10,"ns_per_op":200000000}]`
+	out, code := runDiff(t, base, base)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if strings.Contains(out, "PARLOSE") {
+		t.Errorf("parallel gate ran without -parallel-wins:\n%s", out)
+	}
+}
+
 func TestUsageError(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"only-one.json"}, &stdout, &stderr); code != 2 {

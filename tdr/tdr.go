@@ -277,8 +277,8 @@ func (p *Program) DetectEngineCtx(ctx context.Context, d Detector, e Engine, b B
 			sp.End()
 			return err
 		}
-		if diff, ok := eng.(*race.Differential); ok {
-			if cerr := diff.Check(); cerr != nil {
+		if c, ok := eng.(race.Checker); ok {
+			if cerr := c.Check(); cerr != nil {
 				sp.End()
 				return cerr
 			}
