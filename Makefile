@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz report adversary ci clean
+.PHONY: all build test vet race bench bench-detect bench-diff eval fuzz report adversary commute-agreement ci clean
 
 all: build test
 
@@ -95,7 +95,16 @@ adversary:
 		*) echo "stress mode failed to witness the racy counter:"; echo "$$out"; exit 1;; \
 	esac
 
-ci: build vet race adversary
+# Static/semantic agreement gate for the commutativity analysis: every
+# "commutes" verdict over the bundled examples and a 50-program progen
+# corpus (Commute shapes enabled) must survive the semantic order
+# probe — zero refuted verdicts — and the auto-strategy repair of the
+# commute corpus must restore the serial elision's output.
+commute-agreement:
+	$(GO) test -race -run 'TestCommuteAgreement|TestCommuteCorpusRepairsEndToEnd' -v ./tdr
+	$(GO) test -race -run 'TestCommute|TestProbe|TestRecognize' ./internal/analysis/commute ./internal/progen
+
+ci: build vet race adversary commute-agreement
 
 clean:
 	$(GO) clean ./...

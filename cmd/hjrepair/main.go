@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	hjrepair [-detector mrw|srw|espbags|vc|both] [-strategy finish|isolated|auto]
+//	hjrepair [-detector mrw|srw|espbags|vc|both] [-strategy finish|isolated|auto] ("iso" = "isolated")
 //	         [-j N] [-o out.hj]
 //	         [-quiet] [-max-iter N] [-timeout D] [-max-dp-states N]
 //	         [-vet] [-static-prune] [-explain out.json]
@@ -20,8 +20,9 @@
 // disagreement between the engines aborts the repair with exit code 5.
 //
 // -strategy picks how each race group is eliminated: "finish" inserts
-// finish statements (the paper's repair), "isolated" wraps commutative
-// conflicting updates in isolated blocks where that eliminates the
+// finish statements (the paper's repair), "isolated" (alias "iso")
+// wraps commutative conflicting updates in isolated blocks where that
+// eliminates the
 // group's races (falling back to finish where it does not), and "auto"
 // (default) probes both candidates per group against the captured trace
 // and keeps the one with the shorter post-repair critical path. The
@@ -110,7 +111,7 @@ const (
 
 func main() {
 	detector := flag.String("detector", "mrw", "race detector: mrw|srw (ESP-Bags variant) or espbags|vc|both (trace-analysis engine)")
-	strategy := flag.String("strategy", "auto", "repair strategy per race group: finish|isolated|auto (auto picks the shorter post-repair critical path)")
+	strategy := flag.String("strategy", "auto", "repair strategy per race group: finish|isolated|auto; \"iso\" is accepted as an alias of isolated (auto picks the shorter post-repair critical path)")
 	workers := flag.Int("j", 1, "analysis parallelism: concurrent detector engines and per-NS-LCA DP workers (output is identical for any value)")
 	out := flag.String("o", "", "write repaired program to this file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the repair summary on stderr")
@@ -172,7 +173,7 @@ func main() {
 	}
 	strat, ok := tdr.ParseStrategy(*strategy)
 	if !ok {
-		fatal(fmt.Errorf("unknown strategy %q (have finish, isolated, auto)", *strategy))
+		fatal(fmt.Errorf("unknown strategy %q (have finish, isolated (alias iso), auto)", *strategy))
 	}
 
 	// Like exportObs, the explain record is written on every exit path

@@ -140,7 +140,7 @@ func buildExplain(d *reportData, ex *provenance.Explain) {
 		d.Chips = append(d.Chips, chip{Label: "degraded", Value: ex.Degraded, Bad: true})
 	}
 
-	isolated := 0
+	isolated, confirmed := 0, 0
 	for _, f := range ex.Finishes {
 		kind := f.Finish.Kind
 		if kind == "" {
@@ -148,6 +148,9 @@ func buildExplain(d *reportData, ex *provenance.Explain) {
 		}
 		if kind == "isolated" {
 			isolated++
+		}
+		if f.CommuteProbe == "confirmed" {
+			confirmed++
 		}
 		d.Finishes = append(d.Finishes, finishView{
 			FinishEntry: f,
@@ -159,6 +162,9 @@ func buildExplain(d *reportData, ex *provenance.Explain) {
 	}
 	if isolated > 0 {
 		d.Chips = append(d.Chips, chip{Label: "isolated inserted", Value: fmt.Sprint(isolated)})
+	}
+	if confirmed > 0 {
+		d.Chips = append(d.Chips, chip{Label: "commute probes confirmed", Value: fmt.Sprint(confirmed)})
 	}
 	for _, it := range ex.Iterations {
 		for _, g := range it.Groups {

@@ -96,13 +96,13 @@ func TestHjvetErrors(t *testing.T) {
 	}
 }
 
-// TestHjvetList verifies the -list output names all six checks.
+// TestHjvetList verifies the -list output names all seven checks.
 func TestHjvetList(t *testing.T) {
 	out, code := runVetFromRoot(t, "-list")
 	if code != 0 {
 		t.Fatalf("-list exit = %d", code)
 	}
-	for _, name := range []string{"static-race", "redundant-finish", "unscoped-async-loop", "write-after-async", "redundant-isolated", "dead-stmt"} {
+	for _, name := range []string{"static-race", "redundant-finish", "unscoped-async-loop", "write-after-async", "redundant-isolated", "reducible-race", "dead-stmt"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list missing %s:\n%s", name, out)
 		}

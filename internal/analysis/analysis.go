@@ -45,11 +45,16 @@ type Result struct {
 	// asyncs marks the statement IDs that are AsyncStmts.
 	asyncs bitset
 
-	// isod marks statement IDs syntactically inside an isolated body.
-	// Such statements always execute under the global isolated lock, so
-	// two of them never overlap; the dynamic detectors suppress the same
-	// pairs via the per-access isolation bit.
-	isod bitset
+	// isod marks statement IDs syntactically inside an isolated body;
+	// isoClass[i] is the lock class of the outermost isolated statement
+	// containing i (meaningful only when isod.has(i)). Two isolated
+	// statements exclude each other when either class is 0 (the global
+	// lock) or the classes are equal; bodies of different nonzero
+	// classes run concurrently, so their statements stay candidates.
+	// The dynamic detectors suppress the same pairs via the per-access
+	// isolation bit and class.
+	isod     bitset
+	isoClass []int
 
 	// Per-function summaries (fixpoint over the call graph):
 	// contains(f) = statements possibly executed during a call to f,
@@ -131,6 +136,7 @@ func (r *Result) index() {
 	n := len(r.stmts)
 	r.asyncs = newBitset(n)
 	r.isod = newBitset(n)
+	r.isoClass = make([]int, n)
 	for i, rec := range r.stmts {
 		switch st := rec.stmt.(type) {
 		case *ast.AsyncStmt:
@@ -139,7 +145,13 @@ func (r *Result) index() {
 			for _, s := range st.Body.Stmts {
 				ast.InspectStmts(s, func(in ast.Stmt) {
 					if id, ok := r.byStmt[in]; ok {
-						r.isod.set(id)
+						// Statements are visited outermost-isolated
+						// first, and the outermost lock is the one that
+						// governs exclusion, so the first class sticks.
+						if !r.isod.has(id) {
+							r.isod.set(id)
+							r.isoClass[id] = st.LockClass
+						}
 					}
 				})
 			}

@@ -39,13 +39,15 @@ func (r *Result) buildCandidates() {
 			if !r.mhp[i].has(j) {
 				continue
 			}
-			// Both statements syntactically inside isolated bodies always
-			// run under the global isolated lock and cannot overlap. The
-			// dynamic detectors suppress exactly these pairs (both access
-			// sites isolated), so dropping them here preserves the
-			// static-covers-dynamic guarantee: any surviving dynamic race
-			// has a non-isolated endpoint, whose statement is kept.
-			if r.isod.has(i) && r.isod.has(j) {
+			// Both statements inside isolated bodies whose locks exclude
+			// each other (either class 0's global lock, or one shared
+			// nonzero class) cannot overlap. The dynamic detectors
+			// suppress exactly these pairs (both access sites isolated
+			// with excluding classes), so dropping them here preserves
+			// the static-covers-dynamic guarantee; bodies of different
+			// nonzero classes run concurrently and stay candidates.
+			if r.isod.has(i) && r.isod.has(j) &&
+				(r.isoClass[i] == 0 || r.isoClass[j] == 0 || r.isoClass[i] == r.isoClass[j]) {
 				continue
 			}
 			ej := r.eff[j]

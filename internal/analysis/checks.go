@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"finishrepair/internal/analysis/commute"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/obs"
 )
@@ -24,6 +25,7 @@ func Checks() []Check {
 		{"unscoped-async-loop", "async spawned in a loop with no enclosing finish inside the loop", checkUnscopedAsyncLoop},
 		{"write-after-async", "serial access conflicting with an async that may still be running", checkWriteAfterAsync},
 		{"redundant-isolated", "isolated body writing no shared state, or isolated nested inside isolated", checkRedundantIsolated},
+		{"reducible-race", "static race whose sites form a recognized commutative reduction, repairable with isolated instead of finish", checkReducibleRace},
 		{"dead-stmt", "statement after an infinite loop or return, or a branch arm that can never run", checkDeadStmt},
 	}
 }
@@ -260,6 +262,54 @@ func checkRedundantIsolated(r *Result) []Diagnostic {
 	}
 	for _, fn := range r.info.Prog.Funcs {
 		walk(fn.Body, nil)
+	}
+	return ds
+}
+
+// checkReducibleRace reports static race candidates whose two sites
+// both resolve to recognized commutative updates of the SAME location
+// in compatible families, with the verdict confirmed by the serial
+// order probe. These are the races `-strategy auto` can repair by
+// wrapping just the update in isolated — keeping the surrounding
+// parallelism — instead of serializing whole tasks with finish.
+func checkReducibleRace(r *Result) []Diagnostic {
+	sites := commute.NewSiteIndex(r.info.Prog)
+	var ds []Diagnostic
+	type pairKey struct{ a, b commute.Key }
+	seen := map[pairKey]bool{}
+	for _, c := range r.UncoveredCandidates() {
+		ua, oka := sites.At(r.stmts[c.A].stmt)
+		ub, okb := sites.At(r.stmts[c.B].stmt)
+		if !oka || !okb {
+			continue
+		}
+		// The reduction explains the race only when both sites update
+		// the same location the candidate conflicts on, in one family.
+		if ua.TargetBase() == nil || ua.TargetBase() != ub.TargetBase() {
+			continue
+		}
+		if !commute.Compatible(ua, ub) {
+			continue
+		}
+		if commute.ProbePair(r.info, ua, ub) != nil {
+			continue
+		}
+		k := pairKey{ua.RegionKey(), ub.RegionKey()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d := Diagnostic{
+			Pos:      c.APos,
+			Severity: Info,
+			Check:    "reducible-race",
+			Message:  fmt.Sprintf("race on %s is a recognized %s reduction", c.Loc, ua.Family),
+			Hint:     "run hjrepair -strategy auto to repair with an isolated block instead of finish serialization",
+		}
+		if c.A != c.B {
+			d.Related = []Related{{Pos: c.BPos, Message: fmt.Sprintf("matching %s update in %s", ub.Family, c.BFunc)}}
+		}
+		ds = append(ds, d)
 	}
 	return ds
 }

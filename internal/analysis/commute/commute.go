@@ -1,0 +1,669 @@
+// Package commute implements the static commutativity analysis behind
+// the isolated repair strategy: it recognizes statement regions that
+// implement a commutative reduction of one shared location — arithmetic
+// updates (`x = x + e`, `x *= e`), min/max reductions
+// (`if e < x { x = e }` and variants), and multi-statement bodies where
+// straight-line local compute feeds a single shared update — and backs
+// every static "commutes" verdict with a semantic order probe against
+// the serial interpreter (probe.go).
+//
+// The package is a leaf: it depends only on the language front end and
+// the serial interpreter, so both the static analyzer (the
+// reducible-race vet check) and the repair strategy layer can consume
+// its verdicts without import cycles.
+package commute
+
+import (
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/lang/token"
+	"finishrepair/internal/obs"
+)
+
+// Verdict metrics: one count per static "commutes" verdict rendered,
+// and the semantic-probe outcomes backing them. confirmed + refuted can
+// undercount verdicts: probes on regions the serial oracle cannot
+// rebuild (calls in opaque terms, non-int locals) are unsupported, and
+// the strategy layer treats unsupported like refuted (finish fallback).
+var (
+	mVerdicts  = obs.Default().Counter("analysis.commute_verdicts")
+	mConfirmed = obs.Default().Counter("analysis.commute_confirmed")
+	mRefuted   = obs.Default().Counter("analysis.commute_refuted")
+)
+
+// Family classifies a commutative update. Two updates of the same
+// location commute with each other exactly when they share a family:
+// additive updates commute among themselves (integer + and - are one
+// abelian group action), multiplications among themselves, and min/max
+// with themselves (idempotent, commutative, associative). Across
+// families the final value depends on order.
+type Family int
+
+// Update families.
+const (
+	FamNone Family = iota
+	FamAdd         // x = x + e, x += e, x -= e, x = x - e
+	FamMul         // x = x * e, x *= e
+	FamMin         // if e < x { x = e } and variants
+	FamMax         // if e > x { x = e } and variants
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamAdd:
+		return "add"
+	case FamMul:
+		return "mul"
+	case FamMin:
+		return "min"
+	case FamMax:
+		return "max"
+	}
+	return "none"
+}
+
+// Update is one recognized commutative update region: statements
+// [Lo, Hi] of Block implement Target = Target ⊕ e for the family's ⊕,
+// where e does not read Target and every intermediate statement only
+// computes locals. Target is the shared lvalue being reduced into (an
+// *ast.Ident or *ast.IndexExpr).
+type Update struct {
+	Block  *ast.Block
+	Lo, Hi int
+	Family Family
+	Target ast.Expr
+}
+
+// maxRegion bounds how far RecognizeAt extends a multi-statement region
+// around an access site; reductions longer than this fall back to the
+// always-sound finish repair.
+const maxRegion = 8
+
+// RecognizeAt resolves the smallest recognized commutative update
+// containing statement idx of block b. It tries the statement alone
+// first — so programs the single-statement gate already handled keep
+// placements (and repaired output) byte-identical — and only then grows
+// a region: forward to the nearest shared-update anchor, backward over
+// the local compute feeding it.
+func RecognizeAt(b *ast.Block, idx int) (Update, bool) {
+	if b == nil || idx < 0 || idx >= len(b.Stmts) {
+		return Update{}, false
+	}
+	if u, ok := Recognize(b, idx, idx); ok {
+		return u, true
+	}
+	// Find the update anchor: the first statement at or after idx that
+	// is not straight-line local compute. The region's validator then
+	// proves it is a shared update fed only by the locals in between.
+	hi := idx
+	for hi < len(b.Stmts) && hi-idx < maxRegion && isLocalCompute(b.Stmts[hi]) {
+		hi++
+	}
+	if hi >= len(b.Stmts) || hi-idx >= maxRegion {
+		return Update{}, false
+	}
+	lo := idx
+	if lo > hi {
+		lo = hi
+	}
+	for ; lo >= 0 && hi-lo < maxRegion; lo-- {
+		if lo == hi {
+			continue // single statement already failed above
+		}
+		if u, ok := Recognize(b, lo, hi); ok {
+			return u, true
+		}
+	}
+	return Update{}, false
+}
+
+// Recognize classifies statements [lo, hi] of b as one commutative
+// update region. The final statement must be a recognized shared
+// update; every earlier statement must be straight-line local compute
+// (var declarations and assignments to locals, no calls), which the
+// validator inlines symbolically so that split read-modify-writes like
+//
+//	var cur = acc;
+//	acc = cur + inc;
+//
+// normalize to acc = acc + inc. Locals declared inside the region must
+// not be used after it (wrapping the region in isolated would otherwise
+// shrink their scope).
+func Recognize(b *ast.Block, lo, hi int) (Update, bool) {
+	if b == nil || lo < 0 || hi >= len(b.Stmts) || lo > hi {
+		return Update{}, false
+	}
+	env := symEnv{}
+	bound := map[*sem.Symbol]bool{}
+	for i := lo; i < hi; i++ {
+		if !env.absorb(b.Stmts[i], bound) {
+			return Update{}, false
+		}
+	}
+	fam, target, ok := recognizeFinal(b.Stmts[hi], env)
+	if !ok {
+		return Update{}, false
+	}
+	// Intermediate statements may read only locals and the target
+	// itself; reading unrelated shared state inside the region would
+	// make the wrapped body's result depend on concurrent writers the
+	// probe never sees.
+	base := baseSym(target)
+	for i := lo; i < hi; i++ {
+		if readsSharedExcept(b.Stmts[i], base) {
+			return Update{}, false
+		}
+	}
+	if usedAfter(b, hi, bound) {
+		return Update{}, false
+	}
+	mVerdicts.Inc()
+	return Update{Block: b, Lo: lo, Hi: hi, Family: fam, Target: target}, true
+}
+
+// Compatible reports whether two recognized updates may be co-isolated:
+// updates of the same location must share a family (mixed families on
+// one location do not commute); updates of provably different locations
+// never conflict, so their relative order is irrelevant.
+func Compatible(a, b Update) bool {
+	if baseSym(a.Target) != baseSym(b.Target) {
+		return true
+	}
+	return a.Family == b.Family
+}
+
+// Overlaps reports whether the shared state the two regions touch may
+// intersect (same target base symbol, or either region reads the
+// other's target): the pairs whose execution order can matter and that
+// the semantic probe therefore must check.
+func Overlaps(a, b Update) bool {
+	if baseSym(a.Target) == baseSym(b.Target) {
+		return true
+	}
+	return regionReadsBase(a, baseSym(b.Target)) || regionReadsBase(b, baseSym(a.Target))
+}
+
+// ---------------------------------------------------------------------
+// Symbolic inlining of straight-line locals.
+
+// symEnv maps a local symbol to the expression tree holding its current
+// symbolic value (already substituted).
+type symEnv map[*sem.Symbol]ast.Expr
+
+// absorb folds one straight-line statement into the environment; it
+// returns false when the statement is not local compute.
+func (env symEnv) absorb(s ast.Stmt, bound map[*sem.Symbol]bool) bool {
+	if hasCall(s) {
+		return false
+	}
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		sym, ok := st.Sym.(*sem.Symbol)
+		if !ok || sym.Kind == sem.GlobalVar {
+			return false
+		}
+		if st.Init != nil {
+			env[sym] = env.subst(st.Init)
+		} else {
+			if pt, ok := st.Type.(*ast.PrimType); !ok || pt.Kind != ast.Int {
+				return false
+			}
+			env[sym] = &ast.IntLit{Value: 0}
+		}
+		bound[sym] = true
+		return true
+	case *ast.AssignStmt:
+		id, ok := st.LHS.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		sym, ok := id.Sym.(*sem.Symbol)
+		if !ok || sym.Kind == sem.GlobalVar {
+			return false
+		}
+		rhs := env.subst(st.RHS)
+		if op, compound := expandCompound(st.Op); compound {
+			rhs = &ast.BinaryExpr{X: env.current(sym), Op: op, Y: rhs}
+		}
+		env[sym] = rhs
+		return true
+	}
+	return false
+}
+
+// current returns the symbol's symbolic value, or a fresh reference
+// when the local was defined before the region (a free input).
+func (env symEnv) current(sym *sem.Symbol) ast.Expr {
+	if e, ok := env[sym]; ok {
+		return e
+	}
+	return &ast.Ident{Name: sym.Name, Sym: sym}
+}
+
+// subst rewrites e with every environment-bound local replaced by its
+// symbolic value. The result shares no mutable state with the input.
+func (env symEnv) subst(e ast.Expr) ast.Expr {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if sym, ok := ex.Sym.(*sem.Symbol); ok {
+			if v, ok := env[sym]; ok {
+				return v
+			}
+		}
+		return &ast.Ident{Name: ex.Name, NamePos: ex.NamePos, Sym: ex.Sym}
+	case *ast.BinaryExpr:
+		return &ast.BinaryExpr{X: env.subst(ex.X), Op: ex.Op, OpPos: ex.OpPos, Y: env.subst(ex.Y)}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{X: env.subst(ex.X), Op: ex.Op, OpPos: ex.OpPos}
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{X: env.subst(ex.X), Index: env.subst(ex.Index), LbPos: ex.LbPos}
+	case *ast.CallExpr:
+		args := make([]ast.Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = env.subst(a)
+		}
+		return &ast.CallExpr{Fun: ex.Fun, FunPos: ex.FunPos, Args: args, Target: ex.Target}
+	}
+	return e // literals and make() are immutable here
+}
+
+// expandCompound maps a compound assignment operator to its binary op.
+func expandCompound(op token.Kind) (token.Kind, bool) {
+	switch op {
+	case token.ADDASSIGN:
+		return token.ADD, true
+	case token.SUBASSIGN:
+		return token.SUB, true
+	case token.MULASSIGN:
+		return token.MUL, true
+	case token.QUOASSIGN:
+		return token.QUO, true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Final-statement recognition.
+
+// recognizeFinal classifies the region's anchor statement, after
+// symbolic substitution of the locals computed before it.
+func recognizeFinal(s ast.Stmt, env symEnv) (Family, ast.Expr, bool) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return recognizeAssign(st, env)
+	case *ast.IfStmt:
+		return recognizeMinMax(st, env)
+	}
+	return FamNone, nil, false
+}
+
+// recognizeAssign handles the arithmetic families: compound updates
+// (`x += e`, `x -= e`, `x *= e`) and the expanded assignment forms.
+// The expanded subtraction `x = x - e` is deliberately in the additive
+// family: integer - is addition of the negation, so any interleaving of
+// + and - updates yields the same final value.
+func recognizeAssign(st *ast.AssignStmt, env symEnv) (Family, ast.Expr, bool) {
+	target := st.LHS
+	if !intLValue(target) {
+		return FamNone, nil, false
+	}
+	rhs := env.subst(st.RHS)
+	if op, compound := expandCompound(st.Op); compound {
+		if op == token.QUO {
+			return FamNone, nil, false // integer division does not commute
+		}
+		rhs = &ast.BinaryExpr{X: cloneLValue(target), Op: op, Y: rhs}
+	} else if st.Op != token.ASSIGN {
+		return FamNone, nil, false
+	}
+	fam, ok := chainFamily(rhs, target, FamNone)
+	if !ok {
+		return FamNone, nil, false
+	}
+	return fam, target, true
+}
+
+// chainFamily walks the substituted RHS looking for exactly one
+// occurrence of the target lvalue, reachable through a uniform operator
+// family: any operand of + (and the left operand of -) for the additive
+// family, any operand of * for the multiplicative one. Every opaque
+// branch on the way must not read the target's base symbol.
+func chainFamily(e ast.Expr, target ast.Expr, want Family) (Family, bool) {
+	if sameLValue(e, target) {
+		// Bare `x = x` — an identity write, not an update; require at
+		// least one operator above (want set by the recursion).
+		if want == FamNone {
+			return FamNone, false
+		}
+		return want, true
+	}
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return FamNone, false
+	}
+	var fam Family
+	switch be.Op {
+	case token.ADD, token.SUB:
+		fam = FamAdd
+	case token.MUL:
+		fam = FamMul
+	default:
+		return FamNone, false
+	}
+	if want != FamNone && want != fam {
+		return FamNone, false
+	}
+	inX := touchesLValue(be.X, target)
+	inY := touchesLValue(be.Y, target)
+	switch {
+	case inX && !inY:
+		return chainFamily(be.X, target, fam)
+	case inY && !inX:
+		if be.Op == token.SUB {
+			return FamNone, false // x = e - x reverses the operands
+		}
+		return chainFamily(be.Y, target, fam)
+	}
+	return FamNone, false // both or neither branch reads the target
+}
+
+// recognizeMinMax handles `if e REL x { x = e }` and its operand-order
+// variants, which implement x = min(x, e) or x = max(x, e).
+func recognizeMinMax(st *ast.IfStmt, env symEnv) (Family, ast.Expr, bool) {
+	if st.Else != nil || st.Then == nil || len(st.Then.Stmts) != 1 {
+		return FamNone, nil, false
+	}
+	asg, ok := st.Then.Stmts[0].(*ast.AssignStmt)
+	if !ok || asg.Op != token.ASSIGN {
+		return FamNone, nil, false
+	}
+	target := asg.LHS
+	if !intLValue(target) {
+		return FamNone, nil, false
+	}
+	cond, ok := st.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return FamNone, nil, false
+	}
+	var rel token.Kind
+	var value ast.Expr // the compared (and assigned) candidate value
+	switch {
+	case sameLValue(cond.Y, target):
+		rel, value = cond.Op, cond.X // e REL x
+	case sameLValue(cond.X, target):
+		// x REL e is e REL' x with the relation flipped.
+		value = cond.Y
+		switch cond.Op {
+		case token.LSS:
+			rel = token.GTR
+		case token.LEQ:
+			rel = token.GEQ
+		case token.GTR:
+			rel = token.LSS
+		case token.GEQ:
+			rel = token.LEQ
+		default:
+			return FamNone, nil, false
+		}
+	default:
+		return FamNone, nil, false
+	}
+	var fam Family
+	switch rel {
+	case token.LSS, token.LEQ:
+		fam = FamMin // new value replaces x when smaller
+	case token.GTR, token.GEQ:
+		fam = FamMax
+	default:
+		return FamNone, nil, false
+	}
+	// The assigned value must be the compared value (after inlining the
+	// locals), and must not read the target.
+	if !exprEqual(env.subst(value), env.subst(asg.RHS)) {
+		return FamNone, nil, false
+	}
+	if base := baseSym(target); base != nil {
+		if readsBase(env.subst(asg.RHS), base) || readsBase(env.subst(value), base) {
+			return FamNone, nil, false
+		}
+	}
+	if it, ok := intType(target); !ok || !it {
+		return FamNone, nil, false
+	}
+	return fam, target, true
+}
+
+// ---------------------------------------------------------------------
+// Shape predicates.
+
+// isLocalCompute reports whether s only computes locals: a local var
+// declaration or an assignment to a local, with no calls.
+func isLocalCompute(s ast.Stmt) bool {
+	if hasCall(s) {
+		return false
+	}
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		sym, ok := st.Sym.(*sem.Symbol)
+		return ok && sym.Kind != sem.GlobalVar
+	case *ast.AssignStmt:
+		if id, ok := st.LHS.(*ast.Ident); ok {
+			sym, ok := id.Sym.(*sem.Symbol)
+			return ok && sym.Kind != sem.GlobalVar
+		}
+	}
+	return false
+}
+
+// intLValue reports whether the assignment target is an int-typed
+// variable or an element of an int array — the only target shapes the
+// isolated repair accepts (float reduction reorders rounding; bool and
+// arrays-of-arrays have no commutative update families here).
+func intLValue(lhs ast.Expr) bool {
+	it, ok := intType(lhs)
+	return ok && it
+}
+
+func intType(lhs ast.Expr) (isInt bool, ok bool) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if sym, k := x.Sym.(*sem.Symbol); k {
+			if pt, k := sym.Type.(*ast.PrimType); k {
+				return pt.Kind == ast.Int, true
+			}
+		}
+	case *ast.IndexExpr:
+		if id, k := x.X.(*ast.Ident); k {
+			if sym, k := id.Sym.(*sem.Symbol); k {
+				if at, k := sym.Type.(*ast.ArrayType); k {
+					if pt, k := at.Elem.(*ast.PrimType); k {
+						return pt.Kind == ast.Int, true
+					}
+				}
+			}
+		}
+	}
+	return false, false
+}
+
+// sameLValue reports whether two expressions certainly denote the same
+// location: identical symbols, or index expressions over the same array
+// symbol with syntactically identical simple indices.
+func sameLValue(a, b ast.Expr) bool {
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Sym != nil && ax.Sym == bx.Sym
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		if !ok || !sameLValue(ax.X, bx.X) {
+			return false
+		}
+		switch ai := ax.Index.(type) {
+		case *ast.Ident:
+			bi, ok := bx.Index.(*ast.Ident)
+			return ok && ai.Sym != nil && ai.Sym == bi.Sym
+		case *ast.IntLit:
+			bi, ok := bx.Index.(*ast.IntLit)
+			return ok && ai.Value == bi.Value
+		}
+	}
+	return false
+}
+
+// exprEqual is structural expression equality (symbols by identity,
+// literals by value).
+func exprEqual(a, b ast.Expr) bool {
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Sym != nil && ax.Sym == bx.Sym
+	case *ast.IntLit:
+		bx, ok := b.(*ast.IntLit)
+		return ok && ax.Value == bx.Value
+	case *ast.BoolLit:
+		bx, ok := b.(*ast.BoolLit)
+		return ok && ax.Value == bx.Value
+	case *ast.BinaryExpr:
+		bx, ok := b.(*ast.BinaryExpr)
+		return ok && ax.Op == bx.Op && exprEqual(ax.X, bx.X) && exprEqual(ax.Y, bx.Y)
+	case *ast.UnaryExpr:
+		bx, ok := b.(*ast.UnaryExpr)
+		return ok && ax.Op == bx.Op && exprEqual(ax.X, bx.X)
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(ax.X, bx.X) && exprEqual(ax.Index, bx.Index)
+	}
+	return false
+}
+
+// baseSym returns the variable symbol an lvalue is rooted at.
+func baseSym(lhs ast.Expr) *sem.Symbol {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if sym, ok := x.Sym.(*sem.Symbol); ok {
+			return sym
+		}
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if sym, ok := id.Sym.(*sem.Symbol); ok {
+				return sym
+			}
+		}
+	}
+	return nil
+}
+
+// touchesLValue reports whether e contains any occurrence of the
+// target's base symbol (conservative: a[i] vs a[j] both count).
+func touchesLValue(e ast.Expr, target ast.Expr) bool {
+	base := baseSym(target)
+	if base == nil {
+		return true
+	}
+	return readsBase(e, base)
+}
+
+// readsBase reports whether e mentions sym anywhere.
+func readsBase(e ast.Expr, sym *sem.Symbol) bool {
+	found := false
+	ast.InspectExpr(e, func(x ast.Expr) {
+		if id, ok := x.(*ast.Ident); ok && id.Sym == sym {
+			found = true
+		}
+	})
+	return found
+}
+
+// cloneLValue shallow-copies an lvalue for use as an expression leaf.
+func cloneLValue(lhs ast.Expr) ast.Expr {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		return &ast.Ident{Name: x.Name, NamePos: x.NamePos, Sym: x.Sym}
+	case *ast.IndexExpr:
+		return &ast.IndexExpr{X: x.X, Index: x.Index, LbPos: x.LbPos}
+	}
+	return lhs
+}
+
+// hasCall reports whether the statement's own expressions contain any
+// call.
+func hasCall(s ast.Stmt) bool {
+	found := false
+	for _, e := range ast.StmtExprs(s) {
+		ast.InspectExpr(e, func(x ast.Expr) {
+			if _, ok := x.(*ast.CallExpr); ok {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// readsSharedExcept reports whether the statement's expressions mention
+// any global or array-typed symbol other than allowed (nil permits no
+// shared symbol at all).
+func readsSharedExcept(s ast.Stmt, allowed *sem.Symbol) bool {
+	found := false
+	for _, e := range ast.StmtExprs(s) {
+		ast.InspectExpr(e, func(x ast.Expr) {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return
+			}
+			sym, ok := id.Sym.(*sem.Symbol)
+			if !ok || sym == allowed {
+				return
+			}
+			if sym.Kind == sem.GlobalVar {
+				found = true
+				return
+			}
+			if _, arr := sym.Type.(*ast.ArrayType); arr {
+				found = true // local array vars may alias shared storage
+			}
+		})
+	}
+	return found
+}
+
+// regionReadsBase reports whether any statement of the region mentions
+// sym.
+func regionReadsBase(u Update, sym *sem.Symbol) bool {
+	if sym == nil {
+		return true
+	}
+	for i := u.Lo; i <= u.Hi && i < len(u.Block.Stmts); i++ {
+		for _, e := range ast.StmtExprs(u.Block.Stmts[i]) {
+			if readsBase(e, sym) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// usedAfter reports whether any of the bound locals is referenced by a
+// later statement of the block (including nested blocks): wrapping the
+// region in isolated would shrink their scope and break those uses.
+func usedAfter(b *ast.Block, hi int, bound map[*sem.Symbol]bool) bool {
+	if len(bound) == 0 {
+		return false
+	}
+	found := false
+	for i := hi + 1; i < len(b.Stmts); i++ {
+		ast.InspectStmts(b.Stmts[i], func(s ast.Stmt) {
+			for _, e := range ast.StmtExprs(s) {
+				ast.InspectExpr(e, func(x ast.Expr) {
+					if id, ok := x.(*ast.Ident); ok {
+						if sym, ok := id.Sym.(*sem.Symbol); ok && bound[sym] {
+							found = true
+						}
+					}
+				})
+			}
+		})
+	}
+	return found
+}

@@ -1,0 +1,237 @@
+package commute
+
+import (
+	"testing"
+
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+)
+
+// mainBlock parses and checks src and returns main's body.
+func mainBlock(t *testing.T, src string) (*sem.Info, *ast.Block) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info, prog.Func("main").Body
+}
+
+// TestRecognizeSingleStmt is the table-driven gate test from the
+// satellite task: one statement per program, last statement of main,
+// recognized (or not) on its own.
+func TestRecognizeSingleStmt(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Family
+		ok   bool
+	}{
+		{"add-compound", "var s = 0; func main() { var t = 1; s += t; }", FamAdd, true},
+		{"sub-compound", "var s = 0; func main() { var t = 1; s -= t; }", FamAdd, true},
+		{"mul-compound", "var s = 1; func main() { var t = 2; s *= t; }", FamMul, true},
+		{"quo-compound", "var s = 8; func main() { var t = 2; s /= t; }", FamNone, false},
+		{"add-expanded", "var s = 0; func main() { var t = 1; s = s + t; }", FamAdd, true},
+		{"add-operand-order", "var s = 0; func main() { var t = 1; s = t + s; }", FamAdd, true},
+		// The satellite fix: expanded subtraction is additive.
+		{"sub-expanded", "var s = 0; func main() { var t = 1; s = s - t; }", FamAdd, true},
+		{"sub-reversed", "var s = 0; func main() { var t = 1; s = t - s; }", FamNone, false},
+		{"mul-expanded", "var s = 1; func main() { var t = 2; s = s * t; }", FamMul, true},
+		{"mul-operand-order", "var s = 1; func main() { var t = 2; s = t * s; }", FamMul, true},
+		{"deep-add-chain", "var s = 0; func main() { var t = 1; var u = 2; s = t + (s + u); }", FamAdd, true},
+		{"add-sub-chain", "var s = 0; func main() { var t = 1; var u = 2; s = (s - t) + u; }", FamAdd, true},
+		{"mixed-chain", "var s = 0; func main() { var t = 1; s = s * t + 1; }", FamNone, false},
+		// Self-reading RHS: the update term must not read the target.
+		{"self-reading-rhs", "var s = 0; func main() { s = s + s; }", FamNone, false},
+		{"self-reading-term", "var s = 0; func main() { var t = 1; s = s + (s * t); }", FamNone, false},
+		{"identity-write", "var s = 0; func main() { s = s; }", FamNone, false},
+		{"plain-write", "var s = 0; func main() { var t = 1; s = t; }", FamNone, false},
+		// Float rejection: reordering float adds reorders rounding.
+		{"float-target", "var f = 0.0; func main() { f = f + 1.0; }", FamNone, false},
+		{"float-compound", "var f = 1.0; func main() { f *= 2.0; }", FamNone, false},
+		{"array-add", "var a = make([]int, 4); func main() { var i = 1; a[i] = a[i] + 2; }", FamAdd, true},
+		{"array-other-index", "var a = make([]int, 4); func main() { var i = 1; var j = 2; a[i] = a[j] + 2; }", FamNone, false},
+		// Min/max if-forms, all four relations and both operand orders.
+		{"min-lss", "var lo = 99; func main() { var x = 1; if (x < lo) { lo = x; } }", FamMin, true},
+		{"min-leq", "var lo = 99; func main() { var x = 1; if (x <= lo) { lo = x; } }", FamMin, true},
+		{"min-flipped", "var lo = 99; func main() { var x = 1; if (lo > x) { lo = x; } }", FamMin, true},
+		{"max-gtr", "var hi = 0; func main() { var x = 1; if (x > hi) { hi = x; } }", FamMax, true},
+		{"max-geq", "var hi = 0; func main() { var x = 1; if (x >= hi) { hi = x; } }", FamMax, true},
+		{"max-flipped", "var hi = 0; func main() { var x = 1; if (hi < x) { hi = x; } }", FamMax, true},
+		{"minmax-wrong-assign", "var lo = 99; func main() { var x = 1; var y = 2; if (x < lo) { lo = y; } }", FamNone, false},
+		{"minmax-else", "var lo = 99; func main() { var x = 1; if (x < lo) { lo = x; } else { lo = 0; } }", FamNone, false},
+		{"minmax-eql", "var lo = 99; func main() { var x = 1; if (x == lo) { lo = x; } }", FamNone, false},
+		{"minmax-two-stmts", "var lo = 99; var n = 0; func main() { var x = 1; if (x < lo) { lo = x; n = n + 1; } }", FamNone, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, b := mainBlock(t, tc.src)
+			idx := len(b.Stmts) - 1
+			u, ok := Recognize(b, idx, idx)
+			if ok != tc.ok {
+				t.Fatalf("Recognize(%q) ok = %v, want %v", tc.name, ok, tc.ok)
+			}
+			if ok && u.Family != tc.want {
+				t.Fatalf("Recognize(%q) family = %v, want %v", tc.name, u.Family, tc.want)
+			}
+		})
+	}
+}
+
+// TestRecognizeRegion covers multi-statement bodies: local compute
+// feeding a single shared update.
+func TestRecognizeRegion(t *testing.T) {
+	t.Run("split-rmw", func(t *testing.T) {
+		_, b := mainBlock(t, `
+var acc = 0;
+func main() {
+    var inc = 3;
+    var cur = acc;
+    acc = cur + inc;
+}`)
+		// Site = the read of acc (statement 1, "var cur = acc").
+		u, ok := RecognizeAt(b, 1)
+		if !ok {
+			t.Fatal("split read-modify-write not recognized")
+		}
+		if u.Lo != 1 || u.Hi != 2 || u.Family != FamAdd {
+			t.Fatalf("got region [%d,%d] family %v, want [1,2] add", u.Lo, u.Hi, u.Family)
+		}
+		// Site = the write (statement 2) resolves to the same region.
+		u2, ok := RecognizeAt(b, 2)
+		if !ok || u2.Lo != 1 || u2.Hi != 2 {
+			t.Fatalf("write-site recognition = %+v ok=%v, want region [1,2]", u2, ok)
+		}
+	})
+
+	t.Run("local-chain", func(t *testing.T) {
+		_, b := mainBlock(t, `
+var acc = 0;
+func main() {
+    var i = 4;
+    var inc = i * i;
+    var cur = acc;
+    acc = cur + inc;
+}`)
+		u, ok := RecognizeAt(b, 1)
+		if !ok || u.Lo != 1 || u.Hi != 3 || u.Family != FamAdd {
+			t.Fatalf("got %+v ok=%v, want region [1,3] add", u, ok)
+		}
+	})
+
+	t.Run("single-preferred-over-region", func(t *testing.T) {
+		// The anchor alone is already a recognized update; the region
+		// search must not swallow the preceding local compute (this is
+		// what keeps old-gate placements byte-identical).
+		_, b := mainBlock(t, `
+var s = 0;
+func main() {
+    var t = 2;
+    s = s + t;
+}`)
+		u, ok := RecognizeAt(b, 1)
+		if !ok || u.Lo != 1 || u.Hi != 1 {
+			t.Fatalf("got %+v ok=%v, want single statement [1,1]", u, ok)
+		}
+	})
+
+	t.Run("reads-other-shared", func(t *testing.T) {
+		// The intermediate reads a global array: wrapping would not make
+		// the pair's effect order-independent, so the region is rejected.
+		_, b := mainBlock(t, `
+var a = make([]int, 4);
+var acc = 0;
+func main() {
+    var i = 1;
+    var cur = a[i];
+    acc = cur + 1;
+}`)
+		if u, ok := RecognizeAt(b, 1); ok {
+			t.Fatalf("region reading unrelated shared state recognized: %+v", u)
+		}
+	})
+
+	t.Run("local-used-after-region", func(t *testing.T) {
+		// cur is read after the region; isolated wrapping would shrink
+		// its scope.
+		_, b := mainBlock(t, `
+var acc = 0;
+var out = 0;
+func main() {
+    var cur = acc;
+    acc = cur + 1;
+    out = cur;
+}`)
+		if u, ok := RecognizeAt(b, 0); ok {
+			t.Fatalf("region whose local escapes recognized: %+v", u)
+		}
+	})
+
+	t.Run("hoisted-minmax", func(t *testing.T) {
+		// The if alone is the recognized update; the hoisted array read
+		// stays outside (and outside the eventual isolated body).
+		_, b := mainBlock(t, `
+var a = make([]int, 4);
+var lo = 99;
+func main() {
+    var i = 1;
+    var x = a[i];
+    if (x < lo) { lo = x; }
+}`)
+		u, ok := RecognizeAt(b, 2)
+		if !ok || u.Lo != 2 || u.Hi != 2 || u.Family != FamMin {
+			t.Fatalf("got %+v ok=%v, want single min at [2,2]", u, ok)
+		}
+	})
+
+	t.Run("call-in-intermediate", func(t *testing.T) {
+		_, b := mainBlock(t, `
+var acc = 0;
+func f() int { return 3; }
+func main() {
+    var cur = f();
+    acc = acc + cur;
+}`)
+		// The write alone is recognized (cur is a free local); the region
+		// including the call is not.
+		u, ok := RecognizeAt(b, 1)
+		if !ok || u.Lo != 1 || u.Hi != 1 {
+			t.Fatalf("got %+v ok=%v, want single [1,1]", u, ok)
+		}
+		if _, ok := Recognize(b, 0, 1); ok {
+			t.Fatal("region containing a call recognized")
+		}
+	})
+}
+
+func TestCompatible(t *testing.T) {
+	_, b := mainBlock(t, `
+var s = 0;
+var p = 1;
+func main() {
+    var t = 2;
+    s = s + t;
+    s = s * t;
+    p = p * t;
+}`)
+	add, ok1 := Recognize(b, 1, 1)
+	mul, ok2 := Recognize(b, 2, 2)
+	other, ok3 := Recognize(b, 3, 3)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("recognition failed: %v %v %v", ok1, ok2, ok3)
+	}
+	if Compatible(add, mul) {
+		t.Fatal("add and mul of the same location reported compatible")
+	}
+	if !Compatible(add, add) {
+		t.Fatal("same-family same-location reported incompatible")
+	}
+	if !Compatible(mul, other) {
+		t.Fatal("different-location updates reported incompatible")
+	}
+}

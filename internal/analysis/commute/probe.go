@@ -1,0 +1,375 @@
+// Semantic order probe: the checker backing every static "commutes"
+// verdict. For a candidate pair of recognized updates the probe builds
+// two tiny HJ-lite programs — one running region A then region B, one
+// running B then A, over identical deterministic initial state — and
+// executes both under the serial interpreter (the repair pipeline's
+// ground-truth semantics). If the rendered final states differ, the
+// static verdict is wrong and the pair is refuted; refuted or
+// unsupported pairs fall back to the always-sound finish repair.
+package commute
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"finishrepair/internal/interp"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+)
+
+// ErrRefuted reports that the serial oracle observed different final
+// states for the two execution orders: the statically recognized pair
+// does not in fact commute. Any other ProbePair error means the probe
+// could not build a faithful closed program for the pair (calls in
+// opaque terms, non-int locals, runtime faults) — unsupported, not
+// disproven.
+var ErrRefuted = errors.New("order probe refuted commutativity: the two execution orders disagree")
+
+// Two deterministic valuations for the pair's free inputs. Two trials
+// with distinct, coprime-ish spreads catch order dependence that a
+// single lucky valuation (e.g. all-equal inputs for min/max) would
+// mask.
+var probeTrials = [2][]int64{
+	{3, 5, 7, 2, 6, 4, 1},
+	{6, 1, 4, 7, 2, 5, 3},
+}
+
+// ProbePair checks that the two recognized update regions commute
+// semantically: both statement orders, run from identical initial
+// state under the serial interpreter, must render identical final
+// state. It returns nil when both trial valuations agree, ErrRefuted
+// when any trial disagrees, and a descriptive error when the pair
+// cannot be probed.
+func ProbePair(info *sem.Info, a, b Update) error {
+	pr, err := newProber(info, a, b)
+	if err != nil {
+		return err
+	}
+	for trial := range probeTrials {
+		ab, err := pr.run(trial, false)
+		if err != nil {
+			return err
+		}
+		ba, err := pr.run(trial, true)
+		if err != nil {
+			return err
+		}
+		if ab != ba {
+			mRefuted.Inc()
+			return fmt.Errorf("%w (trial %d)", ErrRefuted, trial)
+		}
+	}
+	mConfirmed.Inc()
+	return nil
+}
+
+// prober holds the pieces of the generated probe program that do not
+// depend on trial or order: global declarations, array fills, and the
+// rendered region bodies.
+type prober struct {
+	globalDecls []string // var g int = ...; / var arr []int = make(...)
+	fills       []string // deterministic array fill loops
+	freeDecls   []string // var pa_x int = @N; with @N a sample slot
+	bodyA       []string
+	bodyB       []string
+}
+
+func newProber(info *sem.Info, a, b Update) (*prober, error) {
+	gw := &probeWriter{
+		info:    info,
+		rename:  map[*sem.Symbol]string{},
+		globals: map[*sem.Symbol]bool{},
+	}
+	// Reserve every global name so local renames cannot collide.
+	for _, g := range info.Prog.Globals {
+		if sym, ok := g.Sym.(*sem.Symbol); ok {
+			gw.taken(sym.Name)
+		}
+	}
+	p := &prober{}
+	var err error
+	if p.bodyA, err = gw.region("pa", a); err != nil {
+		return nil, err
+	}
+	if p.bodyB, err = gw.region("pb", b); err != nil {
+		return nil, err
+	}
+	p.globalDecls, p.fills, err = gw.globalSetup()
+	if err != nil {
+		return nil, err
+	}
+	p.freeDecls = gw.freeDecls
+	return p, nil
+}
+
+// run renders, parses, checks, and executes one order under one trial
+// valuation, returning the rendered final global state.
+func (p *prober) run(trial int, swapped bool) (string, error) {
+	var sb strings.Builder
+	for _, d := range p.globalDecls {
+		sb.WriteString(d)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("func main() {\n")
+	for _, f := range p.fills {
+		sb.WriteString(f)
+		sb.WriteByte('\n')
+	}
+	samples := probeTrials[trial]
+	for i, d := range p.freeDecls {
+		v := samples[i%len(samples)]
+		sb.WriteString(strings.Replace(d, "@", fmt.Sprint(v), 1))
+		sb.WriteByte('\n')
+	}
+	first, second := p.bodyA, p.bodyB
+	if swapped {
+		first, second = second, first
+	}
+	for _, s := range first {
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	for _, s := range second {
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("}\n")
+
+	prog, err := parser.Parse(sb.String())
+	if err != nil {
+		return "", fmt.Errorf("order probe: generated program does not parse: %w", err)
+	}
+	pinfo, err := sem.Check(prog)
+	if err != nil {
+		return "", fmt.Errorf("order probe: generated program does not check: %w", err)
+	}
+	res, err := interp.Run(pinfo, interp.Options{Mode: interp.Elide})
+	if err != nil {
+		return "", fmt.Errorf("order probe: serial run failed: %w", err)
+	}
+	return interp.RenderState(pinfo, res.Globals), nil
+}
+
+// probeWriter renders region statements to HJ-lite source, renaming
+// every local to a per-instance fresh name and collecting the shared
+// state the closed program must declare.
+type probeWriter struct {
+	info      *sem.Info
+	rename    map[*sem.Symbol]string
+	names     map[string]bool
+	globals   map[*sem.Symbol]bool
+	freeDecls []string
+}
+
+func (w *probeWriter) taken(name string) {
+	if w.names == nil {
+		w.names = map[string]bool{}
+	}
+	w.names[name] = true
+}
+
+// fresh picks an unused name with the instance prefix.
+func (w *probeWriter) fresh(prefix, base string) string {
+	name := prefix + "_" + base
+	for i := 2; w.names[name]; i++ {
+		name = fmt.Sprintf("%s_%s%d", prefix, base, i)
+	}
+	w.taken(name)
+	return name
+}
+
+// region renders one update region's statements. Locals declared
+// inside the region are renamed and re-declared by their own
+// statements; locals defined before the region (free inputs) are
+// renamed and declared up front with a trial sample value.
+func (w *probeWriter) region(prefix string, u Update) ([]string, error) {
+	// Renames are scoped per region instance: when a group probes two
+	// dynamic instances of the same static statements against each
+	// other, each instance must get its own free-input samples —
+	// sharing them would make any pair trivially order-independent.
+	w.rename = map[*sem.Symbol]string{}
+	// First pass: name the region-bound locals so forward references in
+	// the renderer resolve consistently.
+	for i := u.Lo; i <= u.Hi; i++ {
+		if vd, ok := u.Block.Stmts[i].(*ast.VarDeclStmt); ok {
+			if sym, ok := vd.Sym.(*sem.Symbol); ok {
+				w.rename[sym] = w.fresh(prefix, sym.Name)
+			}
+		}
+	}
+	var out []string
+	for i := u.Lo; i <= u.Hi; i++ {
+		src, err := w.stmtSrc(prefix, u.Block.Stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, "    "+src)
+	}
+	return out, nil
+}
+
+// globalSetup declares every referenced global with a deterministic
+// initial value: int globals keep their original literal initializer
+// (min/max reductions depend on the seed value) or get 7; arrays are
+// allocated at their original literal length (else 16) and filled with
+// a spread of distinct values.
+func (w *probeWriter) globalSetup() (decls, fills []string, err error) {
+	syms := make([]*sem.Symbol, 0, len(w.globals))
+	for sym := range w.globals {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Slot < syms[j].Slot })
+	for _, sym := range syms {
+		var orig *ast.VarDeclStmt
+		for _, g := range w.info.Prog.Globals {
+			if g.Sym == any(sym) {
+				orig = g
+				break
+			}
+		}
+		switch t := sym.Type.(type) {
+		case *ast.PrimType:
+			if t.Kind != ast.Int {
+				return nil, nil, fmt.Errorf("order probe: global %s has unsupported type %s", sym.Name, t)
+			}
+			init := int64(7)
+			if orig != nil {
+				if lit, ok := orig.Init.(*ast.IntLit); ok {
+					init = lit.Value
+				}
+			}
+			decls = append(decls, fmt.Sprintf("var %s int = %d;", sym.Name, init))
+		case *ast.ArrayType:
+			if pt, ok := t.Elem.(*ast.PrimType); !ok || pt.Kind != ast.Int {
+				return nil, nil, fmt.Errorf("order probe: global %s has unsupported type %s", sym.Name, t)
+			}
+			n := int64(16)
+			if orig != nil {
+				if mk, ok := orig.Init.(*ast.MakeExpr); ok {
+					if lit, ok := mk.Len.(*ast.IntLit); ok {
+						n = lit.Value
+					}
+				}
+			}
+			decls = append(decls, fmt.Sprintf("var %s []int = make([]int, %d);", sym.Name, n))
+			idx := w.fresh("pf", sym.Name+"i")
+			fills = append(fills, fmt.Sprintf(
+				"    for (var %[1]s = 0; %[1]s < %[2]d; %[1]s = %[1]s + 1) { %[3]s[%[1]s] = (%[1]s * 13 + 5) %% 17; }",
+				idx, n, sym.Name))
+		default:
+			return nil, nil, fmt.Errorf("order probe: global %s has unsupported type", sym.Name)
+		}
+	}
+	return decls, fills, nil
+}
+
+// stmtSrc renders the statement shapes a recognized region can contain.
+func (w *probeWriter) stmtSrc(prefix string, s ast.Stmt) (string, error) {
+	switch st := s.(type) {
+	case *ast.VarDeclStmt:
+		sym, _ := st.Sym.(*sem.Symbol)
+		name := w.rename[sym]
+		if name == "" {
+			return "", fmt.Errorf("order probe: undeclared region local %s", st.Name)
+		}
+		if st.Init == nil {
+			return fmt.Sprintf("var %s int = 0;", name), nil
+		}
+		init, err := w.exprSrc(prefix, st.Init)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("var %s = %s;", name, init), nil
+	case *ast.AssignStmt:
+		lhs, err := w.exprSrc(prefix, st.LHS)
+		if err != nil {
+			return "", err
+		}
+		rhs, err := w.exprSrc(prefix, st.RHS)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s %s %s;", lhs, st.Op, rhs), nil
+	case *ast.IfStmt:
+		if st.Else != nil || st.Then == nil || len(st.Then.Stmts) != 1 {
+			return "", fmt.Errorf("order probe: unsupported if shape")
+		}
+		cond, err := w.exprSrc(prefix, st.Cond)
+		if err != nil {
+			return "", err
+		}
+		body, err := w.stmtSrc(prefix, st.Then.Stmts[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("if (%s) { %s }", cond, body), nil
+	}
+	return "", fmt.Errorf("order probe: unsupported statement shape %T", s)
+}
+
+// exprSrc renders an expression, renaming locals and recording
+// referenced globals. Calls are rejected: a call's effects cannot be
+// reproduced in the closed probe program.
+func (w *probeWriter) exprSrc(prefix string, e ast.Expr) (string, error) {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		sym, ok := ex.Sym.(*sem.Symbol)
+		if !ok {
+			return "", fmt.Errorf("order probe: unresolved identifier %s", ex.Name)
+		}
+		if sym.Kind == sem.GlobalVar {
+			w.globals[sym] = true
+			return sym.Name, nil
+		}
+		if name, ok := w.rename[sym]; ok {
+			return name, nil
+		}
+		// A free local input: declare it with a trial sample slot. Only
+		// int inputs have a faithful closed-form sample.
+		if pt, ok := sym.Type.(*ast.PrimType); !ok || pt.Kind != ast.Int {
+			return "", fmt.Errorf("order probe: free local %s has unsupported type", sym.Name)
+		}
+		name := w.fresh(prefix, sym.Name)
+		w.rename[sym] = name
+		w.freeDecls = append(w.freeDecls, fmt.Sprintf("    var %s = @;", name))
+		return name, nil
+	case *ast.IntLit:
+		return fmt.Sprint(ex.Value), nil
+	case *ast.BoolLit:
+		return fmt.Sprint(ex.Value), nil
+	case *ast.BinaryExpr:
+		x, err := w.exprSrc(prefix, ex.X)
+		if err != nil {
+			return "", err
+		}
+		y, err := w.exprSrc(prefix, ex.Y)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", x, ex.Op, y), nil
+	case *ast.UnaryExpr:
+		x, err := w.exprSrc(prefix, ex.X)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s%s)", ex.Op, x), nil
+	case *ast.IndexExpr:
+		x, err := w.exprSrc(prefix, ex.X)
+		if err != nil {
+			return "", err
+		}
+		idx, err := w.exprSrc(prefix, ex.Index)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", x, idx), nil
+	case *ast.CallExpr:
+		return "", fmt.Errorf("order probe: call %s(...) cannot be reproduced in a closed probe", ex.Fun)
+	case *ast.FloatLit:
+		return "", fmt.Errorf("order probe: float literal in region")
+	}
+	return "", fmt.Errorf("order probe: unsupported expression %T", e)
+}

@@ -1,0 +1,164 @@
+package commute
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProbeConfirmsAdditive(t *testing.T) {
+	info, b := mainBlock(t, `
+var s = 0;
+func main() {
+    var t = 1;
+    var u = 2;
+    s = s + t;
+    s = s - u;
+}`)
+	a, ok1 := Recognize(b, 2, 2)
+	c, ok2 := Recognize(b, 3, 3)
+	if !ok1 || !ok2 {
+		t.Fatal("recognition failed")
+	}
+	if err := ProbePair(info, a, c); err != nil {
+		t.Fatalf("additive pair refuted: %v", err)
+	}
+}
+
+func TestProbeConfirmsSelfPair(t *testing.T) {
+	// A group usually holds two dynamic instances of ONE static update;
+	// the probe must give each instance independent inputs.
+	info, b := mainBlock(t, `
+var s = 0;
+func main() {
+    var t = 1;
+    s = s + t;
+}`)
+	u, ok := Recognize(b, 1, 1)
+	if !ok {
+		t.Fatal("recognition failed")
+	}
+	if err := ProbePair(info, u, u); err != nil {
+		t.Fatalf("self pair refuted: %v", err)
+	}
+}
+
+func TestProbeRefutesMixedFamilies(t *testing.T) {
+	info, b := mainBlock(t, `
+var s = 7;
+func main() {
+    var t = 1;
+    var u = 2;
+    s = s + t;
+    s = s * u;
+}`)
+	a, ok1 := Recognize(b, 2, 2)
+	c, ok2 := Recognize(b, 3, 3)
+	if !ok1 || !ok2 {
+		t.Fatal("recognition failed")
+	}
+	err := ProbePair(info, a, c)
+	if !errors.Is(err, ErrRefuted) {
+		t.Fatalf("mixed add/mul pair not refuted: %v", err)
+	}
+}
+
+func TestProbeRefutesMixedCounterPair(t *testing.T) {
+	// The classic soundness hole in the old syntactic gate: sum reads
+	// cnt, so the two additive updates of DIFFERENT locations do not
+	// commute even though each is individually a recognized reduction.
+	info, b := mainBlock(t, `
+var cnt = 0;
+var sum = 0;
+func main() {
+    cnt = cnt + 1;
+    sum = sum + cnt;
+}`)
+	a, ok1 := Recognize(b, 0, 0)
+	c, ok2 := Recognize(b, 1, 1)
+	if !ok1 || !ok2 {
+		t.Fatal("recognition failed")
+	}
+	if !Overlaps(a, c) {
+		t.Fatal("cross-reading pair not flagged as overlapping")
+	}
+	err := ProbePair(info, a, c)
+	if !errors.Is(err, ErrRefuted) {
+		t.Fatalf("order-dependent cross-location pair not refuted: %v", err)
+	}
+}
+
+func TestProbeConfirmsMinMax(t *testing.T) {
+	info, b := mainBlock(t, `
+var lo = 99;
+func main() {
+    var x = 1;
+    if (x < lo) { lo = x; }
+}`)
+	u, ok := Recognize(b, 1, 1)
+	if !ok || u.Family != FamMin {
+		t.Fatalf("min not recognized: %+v ok=%v", u, ok)
+	}
+	if err := ProbePair(info, u, u); err != nil {
+		t.Fatalf("min self pair refuted: %v", err)
+	}
+}
+
+func TestProbeConfirmsRegionPair(t *testing.T) {
+	info, b := mainBlock(t, `
+var acc = 0;
+func main() {
+    var inc = 3;
+    var cur = acc;
+    acc = cur + inc;
+}`)
+	u, ok := RecognizeAt(b, 1)
+	if !ok || u.Lo != 1 || u.Hi != 2 {
+		t.Fatalf("region not recognized: %+v ok=%v", u, ok)
+	}
+	if err := ProbePair(info, u, u); err != nil {
+		t.Fatalf("split RMW self pair refuted: %v", err)
+	}
+}
+
+func TestProbeUnsupportedCall(t *testing.T) {
+	// Calls in an opaque term keep the statement recognized (parity with
+	// the old gate) but the probe cannot close over the callee: the pair
+	// is unsupported, not refuted — callers must fall back to finish.
+	info, b := mainBlock(t, `
+var s = 0;
+func f(x int) int { return x * 2; }
+func main() {
+    var t = 1;
+    s = s + f(t);
+}`)
+	u, ok := Recognize(b, 1, 1)
+	if !ok {
+		t.Fatal("call-bearing opaque term no longer recognized")
+	}
+	err := ProbePair(info, u, u)
+	if err == nil {
+		t.Fatal("call-bearing pair probed successfully")
+	}
+	if errors.Is(err, ErrRefuted) {
+		t.Fatalf("unsupported pair misreported as refuted: %v", err)
+	}
+}
+
+func TestProbeArrayTargets(t *testing.T) {
+	info, b := mainBlock(t, `
+var a = make([]int, 8);
+func main() {
+    var i = 1;
+    var j = 2;
+    a[i] = a[i] + 1;
+    a[j] = a[j] + 3;
+}`)
+	x, ok1 := Recognize(b, 2, 2)
+	y, ok2 := Recognize(b, 3, 3)
+	if !ok1 || !ok2 {
+		t.Fatal("recognition failed")
+	}
+	if err := ProbePair(info, x, y); err != nil {
+		t.Fatalf("array element adds refuted: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package commute
+
+import (
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/sem"
+)
+
+// SiteIndex maps access-site statements (as reported by the static
+// candidate set or the dynamic race engines) to recognized commutative
+// updates. It handles the one indirection recognition itself cannot: a
+// min/max reduction's racy write is the assignment INSIDE the if's then
+// block, but the recognizable unit is the whole if statement, so the
+// index hoists such sites to the enclosing if before recognizing.
+type SiteIndex struct {
+	own   map[ast.Stmt]site
+	hoist map[ast.Stmt]site
+}
+
+type site struct {
+	b   *ast.Block
+	idx int
+}
+
+// NewSiteIndex walks every function body of prog and records each
+// statement's (block, index) position plus the hoist edges from
+// single-statement then-blocks to their if.
+func NewSiteIndex(prog *ast.Program) *SiteIndex {
+	ix := &SiteIndex{own: map[ast.Stmt]site{}, hoist: map[ast.Stmt]site{}}
+	var walk func(b *ast.Block)
+	walk = func(b *ast.Block) {
+		if b == nil {
+			return
+		}
+		for i, s := range b.Stmts {
+			ix.own[s] = site{b, i}
+			if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil &&
+				ifs.Then != nil && len(ifs.Then.Stmts) == 1 {
+				ix.hoist[ifs.Then.Stmts[0]] = site{b, i}
+			}
+			for _, nb := range ast.StmtBlocks(s) {
+				walk(nb)
+			}
+			if fs, ok := s.(*ast.ForStmt); ok {
+				// Init/Post are statements without a block position of
+				// their own; record them so lookups do not miss, but
+				// with an invalid index (never recognizable).
+				if fs.Init != nil {
+					ix.own[fs.Init] = site{b, -1}
+				}
+				if fs.Post != nil {
+					ix.own[fs.Post] = site{b, -1}
+				}
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walk(fn.Body)
+	}
+	return ix
+}
+
+// At resolves the smallest recognized commutative update containing
+// statement s, hoisting through a single-statement then-block when the
+// statement itself is not recognizable.
+func (ix *SiteIndex) At(s ast.Stmt) (Update, bool) {
+	if p, ok := ix.own[s]; ok && p.idx >= 0 {
+		if u, ok := RecognizeAt(p.b, p.idx); ok {
+			return u, true
+		}
+	}
+	if p, ok := ix.hoist[s]; ok {
+		if u, ok := RecognizeAt(p.b, p.idx); ok {
+			return u, true
+		}
+	}
+	return Update{}, false
+}
+
+// TargetBase returns the symbol the update's target lvalue is rooted at
+// (the reduced global, or the base array variable).
+func (u Update) TargetBase() *sem.Symbol { return baseSym(u.Target) }
+
+// Key identifies an update region for deduplication: several dynamic
+// race sites typically resolve to one static region.
+type Key struct {
+	Block  *ast.Block
+	Lo, Hi int
+}
+
+// RegionKey returns the update's dedup key.
+func (u Update) RegionKey() Key { return Key{u.Block, u.Lo, u.Hi} }

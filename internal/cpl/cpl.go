@@ -18,11 +18,14 @@ type Metrics struct {
 	// Work is T1: total work units across all steps.
 	Work int64
 	// Span is T∞: the critical path length. When the execution contains
-	// isolated regions, Span is at least IsoWork: isolated bodies run
-	// under global mutual exclusion, so their total work serializes even
-	// on unboundedly many processors.
+	// isolated regions, Span is at least the isolated serialization
+	// bound: bodies of lock class 0 exclude every isolated body, and
+	// each nonzero class serializes only against itself, so the bound is
+	// Σ class-0 work + max over nonzero classes of that class's work.
+	// With a single class this equals the old Σ IsoWork bound.
 	Span int64
-	// IsoWork is the total work executed inside isolated bodies.
+	// IsoWork is the total work executed inside isolated bodies (all
+	// classes).
 	IsoWork int64
 }
 
@@ -35,29 +38,42 @@ func (m Metrics) Parallelism() float64 {
 }
 
 // Analyze computes work and span of the execution recorded in the tree.
-// Isolated regions lower-bound the span by their total work: the global
-// isolated lock admits one body at a time, so even with unboundedly many
-// processors, Σ IsoWork time passes inside isolated bodies.
+// Isolated regions lower-bound the span per lock class: each lock
+// admits one body at a time, so even with unboundedly many processors,
+// all class-0 work passes sequentially (class 0 excludes everything)
+// and each nonzero class's work passes sequentially against itself.
+// The serialization bound is Σ(class 0) + max over c>0 of Σ(class c).
 func Analyze(t *dpst.Tree) Metrics {
 	var work int64
-	iso := isoWork(t.Root)
+	perClass := map[int]int64{}
+	isoWork(t.Root, perClass)
+	var iso, global, maxClass int64
+	for cls, w := range perClass {
+		iso += w
+		if cls == 0 {
+			global = w
+		} else if w > maxClass {
+			maxClass = w
+		}
+	}
+	bound := global + maxClass
 	t.Walk(func(n *dpst.Node) { work += n.Work })
 	end, pending := eval(t.Root, 0)
 	span := end
 	if pending > span {
 		span = pending
 	}
-	if iso > span {
-		span = iso
+	if bound > span {
+		span = bound
 	}
 	return Metrics{Work: work, Span: span, IsoWork: iso}
 }
 
-// isoWork sums the work executed inside isolated regions. Collapsed
-// steps carry it in IsoWork; an uncollapsed IsoScope (NoCollapse replay)
-// contributes its whole subtree and is not descended into, so nested
-// isolated bodies are not double-counted.
-func isoWork(n *dpst.Node) int64 {
+// isoWork accumulates per-lock-class isolated work. Collapsed steps
+// carry it in IsoWork/IsoClass; an uncollapsed IsoScope (NoCollapse
+// replay) contributes its whole subtree under its own class and is not
+// descended into, so nested isolated bodies are not double-counted.
+func isoWork(n *dpst.Node, perClass map[int]int64) {
 	if n.Kind == dpst.Scope && n.Class == dpst.IsoScope {
 		var w int64
 		var sum func(c *dpst.Node)
@@ -68,13 +84,15 @@ func isoWork(n *dpst.Node) int64 {
 			}
 		}
 		sum(n)
-		return w
+		perClass[n.IsoClass] += w
+		return
 	}
-	w := n.IsoWork
+	if n.IsoWork > 0 {
+		perClass[n.IsoClass] += n.IsoWork
+	}
 	for _, c := range n.Children {
-		w += isoWork(c)
+		isoWork(c, perClass)
 	}
-	return w
 }
 
 // eval returns (end, pending): the time at which n's sequential

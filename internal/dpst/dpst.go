@@ -91,11 +91,16 @@ type Node struct {
 	// Work is the node's own cost in abstract work units (nonzero only
 	// for steps); SubtreeWork aggregates the whole subtree and is filled
 	// in by Tree.AggregateWork. IsoWork is the portion of Work performed
-	// inside isolated bodies: it serializes across tasks, so the critical
-	// path is at least the sum of IsoWork over the whole tree.
+	// inside isolated bodies: it serializes against other isolated work
+	// of an excluding lock class, so the critical path is at least the
+	// largest per-class serialization sum. IsoClass is the lock class
+	// that IsoWork serializes under (see ast.IsolatedStmt.LockClass):
+	// class 0 is the global lock; steps merged from bodies of different
+	// nonzero classes conservatively degrade to class 0.
 	Work        int64
 	SubtreeWork int64
 	IsoWork     int64
+	IsoClass    int
 
 	// Forward is non-nil when this node was collapsed into a merged
 	// maximal step; Resolve follows the chain to the live node.
@@ -185,15 +190,28 @@ func (t *Tree) CollapseScope(n *Node) bool {
 	}
 	// Convert n in place into a step holding the subtree's work.
 	var work, isoWork int64
+	isoClass := 0
+	classKnown := true
 	for _, c := range n.Children {
 		work += c.Work
+		if c.IsoWork > 0 {
+			if isoWork > 0 && c.IsoClass != isoClass {
+				classKnown = false // mixed classes degrade to global
+			}
+			isoClass = c.IsoClass
+		}
 		isoWork += c.IsoWork
 		c.Forward = n
 	}
+	if !classKnown {
+		isoClass = 0
+	}
 	if n.Class == IsoScope {
 		// Entering the isolated region makes all the contained work
-		// serialized, whether or not the steps inside tracked it.
+		// serialized, whether or not the steps inside tracked it, and
+		// the region's own lock class governs it.
 		isoWork = work
+		isoClass = n.IsoClass
 	}
 	n.Kind = Step
 	n.Class = NotScope
@@ -201,6 +219,7 @@ func (t *Tree) CollapseScope(n *Node) bool {
 	n.Children = nil
 	n.Work = work
 	n.IsoWork = isoWork
+	n.IsoClass = isoClass
 	n.Body = nil
 
 	// Merge with the immediately preceding sibling when it is a step of
@@ -219,6 +238,12 @@ func (t *Tree) CollapseScope(n *Node) bool {
 	}
 	prev := p.Children[idx-1]
 	if prev.Kind == Step && prev.OwnerBlock == n.OwnerBlock {
+		switch {
+		case prev.IsoWork == 0:
+			prev.IsoClass = n.IsoClass
+		case n.IsoWork > 0 && n.IsoClass != prev.IsoClass:
+			prev.IsoClass = 0 // mixed classes degrade to the global lock
+		}
 		prev.Work += n.Work
 		prev.IsoWork += n.IsoWork
 		if n.StmtLo < prev.StmtLo {

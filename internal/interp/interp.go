@@ -511,7 +511,9 @@ func (in *interp) execStmt(f *frame, b *ast.Block, idx int, s ast.Stmt) ctrl {
 		// Serially the body just runs inline; the IsoScope class marks the
 		// region so collapse attributes its work as serialized IsoWork.
 		in.isoDepth++
-		in.pushNode(dpst.Scope, dpst.IsoScope, "isolated", st, b, idx, st.Body)
+		if n := in.pushNode(dpst.Scope, dpst.IsoScope, "isolated", st, b, idx, st.Body); n != nil {
+			n.IsoClass = st.LockClass
+		}
 		c := in.execBlock(f, st.Body)
 		in.popNode()
 		in.isoDepth--

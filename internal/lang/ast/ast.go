@@ -289,6 +289,13 @@ type IsolatedStmt struct {
 	Body        *Block
 	IsoPos      token.Pos
 	Synthesized bool
+	// LockClass selects the runtime lock protecting this body. Class 0
+	// is the global isolated lock (excludes every other isolated body);
+	// class c > 0 is a per-location lock inferred by the repair tool:
+	// bodies of the same nonzero class exclude each other and class 0,
+	// but run concurrently with other nonzero classes. The class is
+	// derived state (never printed); source-level isolated is class 0.
+	LockClass int
 }
 
 // BlockStmt wraps a nested plain block used as a statement.

@@ -53,6 +53,13 @@ var KnownMetrics = map[string]string{
 	"repair.stage_rewrite_ns":     "histogram",
 	"repair.strategy_chosen":      "counter",
 	"repair.cpl_delta":            "histogram",
+	"repair.lock_classes":         "counter",
+
+	// analysis/commute: static commutativity recognition and the
+	// semantic order probe backing every "commutes" verdict.
+	"analysis.commute_verdicts":  "counter",
+	"analysis.commute_confirmed": "counter",
+	"analysis.commute_refuted":   "counter",
 
 	// fault: injection (faults) and containment (guard) — one domain
 	// prefix shared by both packages.
@@ -80,5 +87,6 @@ var KnownMetrics = map[string]string{
 	"vet.diag.unscoped_async_loop": "counter",
 	"vet.diag.write_after_async":   "counter",
 	"vet.diag.redundant_isolated":  "counter",
+	"vet.diag.reducible_race":      "counter",
 	"vet.diag.dead_stmt":           "counter",
 }

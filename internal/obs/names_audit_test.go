@@ -10,6 +10,7 @@ import (
 	// registry so their package-level metric vars run before the audit.
 	_ "finishrepair/internal/adversary"
 	_ "finishrepair/internal/analysis"
+	_ "finishrepair/internal/analysis/commute"
 	_ "finishrepair/internal/faults"
 	_ "finishrepair/internal/guard"
 	_ "finishrepair/internal/race"

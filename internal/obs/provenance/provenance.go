@@ -90,6 +90,13 @@ type Group struct {
 	StrategyWhy  string `json:"strategy_why,omitempty"`
 	FinishSpan   int64  `json:"finish_span,omitempty"`
 	IsolatedSpan int64  `json:"isolated_span,omitempty"`
+	// CommuteFamily names the recognized commutative update families of
+	// the group's regions ("add", "min+max", ...), and CommuteProbe the
+	// semantic order-probe verdict backing the static recognition
+	// ("confirmed", "refuted", or "unsupported"). Both are empty when no
+	// region was recognized.
+	CommuteFamily string `json:"commute_family,omitempty"`
+	CommuteProbe  string `json:"commute_probe,omitempty"`
 }
 
 // Iteration is one round of the detect → group → place loop.
@@ -112,9 +119,12 @@ type FinishEntry struct {
 	Fallback  bool       `json:"fallback,omitempty"`
 	CPLBefore CPL        `json:"cpl_before"`
 	CPLAfter  CPL        `json:"cpl_after"`
-	// Strategy/StrategyWhy mirror the owning group's strategy choice.
-	Strategy    string `json:"strategy,omitempty"`
-	StrategyWhy string `json:"strategy_why,omitempty"`
+	// Strategy/StrategyWhy/CommuteFamily/CommuteProbe mirror the owning
+	// group's strategy choice and commutativity evidence.
+	Strategy      string `json:"strategy,omitempty"`
+	StrategyWhy   string `json:"strategy_why,omitempty"`
+	CommuteFamily string `json:"commute_family,omitempty"`
+	CommuteProbe  string `json:"commute_probe,omitempty"`
 }
 
 // WitnessRec is one replayed race witness: the schedule under which the
@@ -219,8 +229,10 @@ func (e *Explain) Finalize() {
 					Fallback:    g.Fallback,
 					CPLBefore:   before,
 					CPLAfter:    after,
-					Strategy:    g.Strategy,
-					StrategyWhy: g.StrategyWhy,
+					Strategy:      g.Strategy,
+					StrategyWhy:   g.StrategyWhy,
+					CommuteFamily: g.CommuteFamily,
+					CommuteProbe:  g.CommuteProbe,
 				})
 			}
 		}
@@ -269,6 +281,9 @@ func (e *Explain) WriteText(w io.Writer) error {
 			len(f.Races), f.LCA.Kind, f.LCA.ID, orUnknown(f.LCA.Pos))
 		if f.Strategy != "" {
 			fmt.Fprintf(w, "  strategy: %s (%s)\n", f.Strategy, f.StrategyWhy)
+		}
+		if f.CommuteFamily != "" {
+			fmt.Fprintf(w, "  commute: family %s, probe %s\n", f.CommuteFamily, f.CommuteProbe)
 		}
 		for _, r := range f.Races {
 			fmt.Fprintf(w, "    race on %s: %s vs %s", r.Loc, orUnknown(r.First.Pos), orUnknown(r.Second.Pos))

@@ -81,6 +81,7 @@ func Run(info *sem.Info, opts Options) (res *Result, err error) {
 	if pi.ctl != nil {
 		return pi.runControlled(info, opts)
 	}
+	pi.classMu = make([]sync.Mutex, maxLockClass(info.Prog))
 	exec := opts.Executor
 	if exec == nil {
 		exec = taskpar.NewGoroutineExecutor()
@@ -131,12 +132,15 @@ type par struct {
 	outMu sync.Mutex
 	out   bytes.Buffer
 
-	// isoMu is the global isolated lock (free-running mode): one isolated
-	// body runs at a time, matching the serial interpreter's mutual-
-	// exclusion semantics. Controlled mode needs no lock — the scheduler
-	// token plus yield suppression inside isolated bodies already makes
-	// them atomic.
-	isoMu sync.Mutex
+	// isoMu is the global isolated lock (free-running mode). A class-0
+	// isolated body write-locks it, excluding every other isolated body.
+	// A class-c body (c > 0) read-locks isoMu — so any number of
+	// nonzero-class bodies run concurrently with each other while class 0
+	// is excluded — and then locks classMu[c-1] to exclude its own class.
+	// Controlled mode needs no locks — the scheduler token plus yield
+	// suppression inside isolated bodies already makes them atomic.
+	isoMu   sync.RWMutex
+	classMu []sync.Mutex
 
 	// Controlled-mode state: the external scheduler, the next array
 	// location (allocation is serialized by the token, so no lock), the
@@ -298,20 +302,50 @@ func (p *par) execStmt(c *tctx, f *frame, s ast.Stmt) ctrl {
 	panic(&interp.RuntimeError{Msg: "unknown statement"})
 }
 
-// execIsolated runs st.Body under global mutual exclusion. Free-running
-// mode takes the global isolated lock (outermost level only — the lock
-// is not re-entrant, but nested isolated is already exclusive).
-// Controlled mode relies on the scheduler token: yield suppresses itself
-// while isoDepth > 0, so the body runs atomically under whichever
-// schedule the controller picked.
+// execIsolated runs st.Body under its lock class's mutual exclusion
+// (outermost level only — the locks are not re-entrant, but nested
+// isolated is already exclusive under the outermost frame's class).
+// Free-running mode: class 0 write-locks the global isolated lock;
+// class c > 0 read-locks it (excluding class 0 but not other classes)
+// and locks its own class mutex. Controlled mode relies on the
+// scheduler token: yield suppresses itself while isoDepth > 0, so the
+// body runs atomically under whichever schedule the controller picked.
 func (p *par) execIsolated(c *tctx, f *frame, st *ast.IsolatedStmt) ctrl {
 	if p.ctl == nil && c.isoDepth == 0 {
-		p.isoMu.Lock()
-		defer p.isoMu.Unlock()
+		if cls := st.LockClass; cls > 0 && cls <= len(p.classMu) {
+			p.isoMu.RLock()
+			defer p.isoMu.RUnlock()
+			p.classMu[cls-1].Lock()
+			defer p.classMu[cls-1].Unlock()
+		} else {
+			p.isoMu.Lock()
+			defer p.isoMu.Unlock()
+		}
 	}
 	c.isoDepth++
 	defer func() { c.isoDepth-- }()
 	return p.execBlock(c, f, st.Body)
+}
+
+// maxLockClass scans the program for the highest isolated lock class, to
+// size the per-class mutex table before the run starts.
+func maxLockClass(prog *ast.Program) int {
+	maxCls := 0
+	var walk func(b *ast.Block)
+	walk = func(b *ast.Block) {
+		for _, s := range b.Stmts {
+			if iso, ok := s.(*ast.IsolatedStmt); ok && iso.LockClass > maxCls {
+				maxCls = iso.LockClass
+			}
+			for _, nb := range ast.StmtBlocks(s) {
+				walk(nb)
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walk(fn.Body)
+	}
+	return maxCls
 }
 
 func (p *par) execAssign(c *tctx, f *frame, st *ast.AssignStmt) {

@@ -28,6 +28,13 @@ type Config struct {
 	ArrayLen int
 	// Funcs is the number of auxiliary functions.
 	Funcs int
+	// Commute adds commutative-reduction shapes to the statement mix:
+	// scalar add/mul accumulators, hoisted min/max updates behind a
+	// local, and split read-modify-writes. These exercise the static
+	// commutativity analysis and the isolated repair strategy. Off by
+	// default so the Default() corpus (and every expectation derived
+	// from it) is byte-identical to before the knob existed.
+	Commute bool
 }
 
 // Default returns the standard fuzzing configuration.
@@ -52,6 +59,9 @@ type gen struct {
 	// making the call graph acyclic (helpers may only call later
 	// helpers); main calls anything.
 	minCallee int
+	// uniq numbers the locals the commutative shapes introduce so a
+	// block never redeclares one.
+	uniq int
 }
 
 func (g *gen) w(format string, args ...any) {
@@ -60,9 +70,22 @@ func (g *gen) w(format string, args ...any) {
 	g.sb.WriteByte('\n')
 }
 
+// Shared scalar reduction targets emitted under cfg.Commute. Each is
+// bound to one update family so concurrent updates of the same scalar
+// always commute: r0 add, r1 min, r2 max, r3 add via split
+// read-modify-write, r4 mul (wrapping multiplication is commutative).
+const numReductions = 5
+
 func (g *gen) program() string {
 	for a := 0; a < g.cfg.Arrays; a++ {
 		g.w("var g%d = make([]int, %d);", a, g.cfg.ArrayLen)
+	}
+	if g.cfg.Commute {
+		g.w("var r0 = 0;")
+		g.w("var r1 = 999983;")
+		g.w("var r2 = 0;")
+		g.w("var r3 = 0;")
+		g.w("var r4 = 1;")
 	}
 	for f := 0; f < g.cfg.Funcs; f++ {
 		g.w("func helper%d(k int) {", f)
@@ -84,6 +107,11 @@ func (g *gen) program() string {
 	for a := 0; a < g.cfg.Arrays; a++ {
 		g.w("for (var i%d = 0; i%d < %d; i%d = i%d + 1) { check = (check * 31 + g%d[i%d]) %% 1000003; }",
 			a, a, g.cfg.ArrayLen, a, a, a, a)
+	}
+	if g.cfg.Commute {
+		for r := 0; r < numReductions; r++ {
+			g.w("check = (check * 31 + r%d) %% 1000003;", r)
+		}
 	}
 	g.w("println(check);")
 	g.ind--
@@ -115,9 +143,28 @@ func (g *gen) block(depth int, canSpawn bool) {
 	}
 }
 
+// smallExpr yields a target-free operand for a reduction update: a
+// small constant, or the helper parameter when one is in scope.
+func (g *gen) smallExpr() string {
+	if g.hasK && g.rng.Intn(2) == 0 {
+		return fmt.Sprintf("(k + %d)", g.rng.Intn(9))
+	}
+	return fmt.Sprintf("%d", 1+g.rng.Intn(9))
+}
+
+// fresh mints a block-unique local name.
+func (g *gen) fresh(prefix string) string {
+	g.uniq++
+	return fmt.Sprintf("%s%d", prefix, g.uniq)
+}
+
 func (g *gen) stmt(depth int, canSpawn bool) {
-	choice := g.rng.Intn(10)
-	if depth <= 0 && choice >= 4 {
+	span := 10
+	if g.cfg.Commute {
+		span = 13 // cases 10..12: commutative reduction shapes
+	}
+	choice := g.rng.Intn(span)
+	if depth <= 0 && choice >= 4 && choice < 10 {
 		choice = g.rng.Intn(4)
 	}
 	switch choice {
@@ -171,6 +218,25 @@ func (g *gen) stmt(depth int, canSpawn bool) {
 		g.block(depth-1, true)
 		g.ind--
 		g.w("}")
+	case 10: // single-statement scalar reduction (add or mul family)
+		if g.rng.Intn(3) == 0 {
+			g.w("r4 = r4 * %d;", 2+g.rng.Intn(2))
+		} else {
+			g.w("r0 = r0 + %s;", g.smallExpr())
+		}
+	case 11: // hoisted min/max: read shared into a local, conditionally fold
+		v := g.fresh("x")
+		g.w("var %s = %s[%s];", v, g.arr(), g.idxExpr())
+		if g.rng.Intn(2) == 0 {
+			g.w("if (%s < r1) { r1 = %s; }", v, v)
+		} else {
+			g.w("if (%s > r2) { r2 = %s; }", v, v)
+		}
+	case 12: // split read-modify-write: one additive update over three statements
+		inc, cur := g.fresh("inc"), g.fresh("cur")
+		g.w("var %s = %s;", inc, g.smallExpr())
+		g.w("var %s = r3;", cur)
+		g.w("r3 = %s + %s;", cur, inc)
 	default: // nested plain block
 		g.w("{")
 		g.ind++

@@ -3,6 +3,8 @@ package progen_test
 import (
 	"testing"
 
+	"finishrepair/internal/analysis/commute"
+	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/parser"
 	"finishrepair/internal/lang/sem"
 	"finishrepair/internal/progen"
@@ -32,6 +34,66 @@ func TestGeneratedProgramsAreValid(t *testing.T) {
 			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
 		}
 	}
+}
+
+// The Commute knob must not perturb the default corpus: every test
+// expectation derived from Default() seeds (detector cross-validation,
+// repair end-to-end, fuzz baselines) relies on those programs staying
+// byte-identical.
+func TestCommuteOffIsByteIdentical(t *testing.T) {
+	plain := progen.Default()
+	explicit := progen.Default()
+	explicit.Commute = false
+	for seed := int64(0); seed < 20; seed++ {
+		if progen.Gen(seed, plain) != progen.Gen(seed, explicit) {
+			t.Fatalf("seed %d: Commute=false changed generation", seed)
+		}
+	}
+}
+
+// With Commute on, the corpus stays valid and actually contains
+// recognizable commutative update regions — otherwise the agreement
+// sweep over it would vacuously pass.
+func TestCommuteShapesValidAndRecognized(t *testing.T) {
+	cfg := progen.Default()
+	cfg.Commute = true
+	recognized := 0
+	for seed := int64(0); seed < 50; seed++ {
+		src := progen.Gen(seed, cfg)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if _, err := sem.Check(prog); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		for _, fn := range prog.Funcs {
+			for _, b := range allBlocks(fn.Body) {
+				for i := range b.Stmts {
+					if _, ok := commute.RecognizeAt(b, i); ok {
+						recognized++
+					}
+				}
+			}
+		}
+	}
+	if recognized == 0 {
+		t.Error("no commutative update recognized across 50 Commute programs")
+	}
+}
+
+// allBlocks returns b and every block nested inside it.
+func allBlocks(b *ast.Block) []*ast.Block {
+	if b == nil {
+		return nil
+	}
+	out := []*ast.Block{b}
+	for _, s := range b.Stmts {
+		for _, nb := range ast.StmtBlocks(s) {
+			out = append(out, allBlocks(nb)...)
+		}
+	}
+	return out
 }
 
 func TestConfigKnobs(t *testing.T) {

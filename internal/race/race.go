@@ -128,10 +128,11 @@ type Releaser interface {
 }
 
 // Detector is the common interface of SRW and MRW. Accesses carry their
-// static site; two accesses whose sites are both isolated are ordered by
-// the global isolated lock and never race (the suppression lives here,
-// in the detectors, so every oracle-backed engine shares one rule and
-// the differential cross-check stays honest for free).
+// static site; two accesses whose sites are both isolated under
+// mutually-exclusive lock classes (see isoOrdered) are ordered by that
+// lock and never race (the suppression lives here, in the detectors, so
+// every oracle-backed engine shares one rule and the differential
+// cross-check stays honest for free).
 type Detector interface {
 	Read(loc uint64, step *dpst.Node, site trace.Site)
 	Write(loc uint64, step *dpst.Node, site trace.Site)
@@ -234,6 +235,16 @@ func (rc *recorder) resolved() []*Race {
 // ----------------------------------------------------------------------
 // SRW ESP-Bags
 
+// isoOrdered reports whether two accesses are ordered by an isolated
+// lock both their bodies hold: both isolated, and the lock classes
+// exclude each other — either is class 0 (the global lock, which
+// excludes every isolated body) or the classes are equal. Bodies of
+// different nonzero classes run under independent locks, so their
+// accesses stay racy.
+func isoOrdered(a, b trace.Site) bool {
+	return a.Iso && b.Iso && (a.IsoClass == 0 || b.IsoClass == 0 || a.IsoClass == b.IsoClass)
+}
+
 type srwCell struct {
 	reader access
 	writer access
@@ -273,7 +284,7 @@ func (d *SRW) Read(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	if c.writer.step != nil && c.writer.step != step &&
 		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) &&
-		!(c.writer.site.Iso && site.Iso) {
+		!isoOrdered(c.writer.site, site) {
 		d.rec.report(c.writer.step, step, loc, WriteRead, c.writer.site, site)
 	}
 	// Keep the reader slot pointing at a still-parallel reader: replace
@@ -289,12 +300,12 @@ func (d *SRW) Write(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	if c.writer.step != nil && c.writer.step != step &&
 		!d.oracle.Ordered(c.writer.tag, c.writer.step, step) &&
-		!(c.writer.site.Iso && site.Iso) {
+		!isoOrdered(c.writer.site, site) {
 		d.rec.report(c.writer.step, step, loc, WriteWrite, c.writer.site, site)
 	}
 	if c.reader.step != nil && c.reader.step != step &&
 		!d.oracle.Ordered(c.reader.tag, c.reader.step, step) &&
-		!(c.reader.site.Iso && site.Iso) {
+		!isoOrdered(c.reader.site, site) {
 		d.rec.report(c.reader.step, step, loc, ReadWrite, c.reader.site, site)
 	}
 	c.writer = access{step: step, tag: d.oracle.Tag(), site: site}
@@ -336,11 +347,13 @@ type mrwList struct {
 	ord      int
 	scanned  int // how far scanStep itself has already examined the list
 	scanStep *dpst.Node
-	scanKind Kind // race kind the watermark scan reported under
-	scanIso  bool // isolation state the watermark scan ran under
+	scanKind Kind  // race kind the watermark scan reported under
+	scanIso  bool  // isolation state the watermark scan ran under
+	scanCls  int32 // lock class the watermark scan ran under
 	scanTag  uint64
 	last     *dpst.Node // most recently appended step, for dedupe
 	lastIso  bool       // isolation state of the last appended access
+	lastCls  int32      // lock class of the last appended access
 }
 
 func (l *mrwList) reset() {
@@ -350,9 +363,11 @@ func (l *mrwList) reset() {
 	l.scanned = 0
 	l.scanStep = nil
 	l.scanIso = false
+	l.scanCls = 0
 	l.scanTag = 0
 	l.last = nil
 	l.lastIso = false
+	l.lastCls = 0
 }
 
 type mrwCell struct {
@@ -443,7 +458,7 @@ func (d *MRW) cell(loc uint64) *mrwCell {
 func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trace.Site) {
 	i := 0
 	switch {
-	case l.scanStep == step && l.scanKind == kind && l.scanIso == site.Iso:
+	case l.scanStep == step && l.scanKind == kind && l.scanIso == site.Iso && l.scanCls == site.IsoClass:
 		// Same step scanning under the same race kind and isolation
 		// state: everything up to the watermark was already examined
 		// against this very step (ordered entries moved into the prefix,
@@ -452,8 +467,9 @@ func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trac
 		i = l.scanned
 	case l.scanStep == step:
 		// Same step but a different kind (a step that read loc now writes
-		// it) or a different isolation state (a merged step accessing loc
-		// both inside and outside isolated): the ordered prefix still
+		// it) or a different isolation state or lock class (a merged step
+		// accessing loc both inside and outside isolated, or under
+		// different isolated lock classes): the ordered prefix still
 		// holds, but entries in accs[ord:] must be re-examined.
 		i = l.ord
 	case l.scanStep != nil && d.oracle.Ordered(l.scanTag, l.scanStep, step):
@@ -481,11 +497,12 @@ func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trac
 			l.accs[i] = l.accs[l.ord]
 			l.accs[l.ord] = a
 			l.ord++
-		case a.site.Iso && site.Iso:
-			// Both accesses isolated: ordered by the global isolated
-			// lock. The entry stays OUT of the ordered prefix — the
-			// suppression is pairwise, not transitive, so a later
-			// non-isolated access must still examine it.
+		case isoOrdered(a.site, site):
+			// Both accesses isolated under mutually-exclusive lock
+			// classes: ordered by that lock. The entry stays OUT of the
+			// ordered prefix — the suppression is pairwise, not
+			// transitive, so a later non-isolated access (or one under an
+			// independent lock class) must still examine it.
 		default:
 			d.rec.report(a.step, step, loc, kind, a.site, site)
 		}
@@ -493,6 +510,7 @@ func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trac
 	l.scanStep = step
 	l.scanKind = kind
 	l.scanIso = site.Iso
+	l.scanCls = site.IsoClass
 	l.scanTag = d.oracle.Tag()
 	l.scanned = len(l.accs)
 }
@@ -501,11 +519,12 @@ func (d *MRW) scan(l *mrwList, step *dpst.Node, loc uint64, kind Kind, site trac
 func (d *MRW) Read(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	d.scan(&c.writers, step, loc, WriteRead, site)
-	if c.readers.last == step && c.readers.lastIso == site.Iso {
+	if c.readers.last == step && c.readers.lastIso == site.Iso && c.readers.lastCls == site.IsoClass {
 		return // same step re-reading under the same isolation state
 	}
 	c.readers.last = step
 	c.readers.lastIso = site.Iso
+	c.readers.lastCls = site.IsoClass
 	c.readers.accs = append(c.readers.accs, access{step: step, tag: d.oracle.Tag(), site: site})
 }
 
@@ -514,11 +533,12 @@ func (d *MRW) Write(loc uint64, step *dpst.Node, site trace.Site) {
 	c := d.cell(loc)
 	d.scan(&c.writers, step, loc, WriteWrite, site)
 	d.scan(&c.readers, step, loc, ReadWrite, site)
-	if c.writers.last == step && c.writers.lastIso == site.Iso {
+	if c.writers.last == step && c.writers.lastIso == site.Iso && c.writers.lastCls == site.IsoClass {
 		return
 	}
 	c.writers.last = step
 	c.writers.lastIso = site.Iso
+	c.writers.lastCls = site.IsoClass
 	c.writers.accs = append(c.writers.accs, access{step: step, tag: d.oracle.Tag(), site: site})
 }
 

@@ -16,16 +16,17 @@ import (
 // WriteTrace serializes races, ReadTrace deserializes them against the
 // S-DPST of the same execution. Version 2 of the record carries the
 // access sites (block, statement, isolation bit per endpoint) that the
-// isolated repair strategy needs.
+// isolated repair strategy needs; version 3 adds the per-endpoint
+// isolated lock class in the formerly-reserved tail bytes.
 
 const traceMagic = uint32(0x53445054) // "SDPT"
 
 // raceTraceVersion is the current race-trace record version.
-const raceTraceVersion = uint32(2)
+const raceTraceVersion = uint32(3)
 
 // record layout (38 bytes): srcID(4) dstID(4) loc(8) kind(1) flags(1)
-// srcBlock(4) srcStmt(4) dstBlock(4) dstStmt(4) reserved(4); flags bit 0
-// is SrcSite.Iso, bit 1 is DstSite.Iso.
+// srcBlock(4) srcStmt(4) dstBlock(4) dstStmt(4) srcClass(2) dstClass(2);
+// flags bit 0 is SrcSite.Iso, bit 1 is DstSite.Iso.
 const recLen = 38
 
 // WriteTrace serializes races to w in the binary trace format.
@@ -56,7 +57,8 @@ func WriteTrace(w io.Writer, races []*Race) error {
 		binary.LittleEndian.PutUint32(rec[22:26], uint32(r.SrcSite.Stmt))
 		binary.LittleEndian.PutUint32(rec[26:30], uint32(r.DstSite.Block))
 		binary.LittleEndian.PutUint32(rec[30:34], uint32(r.DstSite.Stmt))
-		binary.LittleEndian.PutUint32(rec[34:38], 0) // reserved
+		binary.LittleEndian.PutUint16(rec[34:36], uint16(r.SrcSite.IsoClass))
+		binary.LittleEndian.PutUint16(rec[36:38], uint16(r.DstSite.IsoClass))
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -101,14 +103,16 @@ func ReadTrace(r io.Reader, tree *dpst.Tree) ([]*Race, error) {
 			Loc:  binary.LittleEndian.Uint64(rec[8:16]),
 			Kind: Kind(rec[16]),
 			SrcSite: trace.Site{
-				Block: int32(binary.LittleEndian.Uint32(rec[18:22])),
-				Stmt:  int32(binary.LittleEndian.Uint32(rec[22:26])),
-				Iso:   flags&1 != 0,
+				Block:    int32(binary.LittleEndian.Uint32(rec[18:22])),
+				Stmt:     int32(binary.LittleEndian.Uint32(rec[22:26])),
+				Iso:      flags&1 != 0,
+				IsoClass: int32(binary.LittleEndian.Uint16(rec[34:36])),
 			},
 			DstSite: trace.Site{
-				Block: int32(binary.LittleEndian.Uint32(rec[26:30])),
-				Stmt:  int32(binary.LittleEndian.Uint32(rec[30:34])),
-				Iso:   flags&2 != 0,
+				Block:    int32(binary.LittleEndian.Uint32(rec[26:30])),
+				Stmt:     int32(binary.LittleEndian.Uint32(rec[30:34])),
+				Iso:      flags&2 != 0,
+				IsoClass: int32(binary.LittleEndian.Uint16(rec[36:38])),
 			},
 		})
 	}

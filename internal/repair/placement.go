@@ -22,13 +22,17 @@ var (
 
 // Placement is a static scope insertion: wrap statements Lo..Hi of Block
 // in a new finish statement (the default) or, for Kind RangeIsolated, in
-// a new isolated statement. Isolated placements are always
-// single-statement (Lo == Hi): they wrap exactly one racing access, so
-// they can never partially overlap another range — only nest.
+// a new isolated statement. Isolated placements cover one recognized
+// update region — a straight-line run of statements inside a single
+// maximal step — so against any finish range they are disjoint or
+// nested, never partially overlapping. Class is the isolated lock class
+// (0 = the global isolated lock; c > 0 = the per-location lock of
+// abstract location c-1); it is meaningless for finish placements.
 type Placement struct {
 	Block  *ast.Block
 	Lo, Hi int
 	Kind   trace.RangeKind
+	Class  int
 }
 
 // String renders the placement.

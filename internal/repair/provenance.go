@@ -102,6 +102,8 @@ func provGroup(o groupOutcome) provenance.Group {
 		g.StrategyWhy = o.choice.why
 		g.FinishSpan = o.choice.finishSpan
 		g.IsolatedSpan = o.choice.isoSpan
+		g.CommuteFamily = o.choice.family
+		g.CommuteProbe = o.choice.probe
 	}
 	return g
 }

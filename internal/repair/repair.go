@@ -129,11 +129,13 @@ func (o *Options) fill() {
 
 // AppliedRange is a scope insertion that was actually applied, in
 // replayable form: block identity, the (post-merge) statement range,
-// and the synthesized construct (finish or isolated).
+// the synthesized construct (finish or isolated), and the isolated
+// lock class (see Placement.Class).
 type AppliedRange struct {
 	BlockID int
 	Lo, Hi  int
 	Kind    trace.RangeKind
+	Class   int
 }
 
 // Iteration records one detect/place/rewrite round.
@@ -703,6 +705,7 @@ func repairReplay(prog *ast.Program, opts Options) (*Report, error) {
 		if opts.Strategy != StrategyFinish {
 			ev := &strategyEvaluator{
 				tr:       tr,
+				info:     info,
 				prog:     info.Prog,
 				base:     virtual,
 				meter:    opts.Meter,
@@ -834,9 +837,16 @@ func virtualPlacements(prog *ast.Program, virtual []trace.FinishRange) ([]Placem
 		if b == nil {
 			return nil, fmt.Errorf("repair: no block with ID %d", f.BlockID)
 		}
-		ps = append(ps, Placement{Block: b, Lo: f.Lo, Hi: f.Hi, Kind: f.Kind})
+		ps = append(ps, Placement{Block: b, Lo: f.Lo, Hi: f.Hi, Kind: f.Kind, Class: f.Class})
 	}
 	return ps, nil
+}
+
+// span is a statement range with its isolated lock class, the unit
+// mergeVirtual canonicalizes per (block, kind).
+type span struct {
+	lo, hi int
+	class  int
 }
 
 // mergeVirtual folds newly computed placements into the accumulated
@@ -844,27 +854,29 @@ func virtualPlacements(prog *ast.Program, virtual []trace.FinishRange) ([]Placem
 // duplicates are dropped and partially overlapping same-kind ranges are
 // merged, since trace.Replay nests scopes and cannot represent improper
 // overlap. Ranges of different kinds are never merged; they cannot
-// improperly overlap either, because isolated ranges are always
-// single-statement (disjoint from or nested in anything else).
+// improperly overlap either, because isolated ranges cover a recognized
+// update region inside a single maximal step (disjoint from or nested
+// in anything else). When ranges merge, equal lock classes are kept and
+// differing ones degrade to class 0 (the global lock) conservatively.
 // It returns the new set and the number of ranges not present before.
 func mergeVirtual(virtual []trace.FinishRange, placements []Placement) ([]trace.FinishRange, int) {
 	type bk struct {
 		id   int
 		kind trace.RangeKind
 	}
-	byBlock := map[bk][][2]int{}
+	byBlock := map[bk][]span{}
 	var order []bk
-	add := func(k bk, r [2]int) {
+	add := func(k bk, s span) {
 		if _, ok := byBlock[k]; !ok {
 			order = append(order, k)
 		}
-		byBlock[k] = append(byBlock[k], r)
+		byBlock[k] = append(byBlock[k], s)
 	}
 	for _, f := range virtual {
-		add(bk{f.BlockID, f.Kind}, [2]int{f.Lo, f.Hi})
+		add(bk{f.BlockID, f.Kind}, span{f.Lo, f.Hi, f.Class})
 	}
 	for _, p := range placements {
-		add(bk{p.Block.ID, p.Kind}, [2]int{p.Lo, p.Hi})
+		add(bk{p.Block.ID, p.Kind}, span{p.Lo, p.Hi, p.Class})
 	}
 	prev := map[trace.FinishRange]bool{}
 	for _, f := range virtual {
@@ -879,8 +891,8 @@ func mergeVirtual(virtual []trace.FinishRange, placements []Placement) ([]trace.
 	var out []trace.FinishRange
 	added := 0
 	for _, k := range order {
-		for _, r := range canonicalRanges(byBlock[k]) {
-			f := trace.FinishRange{BlockID: k.id, Lo: r[0], Hi: r[1], Kind: k.kind}
+		for _, s := range canonicalSpans(byBlock[k]) {
+			f := trace.FinishRange{BlockID: k.id, Lo: s.lo, Hi: s.hi, Kind: k.kind, Class: s.class}
 			out = append(out, f)
 			if !prev[f] {
 				added++
@@ -890,29 +902,43 @@ func mergeVirtual(virtual []trace.FinishRange, placements []Placement) ([]trace.
 	return out, added
 }
 
-// canonicalRanges deduplicates ranges and merges partial overlaps until
-// only disjoint or strictly nested ranges remain.
-func canonicalRanges(ranges [][2]int) [][2]int {
-	uniq := make(map[[2]int]bool)
-	var rs [][2]int
-	for _, r := range ranges {
-		if !uniq[r] {
-			uniq[r] = true
-			rs = append(rs, r)
+// mergeClass combines the lock classes of two ranges being merged or
+// deduplicated: equal classes survive, differing ones collapse to the
+// global lock.
+func mergeClass(a, b int) int {
+	if a == b {
+		return a
+	}
+	return 0
+}
+
+// canonicalSpans deduplicates ranges and merges partial overlaps until
+// only disjoint or strictly nested ranges remain, combining lock
+// classes per mergeClass.
+func canonicalSpans(spans []span) []span {
+	idx := make(map[[2]int]int)
+	var rs []span
+	for _, s := range spans {
+		k := [2]int{s.lo, s.hi}
+		if i, ok := idx[k]; ok {
+			rs[i].class = mergeClass(rs[i].class, s.class)
+			continue
 		}
+		idx[k] = len(rs)
+		rs = append(rs, s)
 	}
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(rs) && !changed; i++ {
 			for j := i + 1; j < len(rs) && !changed; j++ {
 				a, c := rs[i], rs[j]
-				if a[0] > c[0] {
+				if a.lo > c.lo {
 					a, c = c, a
 				}
-				overlap := c[0] <= a[1]
-				nested := overlap && c[1] <= a[1]
+				overlap := c.lo <= a.hi
+				nested := overlap && c.hi <= a.hi
 				if overlap && !nested && a != c {
-					rs[i] = [2]int{a[0], max(a[1], c[1])}
+					rs[i] = span{a.lo, max(a.hi, c.hi), mergeClass(a.class, c.class)}
 					rs = append(rs[:j], rs[j+1:]...)
 					changed = true
 				}
@@ -920,14 +946,17 @@ func canonicalRanges(ranges [][2]int) [][2]int {
 		}
 	}
 	// A merge can produce a duplicate of a surviving range; drop the
-	// exact duplicates left behind.
+	// exact duplicates left behind (combining classes again).
 	out := rs[:0]
-	seen := make(map[[2]int]bool, len(rs))
-	for _, r := range rs {
-		if !seen[r] {
-			seen[r] = true
-			out = append(out, r)
+	seen := make(map[[2]int]int, len(rs))
+	for _, s := range rs {
+		k := [2]int{s.lo, s.hi}
+		if i, ok := seen[k]; ok {
+			out[i].class = mergeClass(out[i].class, s.class)
+			continue
 		}
+		seen[k] = len(out)
+		out = append(out, s)
 	}
 	return out
 }
@@ -948,7 +977,7 @@ func applyPlacements(prog *ast.Program, placements []Placement) ([]AppliedRange,
 		if _, seen := byBlock[p.Block]; !seen {
 			blocks = append(blocks, p.Block)
 		}
-		byBlock[p.Block] = append(byBlock[p.Block], krange{p.Lo, p.Hi, p.Kind})
+		byBlock[p.Block] = append(byBlock[p.Block], krange{p.Lo, p.Hi, p.Kind, p.Class})
 	}
 	// Deterministic block order for Replay: by block ID.
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
@@ -978,15 +1007,17 @@ func Replay(prog *ast.Program, iterations []Iteration) error {
 			if a.Lo < 0 || a.Hi >= len(b.Stmts) || a.Lo > a.Hi {
 				return fmt.Errorf("repair: replay range %d..%d out of bounds in block %d", a.Lo, a.Hi, a.BlockID)
 			}
-			wrapRange(prog, b, a.Lo, a.Hi, a.Kind)
+			wrapRange(prog, b, a.Lo, a.Hi, a.Kind, a.Class)
 		}
 	}
 	return nil
 }
 
 // wrapRange wraps statements lo..hi of b in a synthesized finish or
-// isolated, per kind.
-func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int, kind trace.RangeKind) {
+// isolated, per kind. Isolated wrappers carry the inferred lock class
+// (derived state: it steers the runtime lock choice and the detectors'
+// exclusion predicate, and is never printed).
+func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int, kind trace.RangeKind, class int) {
 	wrapped := make([]ast.Stmt, hi-lo+1)
 	copy(wrapped, b.Stmts[lo:hi+1])
 	var wrap ast.Stmt
@@ -995,6 +1026,7 @@ func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int, kind trace.RangeKind
 			Body:        prog.NewBlock(wrapped[0].Pos(), wrapped),
 			IsoPos:      wrapped[0].Pos(),
 			Synthesized: true,
+			LockClass:   class,
 		}
 	} else {
 		wrap = &ast.FinishStmt{
@@ -1009,26 +1041,37 @@ func wrapRange(prog *ast.Program, b *ast.Block, lo, hi int, kind trace.RangeKind
 	b.Stmts = rest
 }
 
-// krange is a statement range with its scope kind.
+// krange is a statement range with its scope kind and isolated lock
+// class.
 type krange struct {
 	lo, hi int
 	kind   trace.RangeKind
+	class  int
 }
 
 func applyToBlock(prog *ast.Program, b *ast.Block, ranges []krange) ([]AppliedRange, error) {
-	// Deduplicate.
-	uniq := make(map[krange]bool)
+	// Deduplicate by (range, kind); identical ranges that disagree on
+	// lock class collapse to the global lock conservatively.
+	type rk struct {
+		lo, hi int
+		kind   trace.RangeKind
+	}
+	idx := make(map[rk]int)
 	var rs []krange
 	for _, r := range ranges {
-		if !uniq[r] {
-			uniq[r] = true
-			rs = append(rs, r)
+		k := rk{r.lo, r.hi, r.kind}
+		if i, ok := idx[k]; ok {
+			rs[i].class = mergeClass(rs[i].class, r.class)
+			continue
 		}
+		idx[k] = len(rs)
+		rs = append(rs, r)
 	}
 	// Merge partial overlaps of the same kind until only disjoint or
 	// strictly nested ranges remain. Cross-kind partial overlap cannot
-	// arise: isolated ranges are single-statement, so against any other
-	// range they are disjoint or nested.
+	// arise: isolated ranges cover one update region inside a single
+	// maximal step, so against any other range they are disjoint or
+	// nested.
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(rs) && !changed; i++ {
@@ -1043,7 +1086,7 @@ func applyToBlock(prog *ast.Program, b *ast.Block, ranges []krange) ([]AppliedRa
 				overlap := c.lo <= a.hi
 				nested := overlap && c.hi <= a.hi
 				if overlap && !nested && a != c {
-					rs[i] = krange{a.lo, max(a.hi, c.hi), a.kind}
+					rs[i] = krange{a.lo, max(a.hi, c.hi), a.kind, mergeClass(a.class, c.class)}
 					rs = append(rs[:j], rs[j+1:]...)
 					changed = true
 				}
@@ -1071,8 +1114,8 @@ func applyToBlock(prog *ast.Program, b *ast.Block, ranges []krange) ([]AppliedRa
 		if lo < 0 || hi >= len(b.Stmts) || lo > hi {
 			return applied, fmt.Errorf("repair: merged range %d..%d out of bounds in block %d", lo, hi, b.ID)
 		}
-		wrapRange(prog, b, lo, hi, rs[i].kind)
-		applied = append(applied, AppliedRange{BlockID: b.ID, Lo: lo, Hi: hi, Kind: rs[i].kind})
+		wrapRange(prog, b, lo, hi, rs[i].kind, rs[i].class)
+		applied = append(applied, AppliedRange{BlockID: b.ID, Lo: lo, Hi: hi, Kind: rs[i].kind, Class: rs[i].class})
 
 		shrink := hi - lo
 		for j := i + 1; j < len(rs); j++ {

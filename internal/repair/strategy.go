@@ -1,24 +1,31 @@
 package repair
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
+	"finishrepair/internal/analysis"
+	"finishrepair/internal/analysis/commute"
 	"finishrepair/internal/cpl"
 	"finishrepair/internal/guard"
 	"finishrepair/internal/lang/ast"
 	"finishrepair/internal/lang/sem"
-	"finishrepair/internal/lang/token"
 	"finishrepair/internal/obs"
 	"finishrepair/internal/race"
 	"finishrepair/internal/trace"
 )
 
-// Strategy metrics: one count per evaluated race group, and the span
+// Strategy metrics: one count per evaluated race group, the span
 // difference (finish span minus isolated span; positive means isolated
-// was the cheaper repair) whenever both candidates were comparable.
+// was the cheaper repair) whenever both candidates were comparable, and
+// one count per isolated placement that earned a per-location lock
+// class (class > 0) instead of the global isolated lock.
 var (
 	mStrategyChosen = obs.Default().Counter("repair.strategy_chosen")
 	mCPLDelta       = obs.Default().Histogram("repair.cpl_delta")
+	mLockClasses    = obs.Default().Counter("repair.lock_classes")
 )
 
 // Strategy selects how the repair loop eliminates a race group.
@@ -30,11 +37,12 @@ type Strategy int
 const (
 	// StrategyFinish always inserts finish scopes (paper §5-§6).
 	StrategyFinish Strategy = iota
-	// StrategyIsolated wraps the racing access statements in isolated
-	// whenever that is feasible (commutative integer updates whose
-	// serialization order cannot change the result) and verified to
-	// eliminate the group's races on replay; infeasible groups fall
-	// back to finish insertion.
+	// StrategyIsolated wraps the racing update regions in isolated
+	// whenever that is feasible (statically recognized commutative
+	// updates whose serialization order cannot change the result,
+	// confirmed by the semantic order probe) and verified to eliminate
+	// the group's races on replay; infeasible groups fall back to finish
+	// insertion.
 	StrategyIsolated
 	// StrategyAuto evaluates both candidates per race group and picks
 	// isolated only when its post-repair critical path is strictly
@@ -54,7 +62,8 @@ func (s Strategy) String() string {
 	}
 }
 
-// ParseStrategy maps a CLI flag value to a strategy.
+// ParseStrategy maps a CLI flag value to a strategy. "iso" is accepted
+// as a short alias of "isolated".
 func ParseStrategy(s string) (Strategy, bool) {
 	switch s {
 	case "finish":
@@ -71,33 +80,46 @@ func ParseStrategy(s string) (Strategy, bool) {
 // for provenance. Spans are post-repair critical paths measured by
 // replaying the captured trace with the candidate applied on top of the
 // round's base virtual set; IsoSpan is 0 when the isolated candidate
-// was infeasible or failed its probe.
+// was infeasible or failed its probe. Family names the recognized
+// commutative update family (or families) of the group's regions, and
+// probe the semantic order-probe outcome ("confirmed", "refuted", or
+// "unsupported").
 type strategyChoice struct {
 	strategy   string // "finish" or "isolated"
 	why        string
 	finishSpan int64
 	isoSpan    int64
+	family     string
+	probe      string
 }
 
 // strategyEvaluator holds one round's context for per-group strategy
 // selection in the trace-replay loop. It is invoked from the
 // deterministic accumulation pass of placeGroups (group order), and all
 // probes replay against the same base virtual set, so the chosen
-// program is identical for any worker count.
+// program is identical for any worker count. The commutativity site
+// index, the effect-region location partition, and semantic probe
+// verdicts are built lazily and cached for the round.
 type strategyEvaluator struct {
 	tr       *trace.Trace
+	info     *sem.Info
 	prog     *ast.Program
 	base     []trace.FinishRange
 	meter    *guard.Meter
 	strategy Strategy
+
+	sites  *commute.SiteIndex
+	locs   *analysis.Result
+	probed map[[2]commute.Key]error
 }
 
 // choose decides between the group's finish placements (already
-// computed by the DP) and an isolated wrapping of its access sites.
+// computed by the DP) and an isolated wrapping of its recognized update
+// regions.
 func (ev *strategyEvaluator) choose(g *group, finishPs []Placement) ([]Placement, *strategyChoice) {
 	mStrategyChosen.Inc()
 	ch := &strategyChoice{strategy: "finish"}
-	isoPs, reason := isolatedCandidate(ev.prog, g)
+	isoPs, reason := ev.isolatedCandidate(g, ch)
 	if reason != "" {
 		ch.why = "isolated infeasible: " + reason
 		return finishPs, ch
@@ -183,188 +205,148 @@ func flipRace(r *race.Race) *race.Race {
 		SrcSite: r.DstSite, DstSite: r.SrcSite}
 }
 
-// isolatedCandidate builds the isolated repair for one group: wrap each
-// racing access statement (per its recorded source site) in its own
-// isolated. It returns a non-empty reason when the group is not
-// amenable:
+// isolatedCandidate builds the isolated repair for one group: resolve
+// each racing access site to its recognized commutative update region
+// (internal/analysis/commute), and wrap each distinct region in its own
+// isolated statement tagged with the region's inferred lock class. It
+// returns a non-empty reason when the group is not amenable:
 //
 //   - an access site has no statement coordinates (global initializer),
 //   - a site does not resolve to a block statement,
-//   - an access statement is not a commutative integer update of a
-//     single shared location, or
-//   - the group mixes additive and multiplicative update families.
+//   - an access statement is not part of a recognized commutative
+//     update region (single statement or a bounded straight-line region
+//     of local computation feeding one shared update),
+//   - two updates of the same location belong to incompatible families
+//     (e.g. one additive, one multiplicative), or
+//   - the semantic order probe refutes, or cannot model, a pair of the
+//     group's updates.
 //
 // The commutativity gate is what makes the rewrite output-preserving:
 // the isolated lock serializes the updates in a nondeterministic order,
 // so the updates must yield the same final value under every order.
-// The gate is deliberately conservative; anything it rejects still gets
-// the always-sound finish repair.
-func isolatedCandidate(prog *ast.Program, g *group) ([]Placement, string) {
-	type key struct{ block, stmt int32 }
-	seen := map[key]bool{}
-	var ps []Placement
-	var family token.Kind
+// Every static "commutes" verdict is backed by the semantic probe —
+// both orders of each update pair are executed under the serial
+// interpreter on concrete states and their rendered final states
+// compared — so a recognizer bug degrades to the always-sound finish
+// repair instead of a silent output change.
+func (ev *strategyEvaluator) isolatedCandidate(g *group, ch *strategyChoice) ([]Placement, string) {
+	if ev.sites == nil {
+		ev.sites = commute.NewSiteIndex(ev.prog)
+	}
+	seen := map[commute.Key]bool{}
+	var updates []commute.Update
+	byTarget := map[*sem.Symbol]commute.Update{}
 	for _, r := range g.races {
 		for _, site := range []trace.Site{r.SrcSite, r.DstSite} {
 			if site.Block < 0 || site.Stmt < 0 {
 				return nil, "access site has no statement coordinates"
 			}
-			b := ast.FindBlock(prog, int(site.Block))
+			b := ast.FindBlock(ev.prog, int(site.Block))
 			if b == nil || int(site.Stmt) >= len(b.Stmts) {
 				return nil, "access site does not resolve to a statement"
 			}
 			st := b.Stmts[site.Stmt]
-			fam, ok := commutativeOp(st)
+			u, ok := ev.sites.At(st)
 			if !ok {
 				return nil, fmt.Sprintf("statement at %s is not a commutative integer update", st.Pos())
 			}
-			if family == 0 {
-				family = fam
-			} else if family != fam {
-				return nil, "group mixes additive and multiplicative updates"
+			tgt := u.TargetBase()
+			if tgt == nil {
+				return nil, "update target has no base symbol"
 			}
-			k := key{site.Block, site.Stmt}
-			if !seen[k] {
-				seen[k] = true
-				ps = append(ps, Placement{
-					Block: b,
-					Lo:    int(site.Stmt),
-					Hi:    int(site.Stmt),
-					Kind:  trace.RangeIsolated,
-				})
+			if prev, ok := byTarget[tgt]; ok {
+				if !commute.Compatible(prev, u) {
+					return nil, fmt.Sprintf("group mixes %s and %s updates of %s",
+						prev.Family, u.Family, tgt.Name)
+				}
+			} else {
+				byTarget[tgt] = u
+			}
+			if !seen[u.RegionKey()] {
+				seen[u.RegionKey()] = true
+				updates = append(updates, u)
 			}
 		}
 	}
-	if len(ps) == 0 {
+	if len(updates) == 0 {
 		return nil, "no access sites"
+	}
+	ch.family = familyNames(updates)
+
+	// Confirm every static verdict semantically before spending a
+	// trace replay on the candidate. Self-pairs matter: a single static
+	// update races with its own dynamic instances, so it must commute
+	// with itself under independent operand samples.
+	for i, a := range updates {
+		for j := i; j < len(updates); j++ {
+			b := updates[j]
+			if i != j && !commute.Overlaps(a, b) {
+				// Disjoint footprints: relative order is unobservable,
+				// nothing to probe. Overlapping cross-location pairs
+				// (one region reads the other's target, like
+				// sum=sum+cnt vs cnt=cnt+1) MUST be probed — mutual
+				// exclusion alone does not make them order-independent.
+				continue
+			}
+			if err := ev.probePair(a, b); err != nil {
+				if errors.Is(err, commute.ErrRefuted) {
+					ch.probe = "refuted"
+					return nil, fmt.Sprintf("semantic probe refuted commutativity: %v", err)
+				}
+				ch.probe = "unsupported"
+				return nil, fmt.Sprintf("semantic probe cannot model the updates: %v", err)
+			}
+		}
+	}
+	ch.probe = "confirmed"
+
+	if ev.locs == nil {
+		ev.locs = analysis.Locations(ev.info)
+	}
+	ps := make([]Placement, 0, len(updates))
+	for _, u := range updates {
+		cls := ev.locs.LockClassOf(u)
+		if cls > 0 {
+			mLockClasses.Inc()
+		}
+		ps = append(ps, Placement{
+			Block: u.Block,
+			Lo:    u.Lo,
+			Hi:    u.Hi,
+			Kind:  trace.RangeIsolated,
+			Class: cls,
+		})
 	}
 	return ps, ""
 }
 
-// commutativeOp reports whether st is a commutative integer
-// read-modify-write of one shared location — `lhs += e`, `lhs -= e`,
-// `lhs *= e`, or the expanded `lhs = lhs + e` / `lhs = e + lhs` /
-// `lhs = lhs * e` forms — with an RHS that does not itself read the
-// updated location. It returns the update family (token.ADD for the
-// additive family, token.MUL for multiplicative); updates within one
-// family commute with each other, across families they do not. Float
-// updates are rejected: float addition is not associative, so
-// reordering would change the bits and break the serial-oracle
-// comparison.
-func commutativeOp(s ast.Stmt) (token.Kind, bool) {
-	as, ok := s.(*ast.AssignStmt)
-	if !ok {
-		return 0, false
+// probePair runs the semantic order probe on one update pair, caching
+// the verdict for the round (the same static regions recur across
+// groups and iterations).
+func (ev *strategyEvaluator) probePair(a, b commute.Update) error {
+	if ev.probed == nil {
+		ev.probed = map[[2]commute.Key]error{}
 	}
-	if !intLValue(as.LHS) {
-		return 0, false
+	k := [2]commute.Key{a.RegionKey(), b.RegionKey()}
+	if err, ok := ev.probed[k]; ok {
+		return err
 	}
-	switch as.Op {
-	case token.ADDASSIGN, token.SUBASSIGN:
-		if readsLValue(as.RHS, as.LHS) {
-			return 0, false
-		}
-		return token.ADD, true
-	case token.MULASSIGN:
-		if readsLValue(as.RHS, as.LHS) {
-			return 0, false
-		}
-		return token.MUL, true
-	case token.ASSIGN:
-		be, ok := as.RHS.(*ast.BinaryExpr)
-		if !ok || (be.Op != token.ADD && be.Op != token.MUL) {
-			return 0, false
-		}
-		var rest ast.Expr
-		switch {
-		case sameLValue(as.LHS, be.X):
-			rest = be.Y
-		case sameLValue(as.LHS, be.Y):
-			rest = be.X
-		default:
-			return 0, false
-		}
-		if readsLValue(rest, as.LHS) {
-			return 0, false
-		}
-		if be.Op == token.MUL {
-			return token.MUL, true
-		}
-		return token.ADD, true
-	}
-	return 0, false
+	err := commute.ProbePair(ev.info, a, b)
+	ev.probed[k] = err
+	return err
 }
 
-// intLValue reports whether the assignment target is an int-typed
-// global or an element of an int-array (the only shapes the isolated
-// candidate accepts).
-func intLValue(lhs ast.Expr) bool {
-	switch x := lhs.(type) {
-	case *ast.Ident:
-		if sym, ok := x.Sym.(*sem.Symbol); ok {
-			if pt, ok := sym.Type.(*ast.PrimType); ok {
-				return pt.Kind == ast.Int
-			}
-		}
-	case *ast.IndexExpr:
-		if id, ok := x.X.(*ast.Ident); ok {
-			if sym, ok := id.Sym.(*sem.Symbol); ok {
-				if at, ok := sym.Type.(*ast.ArrayType); ok {
-					if pt, ok := at.Elem.(*ast.PrimType); ok {
-						return pt.Kind == ast.Int
-					}
-				}
-			}
-		}
+// familyNames renders the distinct update families of a candidate's
+// regions, sorted, for provenance ("add", "min+max", ...).
+func familyNames(updates []commute.Update) string {
+	set := map[string]bool{}
+	for _, u := range updates {
+		set[u.Family.String()] = true
 	}
-	return false
-}
-
-// sameLValue reports whether two expressions certainly denote the same
-// location: identical symbols, or index expressions over the same array
-// symbol with syntactically identical simple indices.
-func sameLValue(a, b ast.Expr) bool {
-	switch ax := a.(type) {
-	case *ast.Ident:
-		bx, ok := b.(*ast.Ident)
-		return ok && ax.Sym != nil && ax.Sym == bx.Sym
-	case *ast.IndexExpr:
-		bx, ok := b.(*ast.IndexExpr)
-		if !ok || !sameLValue(ax.X, bx.X) {
-			return false
-		}
-		switch ai := ax.Index.(type) {
-		case *ast.Ident:
-			bi, ok := bx.Index.(*ast.Ident)
-			return ok && ai.Sym != nil && ai.Sym == bi.Sym
-		case *ast.IntLit:
-			bi, ok := bx.Index.(*ast.IntLit)
-			return ok && ai.Value == bi.Value
-		}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
 	}
-	return false
-}
-
-// readsLValue reports whether e may read the location lhs denotes,
-// conservatively: any occurrence of the target's base symbol counts.
-func readsLValue(e ast.Expr, lhs ast.Expr) bool {
-	var sym any
-	switch x := lhs.(type) {
-	case *ast.Ident:
-		sym = x.Sym
-	case *ast.IndexExpr:
-		if id, ok := x.X.(*ast.Ident); ok {
-			sym = id.Sym
-		}
-	}
-	if sym == nil {
-		return true
-	}
-	found := false
-	ast.InspectExpr(e, func(x ast.Expr) {
-		if id, ok := x.(*ast.Ident); ok && id.Sym == sym {
-			found = true
-		}
-	})
-	return found
+	sort.Strings(names)
+	return strings.Join(names, "+")
 }

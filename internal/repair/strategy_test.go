@@ -133,6 +133,49 @@ func TestRepairStrategyFallsBackOnNonCommutative(t *testing.T) {
 	}
 }
 
+// The mixed-counter soundness regression: each statement is a
+// recognized additive reduction of its own location, but sum's operand
+// READS cnt, so the pair's execution orders disagree and isolating both
+// (mutual exclusion without commutativity) would change the output. The
+// semantic probe must refute the cross-location pair and force the
+// finish fallback.
+const mixedCounterSrc = `
+var cnt = 0;
+var sum = 0;
+
+func main() {
+    finish {
+        for (var i = 0; i < 4; i = i + 1) {
+            async { cnt = cnt + 1; }
+            async { sum = sum + cnt; }
+        }
+    }
+    println(cnt);
+    println(sum);
+}
+`
+
+func TestRepairStrategyRefutesMixedCounterPair(t *testing.T) {
+	for _, s := range []repair.Strategy{repair.StrategyIsolated, repair.StrategyAuto} {
+		var ex provenance.Explain
+		prog, _ := repairAndVerify(t, mixedCounterSrc, repair.Options{Strategy: s, Explain: &ex})
+		if src := printer.Print(prog); strings.Contains(src, "isolated") {
+			t.Fatalf("strategy %v isolated an order-dependent cross-location pair:\n%s", s, src)
+		}
+		refuted := false
+		for _, it := range ex.Iterations {
+			for _, g := range it.Groups {
+				if strings.Contains(g.StrategyWhy, "refuted") {
+					refuted = true
+				}
+			}
+		}
+		if !refuted {
+			t.Errorf("strategy %v: no group recorded the probe refutation", s)
+		}
+	}
+}
+
 // The finish strategy (the default) must behave exactly as before the
 // strategy layer existed: Kind stays zero on every applied range.
 func TestRepairStrategyFinishKindsZero(t *testing.T) {

@@ -19,6 +19,13 @@ type Site struct {
 	Block int32 // owner block ID (-1 = unknown)
 	Stmt  int32 // statement index (-1 = loop-header pseudo)
 	Iso   bool  // access executed inside an isolated body
+	// IsoClass is the lock class of the OUTERMOST isolated body
+	// enclosing the access (meaningful only when Iso is set): the
+	// outermost lock is the one actually held against other tasks.
+	// Engines suppress an isolated pair only when the two classes
+	// exclude each other — either is 0 (the global lock) or they are
+	// equal; different nonzero classes run concurrently.
+	IsoClass int32
 }
 
 // Sink receives the reconstructed execution during replay: structure
@@ -63,6 +70,10 @@ type FinishRange struct {
 	BlockID int
 	Lo, Hi  int
 	Kind    RangeKind
+	// Class is the lock class of an injected isolated range (see
+	// ast.IsolatedStmt.LockClass); 0 — the global lock — for finishes
+	// and for source-level isolated semantics.
+	Class int
 }
 
 // ReplayOptions configures a replay.
@@ -131,11 +142,13 @@ type replayer struct {
 	ranges     map[int32][]FinishRange
 	labels     []string // label-table snapshot of the current chunk
 
-	// Access-site attribution: coordinates of the last step boundary and
-	// the current isolated-nesting depth.
+	// Access-site attribution: coordinates of the last step boundary,
+	// the current isolated-nesting depth, and the lock class of the
+	// outermost open isolated frame (0 when isoDepth == 0).
 	siteBlock int32
 	siteStmt  int32
 	isoDepth  int
+	isoClass  int32
 }
 
 // checkMask gates the periodic meter check: every 4096 events.
@@ -324,7 +337,23 @@ func (r *replayer) top() *rframe { return &r.frames[len(r.frames)-1] }
 
 // site is the static coordinate of the current access point.
 func (r *replayer) site() Site {
-	return Site{Block: r.siteBlock, Stmt: r.siteStmt, Iso: r.isoDepth > 0}
+	return Site{Block: r.siteBlock, Stmt: r.siteStmt, Iso: r.isoDepth > 0, IsoClass: r.isoClass}
+}
+
+// enterIso tracks an isolated frame opening with the given lock class;
+// the outermost frame's class is the lock actually held.
+func (r *replayer) enterIso(class int) {
+	if r.isoDepth == 0 {
+		r.isoClass = int32(class)
+	}
+	r.isoDepth++
+}
+
+func (r *replayer) exitIso() {
+	r.isoDepth--
+	if r.isoDepth == 0 {
+		r.isoClass = 0
+	}
 }
 
 func (r *replayer) block(id int32) *ast.Block {
@@ -392,7 +421,16 @@ func (r *replayer) push(e *Event) {
 	n.Body = r.block(e.Body)
 	iso := n.Kind == dpst.Scope && n.Class == dpst.IsoScope
 	if iso {
-		r.isoDepth++
+		// The event codec carries no lock class; resolve it from the
+		// AST: the frame's construct is OwnerBlock.Stmts[StmtLo].
+		cls := 0
+		if ob := n.OwnerBlock; ob != nil && n.StmtLo >= 0 && n.StmtLo < len(ob.Stmts) {
+			if is, ok := ob.Stmts[n.StmtLo].(*ast.IsolatedStmt); ok {
+				cls = is.LockClass
+			}
+		}
+		n.IsoClass = cls
+		r.enterIso(cls)
 	}
 	r.frames = append(r.frames, rframe{node: n, iso: iso})
 	switch n.Kind {
@@ -412,7 +450,7 @@ func (r *replayer) pop() {
 	f := r.top()
 	n := f.node
 	if f.iso {
-		r.isoDepth--
+		r.exitIso()
 	}
 	switch n.Kind {
 	case dpst.Async:
@@ -482,7 +520,8 @@ func (r *replayer) openSynthetic(b int32, p FinishRange, inj *injState) {
 	iso := p.Kind == RangeIsolated
 	if iso {
 		n = r.tree.NewChild(r.top().node, dpst.Scope, dpst.IsoScope, "isolated")
-		r.isoDepth++
+		n.IsoClass = p.Class
+		r.enterIso(p.Class)
 	} else {
 		n = r.tree.NewChild(r.top().node, dpst.Finish, dpst.NotScope, "finish")
 	}
@@ -501,7 +540,7 @@ func (r *replayer) closeSynthetic() {
 	f := r.top()
 	n := f.node
 	if f.iso {
-		r.isoDepth--
+		r.exitIso()
 	} else {
 		r.sink.FinishEnd(n)
 	}

@@ -1,0 +1,169 @@
+package tdr_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"finishrepair/internal/analysis/commute"
+	"finishrepair/internal/lang/ast"
+	"finishrepair/internal/lang/parser"
+	"finishrepair/internal/lang/sem"
+	"finishrepair/internal/progen"
+	"finishrepair/tdr"
+)
+
+// TestCommuteAgreement is the static/semantic agreement gate (run in CI
+// as the commute-agreement job): over the bundled examples plus a
+// 50-program progen corpus with the Commute shapes enabled, every
+// static "commutes" verdict must survive the semantic order probe. A
+// refuted probe means the recognizer accepted a region whose two
+// execution orders disagree — a soundness bug in the analysis, so it
+// fails the test rather than degrading. Unsupported probes (regions the
+// serial oracle cannot rebuild) are fine: the strategy layer already
+// treats them as "do not isolate".
+func TestCommuteAgreement(t *testing.T) {
+	type source struct{ name, src string }
+	var sources []source
+
+	matches, err := filepath.Glob(filepath.Join("..", "examples", "hj", "*.hj"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no bundled examples found: %v", err)
+	}
+	for _, m := range matches {
+		b, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, source{filepath.Base(m), string(b)})
+	}
+
+	cfg := progen.Default()
+	cfg.Commute = true
+	const progenSeeds = 50
+	for seed := int64(7000); seed < 7000+progenSeeds; seed++ {
+		sources = append(sources, source{
+			name: fmt.Sprintf("progen-%d", seed),
+			src:  progen.Gen(seed, cfg),
+		})
+	}
+
+	verdicts, probed, refuted, unsupported := 0, 0, 0, 0
+	for _, s := range sources {
+		prog, err := parser.Parse(s.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", s.name, err)
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			t.Fatalf("%s: check: %v", s.name, err)
+		}
+
+		// Collect every distinct recognized update region.
+		seen := map[commute.Key]bool{}
+		var updates []commute.Update
+		for _, fn := range prog.Funcs {
+			for _, b := range blocksOf(fn.Body) {
+				for i := range b.Stmts {
+					u, ok := commute.RecognizeAt(b, i)
+					if !ok || seen[u.RegionKey()] {
+						continue
+					}
+					seen[u.RegionKey()] = true
+					updates = append(updates, u)
+					verdicts++
+				}
+			}
+		}
+
+		// Probe every pair whose order can matter: each region against
+		// itself (two concurrent instances), and each compatible pair
+		// over overlapping shared state. Incompatible pairs never earn
+		// a "commutes" verdict, so they are not probed.
+		for i := range updates {
+			for j := i; j < len(updates); j++ {
+				a, b := updates[i], updates[j]
+				if i != j && (!commute.Overlaps(a, b) || !commute.Compatible(a, b)) {
+					continue
+				}
+				probed++
+				switch err := commute.ProbePair(info, a, b); {
+				case err == nil:
+				case errors.Is(err, commute.ErrRefuted):
+					refuted++
+					t.Errorf("%s: probe REFUTED static commutes verdict for %s/%s regions at %v and %v: %v",
+						s.name, a.Family, b.Family, a.Block.Stmts[a.Lo].Pos(), b.Block.Stmts[b.Lo].Pos(), err)
+				default:
+					unsupported++
+				}
+			}
+		}
+	}
+
+	t.Logf("%d sources, %d recognized regions, %d pairs probed, %d refuted, %d unsupported",
+		len(sources), verdicts, probed, refuted, unsupported)
+	if verdicts == 0 || probed == 0 {
+		t.Error("agreement sweep found nothing to check — recognizer or corpus broken")
+	}
+}
+
+// TestCommuteCorpusRepairsEndToEnd runs the full auto-strategy repair
+// over a slice of the Commute corpus: stripping the finishes and
+// repairing must restore the serial elision's output even when the
+// repair isolates recognized reductions under per-location lock
+// classes.
+func TestCommuteCorpusRepairsEndToEnd(t *testing.T) {
+	cfg := progen.Default()
+	cfg.Commute = true
+	for seed := int64(7100); seed < 7120; seed++ {
+		src := progen.Gen(seed, cfg)
+		ref, err := tdrLoadStripped(t, src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := ref.RunSequential()
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		p, err := tdrLoadStripped(t, src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep, err := p.Repair(tdr.RepairOptions{Strategy: tdr.Auto, Budget: tdr.Budget{MaxIterations: 30}})
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v\n%s", seed, err, src)
+		}
+		if rep.Output != want {
+			t.Fatalf("seed %d: repaired output %q != serial elision %q\n%s",
+				seed, rep.Output, want, p.Source())
+		}
+	}
+}
+
+// tdrLoadStripped loads a source and removes its finishes, yielding the
+// unsynchronized program the repair loop starts from.
+func tdrLoadStripped(t *testing.T, src string) (*tdr.Program, error) {
+	t.Helper()
+	p, err := tdr.Load(src)
+	if err != nil {
+		return nil, err
+	}
+	p.StripFinishes()
+	return p, nil
+}
+
+// blocksOf returns b and every block nested inside it.
+func blocksOf(b *ast.Block) []*ast.Block {
+	if b == nil {
+		return nil
+	}
+	out := []*ast.Block{b}
+	for _, s := range b.Stmts {
+		for _, nb := range ast.StmtBlocks(s) {
+			out = append(out, blocksOf(nb)...)
+		}
+	}
+	return out
+}
